@@ -1,0 +1,63 @@
+"""Ablation: the contribution of each refinement mechanism.
+
+DESIGN.md calls out the design choices the paper argues for —
+resolving dual inferences, removing adjacent inverse inferences, the
+remove step, and the stub heuristic.  Each is disabled in turn and the
+resulting precision/recall (averaged over the three verification
+networks) is reported next to the full algorithm.
+"""
+
+from dataclasses import replace
+
+from conftest import publish
+
+from repro import MapItConfig
+
+VARIANTS = (
+    ("full", {}),
+    ("no dual fix", {"fix_dual_inferences": False}),
+    ("no inverse fix", {"fix_inverse_inferences": False}),
+    ("no remove step", {"enable_remove_step": False}),
+    ("no stub heuristic", {"enable_stub_heuristic": False}),
+    ("no fixes at all", {
+        "fix_dual_inferences": False,
+        "fix_inverse_inferences": False,
+        "fix_divergent_other_sides": False,
+        "enable_remove_step": False,
+        "enable_stub_heuristic": False,
+    }),
+)
+
+
+def _run(experiment):
+    rows = []
+    for name, overrides in VARIANTS:
+        config = replace(MapItConfig(f=0.5), **overrides)
+        result = experiment.run_mapit(config)
+        scores = experiment.score(result.inferences)
+        tp = sum(score.tp for score in scores.values())
+        fp = sum(score.fp for score in scores.values())
+        fn = sum(score.fn for score in scores.values())
+        rows.append(
+            {
+                "variant": name,
+                "TP": tp,
+                "FP": fp,
+                "FN": fn,
+                "precision": round(tp / (tp + fp), 3) if tp + fp else 1.0,
+                "recall": round(tp / (tp + fn), 3) if tp + fn else 1.0,
+                "inferences": len(result.inferences),
+            }
+        )
+    return rows
+
+
+def test_ablation(benchmark, paper_experiment):
+    rows = benchmark.pedantic(_run, args=(paper_experiment,), rounds=1, iterations=1)
+    publish("ablation", "Ablation: per-mechanism contribution", rows)
+    by_name = {row["variant"]: row for row in rows}
+    full = by_name["full"]
+    # Removing every safeguard must not improve precision.
+    assert by_name["no fixes at all"]["precision"] <= full["precision"] + 1e-9
+    # The stub heuristic only adds coverage.
+    assert by_name["no stub heuristic"]["TP"] <= full["TP"]

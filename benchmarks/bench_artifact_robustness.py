@@ -1,0 +1,80 @@
+"""Section 5.7: resilience to traceroute artifacts.
+
+Sweeps the simulator's artifact intensities (per-packet load
+balancing, third-party egress replies, buggy-TTL routers, transient
+route changes) and reports MAP-IT's precision against exact ground
+truth at each level, next to the Simple heuristic.  Expected shape:
+MAP-IT degrades gracefully where the per-trace heuristic is uniformly
+poor.
+"""
+
+from dataclasses import replace
+
+from conftest import publish
+
+from repro import MapItConfig, run_mapit
+from repro.baselines.simple import simple_heuristic
+from repro.sim.network import NetworkConfig
+from repro.sim.presets import small_config
+from repro.sim.scenario import build_scenario
+from repro.sim.tracer import TracerConfig
+from repro.traceroute.sanitize import sanitize_traces
+
+INTENSITIES = (0.0, 1.0, 2.0, 4.0)
+
+
+def _precision(inferences, truth):
+    observed = [i for i in inferences if i.kind != "indirect"]
+    if not observed:
+        return 1.0
+    correct = sum(1 for i in observed if truth.connected_pair(i.address) == i.pair())
+    return correct / len(observed)
+
+
+def _sweep():
+    rows = []
+    for intensity in INTENSITIES:
+        config = replace(
+            small_config(seed=11),
+            network=NetworkConfig(
+                seed=11,
+                per_packet_lb_fraction=0.02 * intensity,
+                egress_reply_fraction=0.05 * intensity,
+                buggy_ttl_fraction=0.01 * intensity,
+            ),
+            tracer=TracerConfig(seed=11, transient_change_probability=0.02 * intensity),
+        )
+        scenario = build_scenario(config)
+        report = sanitize_traces(scenario.traces)
+        result = run_mapit(
+            scenario.traces,
+            scenario.ip2as,
+            org=scenario.as2org,
+            rel=scenario.relationships,
+            config=MapItConfig(f=0.5),
+        )
+        rows.append(
+            {
+                "intensity": intensity,
+                "discard_fraction": round(report.discard_fraction, 4),
+                "mapit_precision": round(
+                    _precision(result.inferences, scenario.ground_truth), 3
+                ),
+                "simple_precision": round(
+                    _precision(
+                        simple_heuristic(report.traces, scenario.ip2as),
+                        scenario.ground_truth,
+                    ),
+                    3,
+                ),
+            }
+        )
+    return rows
+
+
+def test_artifact_robustness(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    publish("artifact_robustness", "Section 5.7: artifact robustness", rows)
+    for row in rows:
+        assert row["mapit_precision"] > row["simple_precision"] + 0.3
+        assert row["mapit_precision"] > 0.8

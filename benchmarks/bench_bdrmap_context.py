@@ -1,0 +1,54 @@
+"""Section 6 future work: MAP-IT vs a bdrmap-flavoured baseline.
+
+The paper proposes head-to-head comparisons with bdrmap as future
+work.  bdrmap only addresses networks hosting a traceroute monitor, so
+the comparison runs in the one context both share: the R&E network
+(which hosts a monitor, as one of the paper's verification networks
+did).  The bdrmap-like baseline is a passive simplification (see
+``repro/baselines/bdrmap_like.py``); expected shape: it finds a good
+share of the host's borders from far fewer signals, but off-by-one
+exits on host-numbered links hold its precision below MAP-IT's.
+"""
+
+from conftest import publish
+
+from repro import MapItConfig
+from repro.baselines.bdrmap_like import bdrmap_like
+from repro.eval.verify import score_inferences
+
+
+def _run(experiment):
+    scenario = experiment.scenario
+    host = scenario.re_asn
+    dataset = experiment.datasets["I2"]
+    rows = []
+
+    mapit = experiment.run_mapit(MapItConfig(f=0.5))
+    host_only = [i for i in mapit.inferences if i.involves(host)]
+    score = score_inferences(host_only, dataset, scenario.as2org, experiment.graph)
+    row = {"method": "MAP-IT (host links)"}
+    row.update(score.row())
+    rows.append(row)
+
+    inferences = bdrmap_like(
+        experiment.report.traces, host, scenario.ip2as, scenario.relationships
+    )
+    score = score_inferences(inferences, dataset, scenario.as2org, experiment.graph)
+    row = {"method": "bdrmap-like"}
+    row.update(score.row())
+    rows.append(row)
+    return rows
+
+
+def test_bdrmap_context(benchmark, paper_experiment):
+    rows = benchmark.pedantic(_run, args=(paper_experiment,), rounds=1, iterations=1)
+    publish(
+        "bdrmap_context",
+        "Section 6: MAP-IT vs bdrmap-like on the monitor-hosting network",
+        rows,
+    )
+    by_method = {row["method"]: row for row in rows}
+    assert (
+        by_method["MAP-IT (host links)"]["Precision%"]
+        > by_method["bdrmap-like"]["Precision%"]
+    )

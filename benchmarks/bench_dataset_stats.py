@@ -1,0 +1,23 @@
+"""Sections 4.1-4.3 and 5: dataset pipeline statistics.
+
+Reproduces the paper's quoted numbers for its input pipeline: the
+fraction of traces discarded for interface cycles (paper: 2.7%), the
+distinct-address retention (89.1%), the /31-addressing fraction from
+the other-side heuristic (40.4%), the neighbor-set overlap footnote
+(0.3%), neighbor-set size counts, and IP2AS coverage (99.2%).
+"""
+
+from conftest import publish
+
+from repro.eval.stats import pipeline_stats
+
+
+def test_dataset_stats(benchmark, paper_experiment):
+    stats = benchmark(pipeline_stats, paper_experiment)
+    rows = [
+        {"statistic": key, "value": value} for key, value in stats.rows().items()
+    ]
+    publish("dataset_stats", "Sections 4.1-4.3: pipeline statistics", rows)
+    assert 0.0 < stats.fraction_31 < 0.65
+    assert stats.discard_fraction < 0.1
+    assert stats.ip2as_coverage > 0.9

@@ -1,0 +1,29 @@
+"""Fig 6: the impact of the f parameter.
+
+Sweeps f from 0.0 to 1.0 in steps of 0.1 and scores each run against
+all three verification networks.  Expected shape (paper section 5.3):
+precision is worst at low f, improves toward the middle of the range,
+and degrades again at f >= 0.9 where MAP-IT can no longer refine its
+mappings; recall is roughly flat at low f and collapses at high f.
+"""
+
+from conftest import publish
+
+from repro.eval.fsweep import sweep_f
+
+
+def test_fig6_f_sweep(benchmark, paper_experiment):
+    result = benchmark.pedantic(
+        sweep_f, args=(paper_experiment,), rounds=1, iterations=1
+    )
+    publish("fig6_fsweep", "Fig 6: precision/recall vs f", result.rows())
+
+    for label in paper_experiment.labels():
+        recall = dict(result.series(label, "recall"))
+        tp_low = result.scores[0.1][label].tp
+        tp_high = result.scores[1.0][label].tp
+        # Recall at f=1.0 must not exceed the low-f recall (collapse).
+        assert tp_high <= tp_low, label
+    # Precision at the paper's recommended f=0.5 is high everywhere.
+    for label, score in result.scores[0.5].items():
+        assert score.precision > 0.75, (label, str(score))

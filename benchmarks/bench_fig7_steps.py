@@ -1,0 +1,42 @@
+"""Fig 7: the impact of each algorithm step.
+
+Runs MAP-IT once with checkpoint recording and scores the inference
+set after each stage: the raw direct pass of the first add step, the
+point-to-point contradiction fixes, the inverse-inference removal, the
+remaining passes, each outer iteration, and the stub heuristic.
+Expected shape (paper section 5.5): contradiction and inverse fixes
+recover precision lost by the raw pass, later iterations refine, and
+the stub heuristic delivers a recall jump for stub-heavy networks.
+"""
+
+from conftest import publish
+
+from repro import MapItConfig
+from repro.eval.steps import step_impact
+
+
+def test_fig7_step_impact(benchmark, paper_experiment):
+    impact = benchmark.pedantic(
+        step_impact,
+        args=(paper_experiment, MapItConfig(f=0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig7_steps", "Fig 7: impact of each algorithm step", impact.rows())
+
+    assert impact.stages[0] == "add 1: direct"
+    assert impact.stages[-1] == "stub heuristic"
+    for label in paper_experiment.labels():
+        precision = dict(impact.series(label, "precision"))
+        # The inverse-inference fix never hurts precision.
+        assert (
+            precision["add 1: inverse"] >= precision["add 1: contradictions"] - 1e-9
+        ), label
+    # The stub heuristic must add recall on at least one network.
+    gains = 0
+    for label in paper_experiment.labels():
+        recall = dict(impact.series(label, "recall"))
+        last_iteration = [s for s in impact.stages if s.startswith("iteration")][-1]
+        if recall["stub heuristic"] > recall[last_iteration]:
+            gains += 1
+    assert gains >= 1

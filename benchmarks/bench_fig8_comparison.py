@@ -1,0 +1,40 @@
+"""Fig 8: MAP-IT versus existing approaches.
+
+Runs the Simple heuristic, the Convention heuristic, the two
+ITDK-style router-graph pipelines, and MAP-IT (f=0.5) over one trace
+dataset and scores all five against every verification network.
+Expected shape (paper section 5.6): MAP-IT's precision dominates every
+comparator on every network; Convention beats Simple on the tier-1s
+but loses on the R&E network (customer-space-numbered transit links);
+the ITDK variants land between the per-trace heuristics and MAP-IT.
+"""
+
+from conftest import publish
+
+from repro.eval.compare import (
+    CONVENTION,
+    ITDK_KAPAR,
+    ITDK_MIDAR,
+    MAPIT,
+    SIMPLE,
+    compare_methods,
+)
+
+
+def test_fig8_method_comparison(benchmark, paper_experiment):
+    comparison = benchmark.pedantic(
+        compare_methods, args=(paper_experiment,), rounds=1, iterations=1
+    )
+    publish("fig8_comparison", "Fig 8: precision/recall by method", comparison.rows())
+
+    scores = comparison.scores
+    for label in paper_experiment.labels():
+        mapit = scores[MAPIT][label].precision
+        for method in (SIMPLE, CONVENTION, ITDK_MIDAR, ITDK_KAPAR):
+            assert mapit > scores[method][label].precision, (label, method)
+    # Convention's provider-space assumption backfires on the R&E
+    # network but helps on the commodity tier-1s.
+    assert scores[CONVENTION]["I2"].recall <= scores[SIMPLE]["I2"].recall
+    # Per-trace heuristics are drastically less precise than MAP-IT.
+    for label in paper_experiment.labels():
+        assert scores[SIMPLE][label].precision < 0.6

@@ -1,0 +1,66 @@
+"""Runtime scaling of the pipeline's hot components.
+
+Not a paper table — engineering benchmarks for the substrate: LPM trie
+lookups, trace sanitization, neighbor-set extraction, and the full
+MAP-IT loop at two scenario scales.
+"""
+
+import random
+
+from repro import MapIt, MapItConfig
+from repro.graph.neighbors import build_interface_graph
+from repro.net.prefix import prefix_of
+from repro.net.trie import PrefixTrie
+from repro.traceroute.sanitize import sanitize_traces
+
+
+def test_trie_lookup_throughput(benchmark):
+    rng = random.Random(0)
+    trie = PrefixTrie()
+    for index in range(20_000):
+        trie.insert(prefix_of(rng.getrandbits(32), rng.randint(8, 24)), index)
+    queries = [rng.getrandbits(32) for _ in range(10_000)]
+
+    def lookup_all():
+        return sum(1 for query in queries if trie.lookup_value(query) is not None)
+
+    hits = benchmark(lookup_all)
+    assert hits > 0
+
+
+def test_sanitize_throughput(benchmark, paper_experiment):
+    traces = paper_experiment.scenario.traces
+
+    def run():
+        return sanitize_traces(traces)
+
+    report = benchmark(run)
+    assert report.traces
+
+
+def test_neighbor_extraction(benchmark, paper_experiment):
+    report = paper_experiment.report
+
+    def run():
+        return build_interface_graph(
+            report.traces, all_addresses=report.all_addresses
+        )
+
+    graph = benchmark(run)
+    assert graph.addresses()
+
+
+def test_mapit_full_run(benchmark, paper_experiment):
+    scenario = paper_experiment.scenario
+
+    def run():
+        return MapIt(
+            paper_experiment.graph,
+            scenario.ip2as,
+            org=scenario.as2org,
+            rel=scenario.relationships,
+            config=MapItConfig(f=0.5),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.inferences

@@ -1,0 +1,31 @@
+"""Robustness: score variance across five seeded worlds.
+
+No single paper table corresponds to this, but every claim in
+EXPERIMENTS.md implicitly assumes the seed-7 world is representative.
+This bench aggregates precision/recall over five paper-scale seeds and
+asserts the band the reproduction advertises (precision comparable to
+the paper's 94.7–100%).
+"""
+
+from conftest import publish
+
+from repro import MapItConfig
+from repro.eval.aggregate import aggregate_over_seeds
+from repro.sim.presets import paper_scenario
+
+SEEDS = (7, 11, 23, 31, 47)
+
+
+def test_seed_variance(benchmark):
+    aggregate = benchmark.pedantic(
+        aggregate_over_seeds,
+        args=(paper_scenario, SEEDS),
+        kwargs={"config": MapItConfig(f=0.5)},
+        rounds=1,
+        iterations=1,
+    )
+    publish("seed_variance", "Robustness: five-seed aggregate", aggregate.rows())
+    assert aggregate.pooled.precision > 0.88
+    assert aggregate.pooled.recall > 0.85
+    for label, summary in aggregate.precision.items():
+        assert summary.minimum > 0.75, label

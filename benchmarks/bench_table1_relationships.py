@@ -1,0 +1,46 @@
+"""Table 1: inferences broken down by AS relationship type.
+
+For each verification network, TP/FP/FN and precision/recall are
+tallied per relationship class (ISP Transit / Peer / Stub Transit) at
+f = 0.5.  Expected shape (paper section 5.4): stub transit dominates
+the tier-1 counts; precision dips for peer links relative to transit;
+totals sit in the paper's 94-100% precision band.
+"""
+
+from conftest import publish
+
+from repro import MapItConfig
+from repro.eval.breakdown import breakdown_by_relationship
+
+
+def _run(experiment):
+    result = experiment.run_mapit(MapItConfig(f=0.5))
+    scenario = experiment.scenario
+    tables = {}
+    for label, dataset in experiment.datasets.items():
+        tables[label] = breakdown_by_relationship(
+            result.inferences,
+            dataset,
+            scenario.relationships,
+            scenario.as2org,
+            experiment.graph,
+        )
+    return tables
+
+
+def test_table1_relationship_breakdown(benchmark, paper_experiment):
+    tables = benchmark.pedantic(
+        _run, args=(paper_experiment,), rounds=1, iterations=1
+    )
+    rows = []
+    for label, breakdown in tables.items():
+        for row in breakdown.rows():
+            out = {"network": label}
+            out.update(row)
+            rows.append(out)
+    publish("table1_relationships", "Table 1: results by AS relationship", rows)
+
+    for label, breakdown in tables.items():
+        total = breakdown.total()
+        assert total.precision > 0.8, (label, str(total))
+        assert total.recall > 0.6, (label, str(total))

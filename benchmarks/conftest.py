@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures: the paper-scale experiment, built once.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the reproduced rows to ``benchmarks/results/<name>.txt`` so the
+numbers are inspectable after a ``pytest benchmarks/ --benchmark-only``
+run (stdout is captured by pytest unless ``-s`` is passed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+import pytest
+
+from repro.eval.experiment import Experiment, prepare_experiment
+from repro.sim.presets import paper_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the seed every table/figure benchmark uses, for cross-referencing
+PAPER_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def paper_experiment() -> Experiment:
+    """The evaluation-scale scenario behind all table/figure benches."""
+    return prepare_experiment(paper_scenario(seed=PAPER_SEED))
+
+
+def format_rows(rows: Iterable[Dict]) -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)\n"
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(str(header)), *(len(str(row.get(header, ""))) for row in rows))
+        for header in headers
+    }
+    lines = [
+        "  ".join(str(header).ljust(widths[header]) for header in headers)
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(row.get(header, "")).ljust(widths[header]) for header in headers
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def publish(name: str, title: str, rows: Iterable[Dict]) -> None:
+    """Write a reproduced table to the results directory and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"# {title}\n\n{format_rows(rows)}"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")

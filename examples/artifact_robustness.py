@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Robustness to traceroute artifacts (paper sections 4.7, 5.7).
+
+The paper's anecdote: 4.68.110.186 kept 113/141 forward neighbors in
+AS701 despite 5 anomalous AS3356 entries from transient routing
+changes, and MAP-IT still inferred the Level3<->Verizon link.  Here we
+sweep the simulator's artifact intensities — per-packet load
+balancing, third-party (egress) replies, transient route changes —
+and measure how MAP-IT's precision degrades, compared with the Simple
+heuristic, which has no defence at all.
+
+Run:  python examples/artifact_robustness.py
+"""
+
+from dataclasses import replace
+
+from repro import MapItConfig, run_mapit
+from repro.baselines.simple import simple_heuristic
+from repro.sim.network import NetworkConfig
+from repro.sim.presets import small_config
+from repro.sim.scenario import build_scenario
+from repro.sim.tracer import TracerConfig
+from repro.traceroute.sanitize import sanitize_traces
+
+
+def precision_against_truth(inferences, truth):
+    observed = [i for i in inferences if i.kind != "indirect"]
+    if not observed:
+        return 1.0
+    correct = sum(
+        1 for i in observed if truth.connected_pair(i.address) == i.pair()
+    )
+    return correct / len(observed)
+
+
+def main() -> None:
+    print(
+        f"{'intensity':>9}  {'discarded':>9}  {'MAP-IT prec':>11}  "
+        f"{'Simple prec':>11}"
+    )
+    for intensity in (0.0, 0.5, 1.0, 2.0, 4.0):
+        config = small_config(seed=11)
+        config = replace(
+            config,
+            network=NetworkConfig(
+                seed=11,
+                per_packet_lb_fraction=0.02 * intensity,
+                egress_reply_fraction=0.05 * intensity,
+                buggy_ttl_fraction=0.01 * intensity,
+            ),
+            tracer=TracerConfig(
+                seed=11, transient_change_probability=0.02 * intensity
+            ),
+        )
+        scenario = build_scenario(config)
+        report = sanitize_traces(scenario.traces)
+        result = run_mapit(
+            scenario.traces,
+            scenario.ip2as,
+            org=scenario.as2org,
+            rel=scenario.relationships,
+            config=MapItConfig(f=0.5),
+        )
+        mapit_precision = precision_against_truth(
+            result.inferences, scenario.ground_truth
+        )
+        simple = simple_heuristic(report.traces, scenario.ip2as)
+        simple_precision = precision_against_truth(
+            simple, scenario.ground_truth
+        )
+        print(
+            f"{intensity:>9.1f}  {report.discard_fraction:>9.3f}  "
+            f"{mapit_precision:>11.3f}  {simple_precision:>11.3f}"
+        )
+
+    print(
+        "\nMAP-IT's neighbor-set counting, contradiction fixes, and "
+        "remove step absorb moderate artifact rates; the per-trace "
+        "Simple heuristic degrades immediately (section 4.7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Tier-1 verification through DNS hostnames (paper section 5.1.2).
+
+The paper cannot get interface lists from Level 3 or TeliaSonera, so it
+reconstructs approximate ground truth from their DNS naming
+conventions: ``cogent-ic-309423-den-b1.c.telia.net`` tags an
+interconnection with Cogent, ``ae-41-41.ebr1.berlin1.level3.net`` is
+internal gear.  This example does the same against the two synthetic
+tier-1 operators: synthesizes hostnames (with missing names and stale
+tags, the paper's two noise sources), classifies them, builds the
+verification dataset, and scores MAP-IT against it.
+
+Run:  python examples/tier1_dns_verification.py
+"""
+
+from collections import Counter
+
+from repro import MapItConfig
+from repro.dns.naming import generate_hostnames
+from repro.dns.verification import classify_hostname
+from repro.eval.experiment import prepare_experiment
+from repro.sim.presets import paper_scenario
+
+
+def main() -> None:
+    scenario = paper_scenario(seed=7)
+    tier1s = scenario.tier1_asns[:2]
+    hostnames = generate_hostnames(
+        scenario.network,
+        scenario.ground_truth,
+        tier1s,
+        seed=7,
+        coverage=0.9,          # some interfaces lack hostnames
+        stale_probability=0.02,  # some tags name an old neighbor
+    )
+    kinds = Counter(classify_hostname(name)[0] for name in hostnames.names.values())
+    print(f"synthesized {len(hostnames)} hostnames: {dict(kinds)}")
+    sample = next(
+        name for name in hostnames.names.values() if "-ic-" in name
+    )
+    print(f"example interconnection hostname: {sample}")
+
+    # prepare_experiment builds the hostname-derived datasets for the
+    # two tier-1s (labelled T1-A / T1-B) the same way.
+    experiment = prepare_experiment(
+        scenario, hostname_coverage=0.9, hostname_staleness=0.02
+    )
+    result = experiment.run_mapit(MapItConfig(f=0.5))
+    scores = experiment.score(result.inferences)
+
+    print("\nscores against hostname-derived approximate ground truth:")
+    for label in ("T1-A", "T1-B"):
+        dataset = experiment.datasets[label]
+        score = scores[label]
+        print(
+            f"  {label} (AS{dataset.target_as}): "
+            f"{len(dataset.links())} tagged links, "
+            f"TP={score.tp} FP={score.fp} FN={score.fn} "
+            f"P={score.precision:.3f} R={score.recall:.3f} "
+            f"{dict(score.fp_reasons)}"
+        )
+
+    print(
+        "\nAs in the paper, stale tags and missing hostnames inflate "
+        "the apparent false positives: the DNS datasets are noisy "
+        "approximations, which is why the paper reports ~95% precision "
+        "there versus 100% against Internet2's authoritative list."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Post-inference analysis utilities (extensions beyond the paper).
+
+* :mod:`repro.analysis.explain` — per-interface explanations: why an
+  inference was (or was not) made, with neighbor sets and mappings;
+  the tool a network diagnostician would reach for first;
+* :mod:`repro.analysis.asgraph` — AS-level link graphs derived from
+  inferences, and comparison against BGP-derived adjacencies (the
+  Chen et al. direction the paper cites as related/future work);
+* :mod:`repro.analysis.paths` — MAP-IT-corrected AS-level traceroute
+  paths (the section 1 motivation after Mao et al.);
+* :mod:`repro.analysis.confidence` — evidence-based ranking of the
+  inferences (support, dominance, other-side corroboration);
+* :mod:`repro.analysis.report` — human-readable run summaries.
+"""
+
+from repro.analysis.asgraph import ASLinkGraph, compare_with_relationships
+from repro.analysis.confidence import Confidence, confidence_for, rank_inferences
+from repro.analysis.explain import Explanation, explain_interface
+from repro.analysis.paths import as_path, path_accuracy, raw_as_path
+from repro.analysis.report import run_report
+
+__all__ = [
+    "ASLinkGraph",
+    "Confidence",
+    "Explanation",
+    "as_path",
+    "compare_with_relationships",
+    "confidence_for",
+    "explain_interface",
+    "path_accuracy",
+    "rank_inferences",
+    "raw_as_path",
+    "run_report",
+]

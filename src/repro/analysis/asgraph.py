@@ -1,0 +1,180 @@
+"""AS-level link graphs from MAP-IT inferences.
+
+MAP-IT's per-interface inferences imply an AS-level adjacency graph.
+This module materializes it, annotates each AS link with its supporting
+interfaces and relationship type, and compares it against a BGP-derived
+relationship dataset — the traceroute-vs-BGP completeness question of
+Chen et al. that the paper discusses as related work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.results import LinkInference, MapItResult
+from repro.net.ipv4 import format_address
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import LinkType, RelationshipDataset
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class ASLink:
+    """One AS-level adjacency with its supporting evidence."""
+
+    pair: Pair
+    interfaces: Set[int] = field(default_factory=set)
+    kinds: Set[str] = field(default_factory=set)
+    link_type: Optional[LinkType] = None
+
+    @property
+    def support(self) -> int:
+        """Number of distinct interfaces evidencing this link."""
+        return len(self.interfaces)
+
+
+class ASLinkGraph:
+    """The AS graph implied by a set of link inferences."""
+
+    def __init__(self) -> None:
+        self._links: Dict[Pair, ASLink] = {}
+        self._adjacency: Dict[int, Set[int]] = {}
+
+    @classmethod
+    def from_inferences(
+        cls,
+        inferences: Iterable[LinkInference],
+        relationships: Optional[RelationshipDataset] = None,
+        org: Optional[AS2Org] = None,
+    ) -> "ASLinkGraph":
+        graph = cls()
+        for inference in inferences:
+            pair = inference.pair()
+            link = graph._links.get(pair)
+            if link is None:
+                link = ASLink(pair=pair)
+                graph._links[pair] = link
+                graph._adjacency.setdefault(pair[0], set()).add(pair[1])
+                graph._adjacency.setdefault(pair[1], set()).add(pair[0])
+            link.interfaces.add(inference.address)
+            link.kinds.add(inference.kind)
+        if relationships is not None:
+            for link in graph._links.values():
+                link.link_type = relationships.classify_link(
+                    link.pair[0], link.pair[1], org
+                )
+        return graph
+
+    @classmethod
+    def from_result(
+        cls,
+        result: MapItResult,
+        relationships: Optional[RelationshipDataset] = None,
+        org: Optional[AS2Org] = None,
+    ) -> "ASLinkGraph":
+        return cls.from_inferences(result.inferences, relationships, org)
+
+    # -- queries ---------------------------------------------------------
+
+    def links(self) -> List[ASLink]:
+        return [self._links[pair] for pair in sorted(self._links)]
+
+    def link(self, a: int, b: int) -> Optional[ASLink]:
+        return self._links.get((min(a, b), max(a, b)))
+
+    def neighbors(self, asn: int) -> Set[int]:
+        return set(self._adjacency.get(asn, ()))
+
+    def degree(self, asn: int) -> int:
+        return len(self._adjacency.get(asn, ()))
+
+    def ases(self) -> Set[int]:
+        return set(self._adjacency)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return (min(pair), max(pair)) in self._links
+
+    def top_by_degree(self, count: int = 10) -> List[Tuple[int, int]]:
+        """The best-connected ASes: ``(asn, degree)`` pairs."""
+        ranked = sorted(
+            self._adjacency.items(), key=lambda item: (-len(item[1]), item[0])
+        )
+        return [(asn, len(neighbors)) for asn, neighbors in ranked[:count]]
+
+    def to_dot(self, names: Optional[Dict[int, str]] = None) -> str:
+        """Render the AS graph in Graphviz DOT.
+
+        Edge thickness scales with interface support; transit links
+        are solid, peerings dashed, unclassified links dotted.
+        """
+        lines = ["graph aslinks {", "  node [shape=ellipse];"]
+        names = names or {}
+        for asn in sorted(self.ases()):
+            label = names.get(asn, f"AS{asn}")
+            lines.append(f'  {asn} [label="{label}"];')
+        for link in self.links():
+            if link.link_type is None:
+                style = "dotted"
+            elif link.link_type.value == "Peer":
+                style = "dashed"
+            else:
+                style = "solid"
+            width = min(1 + link.support // 2, 5)
+            lines.append(
+                f"  {link.pair[0]} -- {link.pair[1]} "
+                f'[style={style}, penwidth={width}, label="{link.support}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LinkComparison:
+    """Traceroute-inferred vs BGP-derived AS adjacencies."""
+
+    in_both: Set[Pair] = field(default_factory=set)
+    only_traceroute: Set[Pair] = field(default_factory=set)
+    only_bgp: Set[Pair] = field(default_factory=set)
+
+    @property
+    def bgp_coverage(self) -> float:
+        """Fraction of inferred links confirmed by BGP-derived data."""
+        total = len(self.in_both) + len(self.only_traceroute)
+        return len(self.in_both) / total if total else 1.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "in_both": len(self.in_both),
+            "only_traceroute": len(self.only_traceroute),
+            "only_bgp": len(self.only_bgp),
+            "bgp_coverage": round(self.bgp_coverage, 3),
+        }
+
+
+def compare_with_relationships(
+    graph: ASLinkGraph, relationships: RelationshipDataset
+) -> LinkComparison:
+    """Compare the inferred AS graph with BGP-derived adjacencies.
+
+    BGP-derived adjacencies are every provider/customer or peer pair
+    in the relationship dataset.  Links seen only in traceroute are
+    either BGP-invisible (backup links, selective announcement) or
+    inference errors; links only in BGP were simply not traversed.
+    """
+    bgp_pairs: Set[Pair] = set()
+    for asn in relationships.all_ases():
+        for customer in relationships.customers(asn):
+            bgp_pairs.add((min(asn, customer), max(asn, customer)))
+        for peer in relationships.peers(asn):
+            bgp_pairs.add((min(asn, peer), max(asn, peer)))
+    inferred = {link.pair for link in graph.links()}
+    return LinkComparison(
+        in_both=inferred & bgp_pairs,
+        only_traceroute=inferred - bgp_pairs,
+        only_bgp=bgp_pairs - inferred,
+    )

@@ -1,0 +1,85 @@
+"""Evidence-based confidence scores for inferences (extension).
+
+MAP-IT outputs a binary confident/uncertain split; operators triaging
+inferred borders benefit from a finer ranking.  Each inference is
+scored from the evidence the algorithm itself used:
+
+* **support** — the neighbor-set size behind the inference (the paper's
+  4.68.110.186 anecdote had |N| = 141; a two-member set is the floor);
+* **dominance** — the fraction of the neighbor set the connected AS
+  accounts for under the converged mappings;
+* **corroboration** — whether the link's other side independently
+  carries a direct inference agreeing on the AS pair.
+
+The composite score is the product of the three component scores, in
+``[0, 1]``; indirect inferences inherit their source's evidence, and
+stub-heuristic inferences are scored from their single-neighbor
+evidence (support floor), which correctly ranks them below
+well-corroborated core links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mapit import MapIt
+from repro.core.results import INDIRECT, LinkInference
+from repro.graph.halves import Half
+
+#: support saturates here: bigger neighbor sets add no further trust
+_SUPPORT_CEILING = 8
+
+
+@dataclass(frozen=True)
+class Confidence:
+    """Component and composite confidence for one inference."""
+
+    support: int
+    dominance: float
+    corroborated: bool
+
+    @property
+    def score(self) -> float:
+        support_score = min(self.support, _SUPPORT_CEILING) / _SUPPORT_CEILING
+        corroboration_score = 1.0 if self.corroborated else 0.6
+        return support_score * self.dominance * corroboration_score
+
+
+def _evidence_half(mapit: MapIt, inference: LinkInference) -> Half:
+    """The half whose neighbor set carried the evidence."""
+    if inference.kind == INDIRECT and inference.other_side is not None:
+        return (inference.other_side, not inference.forward)
+    return (inference.address, inference.forward)
+
+
+def confidence_for(mapit: MapIt, inference: LinkInference) -> Confidence:
+    """Score one inference from the run's converged state."""
+    engine = mapit.engine
+    half = _evidence_half(mapit, inference)
+    neighbors = engine.graph.neighbors(half[0], half[1])
+    support = len(neighbors)
+    tally = engine.dominance(half, engine.canonical(inference.remote_as))
+    dominance = tally.count / tally.total if tally.total else 0.0
+    partner = engine.other_side_half(half)
+    corroborated = False
+    if partner is not None:
+        direct = engine.state.direct.get(partner)
+        if direct is not None and engine.canonical(
+            direct.remote_as
+        ) != engine.canonical(inference.remote_as):
+            corroborated = False
+        elif direct is not None:
+            corroborated = True
+    return Confidence(support=support, dominance=dominance, corroborated=corroborated)
+
+
+def rank_inferences(
+    mapit: MapIt, inferences: List[LinkInference]
+) -> List[Tuple[LinkInference, Confidence]]:
+    """Inferences with confidence, best first (deterministic ties)."""
+    scored = [
+        (inference, confidence_for(mapit, inference)) for inference in inferences
+    ]
+    scored.sort(key=lambda pair: (-pair[1].score, pair[0].address, pair[0].forward))
+    return scored

@@ -1,0 +1,128 @@
+"""Per-interface inference explanations.
+
+Given a completed :class:`repro.core.mapit.MapIt` run, explain one
+interface address the way section 3.1 walks through 109.105.98.10:
+show both neighbor sets with each member's original and final
+mappings, the plurality verdict per half, any inference the interface
+carries, and its point-to-point other side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.mapit import MapIt
+from repro.graph.halves import BACKWARD, FORWARD, half_str
+from repro.net.ipv4 import format_address
+
+
+@dataclass
+class NeighborView:
+    """One neighbor-set member with its mappings."""
+
+    address: int
+    original_as: int
+    current_as: int
+
+    def __str__(self) -> str:
+        if self.original_as == self.current_as:
+            return f"{format_address(self.address)} [AS{self.original_as}]"
+        return (
+            f"{format_address(self.address)} "
+            f"[AS{self.original_as} -> AS{self.current_as}]"
+        )
+
+
+@dataclass
+class HalfView:
+    """One interface half: neighbors, verdict, inference."""
+
+    direction: str
+    neighbors: List[NeighborView] = field(default_factory=list)
+    plurality_as: Optional[int] = None
+    plurality_count: int = 0
+    inference: Optional[str] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.neighbors)
+
+
+@dataclass
+class Explanation:
+    """Everything known about one interface address."""
+
+    address: int
+    original_as: int
+    other_side: Optional[int]
+    forward: HalfView = field(default_factory=lambda: HalfView("forward"))
+    backward: HalfView = field(default_factory=lambda: HalfView("backward"))
+
+    def render(self) -> str:
+        """Multi-line human-readable explanation."""
+        lines = [
+            f"interface {format_address(self.address)} "
+            f"(announced by AS{self.original_as})"
+        ]
+        if self.other_side is not None:
+            lines.append(
+                f"  point-to-point other side: {format_address(self.other_side)}"
+            )
+        for view in (self.forward, self.backward):
+            lines.append(f"  {view.direction} neighbors ({view.total}):")
+            for neighbor in view.neighbors:
+                lines.append(f"    {neighbor}")
+            if view.plurality_as is not None:
+                lines.append(
+                    f"    plurality: AS{view.plurality_as} "
+                    f"({view.plurality_count}/{view.total})"
+                )
+            elif view.total:
+                lines.append("    plurality: none (tie or unannounced)")
+            if view.inference:
+                lines.append(f"    inference: {view.inference}")
+        return "\n".join(lines)
+
+
+def explain_interface(mapit: MapIt, address: int) -> Explanation:
+    """Build the explanation for *address* from a finished run."""
+    engine = mapit.engine
+    explanation = Explanation(
+        address=address,
+        original_as=engine.original_asn(address),
+        other_side=engine.graph.other_side(address),
+    )
+    for direction, view in (
+        (FORWARD, explanation.forward),
+        (BACKWARD, explanation.backward),
+    ):
+        half = (address, direction)
+        neighbor_direction = not direction
+        for neighbor in sorted(engine.graph.neighbors(address, direction)):
+            neighbor_half = (neighbor, neighbor_direction)
+            view.neighbors.append(
+                NeighborView(
+                    address=neighbor,
+                    original_as=engine.original_asn(neighbor),
+                    current_as=engine.half_asn(neighbor_half),
+                )
+            )
+        plurality = engine.plurality(half)
+        if plurality is not None:
+            view.plurality_as = plurality.member_as
+            view.plurality_count = plurality.count
+        direct = engine.state.direct.get(half)
+        indirect = engine.state.indirect.get(half)
+        if direct is not None:
+            kind = "stub" if direct.via_stub else "direct"
+            suffix = " (uncertain)" if direct.uncertain else ""
+            view.inference = (
+                f"{kind}: AS{direct.local_as} <-> AS{direct.remote_as}{suffix}"
+            )
+        elif indirect is not None and not indirect.detached:
+            view.inference = (
+                f"indirect via {half_str(indirect.source)}: "
+                f"AS{indirect.local_as} <-> AS{indirect.remote_as}"
+            )
+    return explanation

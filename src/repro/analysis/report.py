@@ -1,0 +1,61 @@
+"""Human-readable run summaries."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from repro.analysis.asgraph import ASLinkGraph
+from repro.core.results import MapItResult
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import LinkType, RelationshipDataset
+
+
+def run_report(
+    result: MapItResult,
+    relationships: Optional[RelationshipDataset] = None,
+    org: Optional[AS2Org] = None,
+    top: int = 5,
+) -> str:
+    """A text report summarizing one MAP-IT run."""
+    lines: List[str] = []
+    summary = result.summary()
+    lines.append("MAP-IT run report")
+    lines.append("=" * 17)
+    lines.append(
+        f"{summary['inferences']} high-confidence inferences on "
+        f"{summary['interfaces']} interfaces; {summary['uncertain']} uncertain; "
+        f"converged after {summary['iterations']} iterations"
+    )
+
+    kinds = Counter(inference.kind for inference in result.inferences)
+    lines.append(
+        "by kind: "
+        + ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+    )
+
+    graph = ASLinkGraph.from_result(result, relationships, org)
+    lines.append(f"{len(graph)} AS-level links across {len(graph.ases())} ASes")
+    if relationships is not None:
+        types = Counter(
+            link.link_type.value for link in graph.links() if link.link_type
+        )
+        lines.append(
+            "by relationship: "
+            + ", ".join(f"{name}={count}" for name, count in sorted(types.items()))
+        )
+
+    lines.append(f"top {top} ASes by inferred link degree:")
+    for asn, degree in graph.top_by_degree(top):
+        lines.append(f"  AS{asn}: {degree} links")
+
+    diagnostics = result.diagnostics
+    if diagnostics:
+        lines.append(
+            "contradiction handling: "
+            f"{diagnostics.get('dual_resolved', 0)} dual resolved, "
+            f"{diagnostics.get('inverse_removed', 0)} inverse removed, "
+            f"{diagnostics.get('divergent_other_sides', 0)} divergent other sides, "
+            f"{diagnostics.get('uncertain_pairs', 0)} uncertain pairs"
+        )
+    return "\n".join(lines)

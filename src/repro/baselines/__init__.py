@@ -1,0 +1,15 @@
+"""Baseline inter-AS link inference techniques (paper section 5.6)."""
+
+from repro.baselines.alias import AliasClusters, AliasProfile, simulate_alias_resolution
+from repro.baselines.convention import convention_heuristic
+from repro.baselines.itdk import run_itdk
+from repro.baselines.simple import simple_heuristic
+
+__all__ = [
+    "AliasClusters",
+    "AliasProfile",
+    "convention_heuristic",
+    "run_itdk",
+    "simple_heuristic",
+    "simulate_alias_resolution",
+]

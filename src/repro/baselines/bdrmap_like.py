@@ -1,0 +1,136 @@
+"""A simplified bdrmap-flavoured baseline (paper section 6 future work).
+
+bdrmap (Luckie et al., IMC 2016) infers the borders of the *network
+hosting a traceroute monitor* and its directly connected neighbors,
+using dedicated outward probing plus AS-relationship heuristics.  The
+paper names a head-to-head comparison with MAP-IT as future work; this
+module provides a faithful-in-spirit, passive-only stand-in so that
+comparison can at least be run in the one context both methods share:
+traces originating inside the network under study.
+
+Algorithm (simplified):
+
+1. take only traces launched from monitors inside the host AS;
+2. in each trace, find the *exit*: the last hop of the inside segment,
+   where the inside segment is the maximal prefix of hops announced by
+   the host AS (or unannounced — border links are often numbered from
+   neighbor space, so a single foreign-looking hop does not end the
+   segment if the trace returns to host space immediately after);
+3. vote, per first-outside interface, on the neighbor AS: the origin
+   of the subsequent hops (two hops deep, to skip over link addressing);
+4. keep interfaces whose dominant neighbor AS wins at least
+   ``min_votes`` votes, preferring ASes that are BGP neighbors of the
+   host per the relationship data (bdrmap's strongest heuristic).
+
+Output records mirror the other baselines: the first-outside interface
+is reported as the inter-AS link interface between the host AS and the
+inferred neighbor.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.bgp.ip2as import IP2AS
+from repro.core.results import DIRECT, LinkInference
+from repro.graph.halves import BACKWARD
+from repro.rel.relationships import RelationshipDataset
+from repro.traceroute.model import Trace
+
+
+def _exit_index(addresses: List[int], host_as: int, ip2as: IP2AS) -> Optional[int]:
+    """Index of the last inside hop, or None when the trace never exits.
+
+    A hop belongs to the inside segment when it is announced by the
+    host, unannounced, or a foreign-announced blip followed immediately
+    by host space again (neighbor-numbered border links pointing back
+    in, or third-party responses).
+    """
+    last_inside = None
+    for index, address in enumerate(addresses):
+        asn = ip2as.asn(address)
+        if asn == host_as or asn <= 0:
+            last_inside = index
+            continue
+        next_asn = (
+            ip2as.asn(addresses[index + 1]) if index + 1 < len(addresses) else None
+        )
+        if next_asn == host_as:
+            last_inside = index
+            continue
+        break
+    if last_inside is None or last_inside + 1 >= len(addresses):
+        return None
+    return last_inside
+
+
+def bdrmap_like(
+    traces: Iterable[Trace],
+    host_as: int,
+    ip2as: IP2AS,
+    relationships: Optional[RelationshipDataset] = None,
+    min_votes: int = 2,
+) -> List[LinkInference]:
+    """Infer the host AS's border interfaces from its outbound traces."""
+    relationships = relationships or RelationshipDataset()
+    neighbor_votes: Dict[int, Counter] = defaultdict(Counter)
+    for trace in traces:
+        addresses = [hop.address for hop in trace.hops if hop.address is not None]
+        if not addresses or ip2as.asn(addresses[0]) != host_as:
+            continue  # not launched inside the host network
+        exit_at = _exit_index(addresses, host_as, ip2as)
+        if exit_at is None:
+            continue
+        first_outside = addresses[exit_at + 1]
+        # Look up to two hops beyond the border: the far side of the
+        # link may be numbered from the host's space, so the hop after
+        # it is often the better neighbor signal.
+        votes = neighbor_votes[first_outside]
+        for peek in addresses[exit_at + 1 : exit_at + 3]:
+            asn = ip2as.asn(peek)
+            if asn > 0 and asn != host_as:
+                votes[asn] += 1
+                break
+
+    known_neighbors: Set[int] = (
+        relationships.providers(host_as)
+        | relationships.customers(host_as)
+        | relationships.peers(host_as)
+    )
+    inferences: List[LinkInference] = []
+    for interface in sorted(neighbor_votes):
+        votes = neighbor_votes[interface]
+        if not votes:
+            continue
+        best_count = max(votes.values())
+        candidates = [asn for asn, count in votes.items() if count == best_count]
+        # bdrmap heuristic: a known BGP neighbor beats an unknown AS.
+        preferred = [asn for asn in candidates if asn in known_neighbors]
+        neighbor = min(preferred or candidates)
+        if best_count < min_votes and neighbor not in known_neighbors:
+            continue
+        inferences.append(
+            LinkInference(
+                address=interface,
+                forward=BACKWARD,
+                local_as=ip2as.asn(interface),
+                remote_as=neighbor if neighbor != host_as else host_as,
+                kind=DIRECT,
+            )
+        )
+    # Normalize: the record's pair must be (host, neighbor).
+    normalized = []
+    for inference in inferences:
+        local = host_as
+        remote = inference.remote_as
+        normalized.append(
+            LinkInference(
+                address=inference.address,
+                forward=inference.forward,
+                local_as=local,
+                remote_as=remote,
+                kind=DIRECT,
+            )
+        )
+    return normalized

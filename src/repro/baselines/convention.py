@@ -1,0 +1,69 @@
+"""The Convention heuristic (paper section 5.6).
+
+Like the Simple heuristic, but when the two ASes of an adjacency have a
+transit relationship it applies the conventional wisdom that transit
+links are numbered from the provider's space: whichever adjacent
+address belongs to the provider is taken as the link interface.  With
+no transit relationship (peering), it falls back to Simple.
+
+The paper shows this helps at tier-1s but backfires on Internet2, whose
+transit links are often numbered from the customer's space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.bgp.ip2as import IP2AS
+from repro.core.results import DIRECT, LinkInference
+from repro.graph.halves import BACKWARD, FORWARD
+from repro.rel.relationships import RelationshipDataset
+from repro.traceroute.model import Trace
+
+
+def convention_heuristic(
+    traces: Iterable[Trace],
+    ip2as: IP2AS,
+    relationships: RelationshipDataset,
+) -> List[LinkInference]:
+    """Run the Convention heuristic over *traces*."""
+    seen: Set[Tuple[int, int, int]] = set()
+    inferences: List[LinkInference] = []
+    for trace in traces:
+        previous = None
+        for hop in trace.hops:
+            address = hop.address
+            if address is None:
+                previous = None
+                continue
+            if previous is not None:
+                before_as = ip2as.asn(previous)
+                after_as = ip2as.asn(address)
+                if before_as > 0 and after_as > 0 and before_as != after_as:
+                    provider = relationships.provider_of(before_as, after_as)
+                    if provider == before_as:
+                        # The provider-side address precedes the change:
+                        # take it as the link interface.
+                        chosen, forward = previous, FORWARD
+                    else:
+                        # Provider is the later AS, or no transit
+                        # relationship: same choice as Simple.
+                        chosen, forward = address, BACKWARD
+                    key = (chosen, *sorted((before_as, after_as)))
+                    if key not in seen:
+                        seen.add(key)
+                        inferences.append(
+                            LinkInference(
+                                address=chosen,
+                                forward=forward,
+                                local_as=ip2as.asn(chosen),
+                                remote_as=(
+                                    before_as
+                                    if ip2as.asn(chosen) == after_as
+                                    else after_as
+                                ),
+                                kind=DIRECT,
+                            )
+                        )
+            previous = address
+    return inferences

@@ -1,0 +1,54 @@
+"""The Simple heuristic (paper section 5.6).
+
+Scan each trace for adjacent addresses mapped to different ASes and
+assume the *first address in the different AS* is the inter-AS link
+interface.  The paper uses this as the strawman every per-trace method
+reduces to: it ignores the shared link prefix, third-party addresses,
+and load balancing, and may infer many different links for the same
+interface address.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.bgp.ip2as import IP2AS
+from repro.core.results import DIRECT, LinkInference
+from repro.graph.halves import BACKWARD
+from repro.traceroute.model import Trace
+
+
+def simple_heuristic(traces: Iterable[Trace], ip2as: IP2AS) -> List[LinkInference]:
+    """Run the Simple heuristic over *traces*.
+
+    Returns one inference per distinct ``(interface, AS pair)``; the
+    interface is the first address past the AS change, which the
+    heuristic assumes to be the link interface.
+    """
+    seen: Set[Tuple[int, int, int]] = set()
+    inferences: List[LinkInference] = []
+    for trace in traces:
+        previous = None
+        for hop in trace.hops:
+            address = hop.address
+            if address is None:
+                previous = None
+                continue
+            if previous is not None:
+                before_as = ip2as.asn(previous)
+                after_as = ip2as.asn(address)
+                if before_as > 0 and after_as > 0 and before_as != after_as:
+                    key = (address, *sorted((before_as, after_as)))
+                    if key not in seen:
+                        seen.add(key)
+                        inferences.append(
+                            LinkInference(
+                                address=address,
+                                forward=BACKWARD,
+                                local_as=after_as,
+                                remote_as=before_as,
+                                kind=DIRECT,
+                            )
+                        )
+            previous = address
+    return inferences

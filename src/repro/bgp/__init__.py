@@ -1,0 +1,32 @@
+"""BGP announcement handling and IP-to-AS mapping.
+
+The paper derives its initial IP2AS mapping from BGP RIB dumps taken at
+40 collectors (RouteViews, RIPE RIS, Internet2), falling back to the
+Team Cymru mapping service for prefixes absent from the dumps, and
+layering IXP prefixes and special-purpose registries on top.  This
+package provides the same stack:
+
+* :mod:`repro.bgp.table` — announcement records and collector dumps;
+* :mod:`repro.bgp.origins` — merging announcements across collectors,
+  including MOAS (multiple-origin AS) resolution;
+* :mod:`repro.bgp.cymru` — a Team Cymru-style fallback table;
+* :mod:`repro.bgp.ip2as` — the composite mapper the algorithm consumes.
+"""
+
+from repro.bgp.cymru import CymruTable
+from repro.bgp.ip2as import IP2AS, IP2ASBuilder, IXP_AS, PRIVATE_AS, UNKNOWN_AS
+from repro.bgp.origins import OriginTable, merge_collectors
+from repro.bgp.table import Announcement, CollectorDump
+
+__all__ = [
+    "Announcement",
+    "CollectorDump",
+    "CymruTable",
+    "IP2AS",
+    "IP2ASBuilder",
+    "IXP_AS",
+    "OriginTable",
+    "PRIVATE_AS",
+    "UNKNOWN_AS",
+    "merge_collectors",
+]

@@ -1,0 +1,89 @@
+"""Merging prefix origins across BGP collectors.
+
+Using many collectors (the paper uses 40) exposes prefixes that are
+aggregated or simply not propagated everywhere.  Merging their views
+yields, per prefix, the set of origin ASes observed anywhere — usually
+a single AS, but MOAS (multiple-origin AS) prefixes do occur.  The
+merge policy here mirrors common practice: for a MOAS prefix the origin
+seen by the most collectors wins, with the numerically smallest AS as a
+deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Set
+
+from repro.bgp.table import CollectorDump
+from repro.net.prefix import Prefix
+
+
+@dataclass
+class OriginTable:
+    """Per-prefix origin information merged across collectors."""
+
+    #: prefix -> Counter of origin AS -> number of collector observations
+    observations: Dict[Prefix, Counter] = field(default_factory=dict)
+
+    def record(self, prefix: Prefix, origin: int, weight: int = 1) -> None:
+        """Record one observation of *origin* announcing *prefix*."""
+        counter = self.observations.get(prefix)
+        if counter is None:
+            counter = Counter()
+            self.observations[prefix] = counter
+        counter[origin] += weight
+
+    def origins(self, prefix: Prefix) -> Set[int]:
+        """All origin ASes ever observed for *prefix*."""
+        counter = self.observations.get(prefix)
+        return set(counter) if counter else set()
+
+    def best_origin(self, prefix: Prefix) -> int:
+        """The winning origin for *prefix* under the MOAS policy.
+
+        Raises KeyError when the prefix was never observed.
+        """
+        counter = self.observations[prefix]
+        best_count = max(counter.values())
+        return min(asn for asn, count in counter.items() if count == best_count)
+
+    def moas_prefixes(self) -> Dict[Prefix, Set[int]]:
+        """Prefixes announced by more than one origin AS."""
+        return {
+            prefix: set(counter)
+            for prefix, counter in self.observations.items()
+            if len(counter) > 1
+        }
+
+    def best_origins(self) -> Mapping[Prefix, int]:
+        """Resolved ``prefix -> origin`` map for every observed prefix."""
+        return {prefix: self.best_origin(prefix) for prefix in self.observations}
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self.observations
+
+
+def merge_collectors(dumps: Iterable[CollectorDump]) -> OriginTable:
+    """Merge RIB dumps from many collectors into one origin table.
+
+    Each collector contributes at most one observation per
+    ``(prefix, origin)`` pair, so a collector holding many paths to the
+    same prefix does not outvote other collectors.
+    """
+    table = OriginTable()
+    for dump in dumps:
+        seen: Set[tuple] = set()
+        per_dump: Dict[Prefix, Set[int]] = defaultdict(set)
+        for announcement in dump:
+            per_dump[announcement.prefix].add(announcement.origin)
+        for prefix, origins in per_dump.items():
+            for origin in origins:
+                key = (prefix, origin)
+                if key not in seen:
+                    seen.add(key)
+                    table.record(prefix, origin)
+    return table

@@ -1,0 +1,311 @@
+"""Command-line interface.
+
+Six subcommands cover the paper's released-tool workflow plus the
+reproduction experiments:
+
+* ``mapit simulate`` — generate a synthetic dataset directory;
+* ``mapit run`` — run MAP-IT over a dataset directory (real or
+  synthetic) and print/write the inferred inter-AS link interfaces;
+* ``mapit evaluate`` — run and score against the directory's ground
+  truth, per verification network;
+* ``mapit experiment`` — regenerate one of the paper's tables/figures
+  (``stats``, ``fig6``, ``fig7``, ``fig8``, ``table1``) on a preset
+  scenario;
+* ``mapit explain`` — why was (or wasn't) an interface inferred;
+* ``mapit report`` — a human-readable summary of a run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Iterable, List, Optional
+
+from repro import MapItConfig
+from repro.io import load_bundle, save_scenario
+from repro.sim.presets import dense_config, paper_config, small_config
+from repro.sim.scenario import build_scenario
+
+_PRESETS = {"small": small_config, "paper": paper_config, "dense": dense_config}
+
+
+def _print_rows(rows: Iterable[Dict], stream=None) -> None:
+    """Render dict rows as an aligned text table."""
+    stream = stream or sys.stdout
+    rows = list(rows)
+    if not rows:
+        print("(no rows)", file=stream)
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(str(header)), *(len(str(row.get(header, ""))) for row in rows))
+        for header in headers
+    }
+    line = "  ".join(str(header).ljust(widths[header]) for header in headers)
+    print(line, file=stream)
+    print("-" * len(line), file=stream)
+    for row in rows:
+        print(
+            "  ".join(str(row.get(header, "")).ljust(widths[header]) for header in headers),
+            file=stream,
+        )
+
+
+def _mapit_config(args) -> MapItConfig:
+    return MapItConfig(
+        f=args.f,
+        enable_stub_heuristic=not args.no_stub_heuristic,
+        remove_rule=args.remove_rule,
+    )
+
+
+def _add_mapit_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--f", type=float, default=0.5, help="Alg 2 threshold f")
+    parser.add_argument(
+        "--no-stub-heuristic",
+        action="store_true",
+        help="disable the Alg 4 low-visibility stub heuristic",
+    )
+    parser.add_argument(
+        "--remove-rule",
+        choices=("majority", "add_rule"),
+        default="majority",
+        help="remove-step test (section 4.5 prose vs Alg 3 literal)",
+    )
+
+
+def cmd_simulate(args) -> int:
+    config = _PRESETS[args.scale](args.seed)
+    scenario = build_scenario(config)
+    hostnames = None
+    if not args.no_hostnames:
+        from repro.dns.naming import generate_hostnames
+
+        hostnames = generate_hostnames(
+            scenario.network,
+            scenario.ground_truth,
+            scenario.tier1_asns[:2],
+            seed=args.seed,
+        )
+    root = save_scenario(scenario, args.output, hostnames=hostnames)
+    print(f"wrote {len(scenario.traces)} traces and datasets to {root}")
+    if args.describe:
+        from repro.sim.describe import describe_lines
+
+        for line in describe_lines(scenario.graph, scenario.network):
+            print(f"  {line}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    bundle = load_bundle(args.dataset)
+    result = bundle.run_mapit(_mapit_config(args))
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.json:
+            print(result.to_json(indent=2), file=out)
+        else:
+            for inference in result.inferences:
+                print(inference, file=out)
+            if result.uncertain:
+                print("# uncertain inferences:", file=out)
+                for inference in result.uncertain:
+                    print(f"# {inference}", file=out)
+    finally:
+        if args.output:
+            out.close()
+    summary = result.summary()
+    print(
+        f"{summary['inferences']} inferences on {summary['interfaces']} interfaces "
+        f"({summary['as_links']} AS links, {summary['uncertain']} uncertain, "
+        f"{summary['iterations']} iterations)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.eval.verify import build_verification, score_inferences
+    from repro.graph.neighbors import build_interface_graph
+    from repro.traceroute.sanitize import sanitize_traces
+
+    bundle = load_bundle(args.dataset)
+    if bundle.ground_truth is None:
+        print("dataset has no groundtruth.txt; nothing to evaluate", file=sys.stderr)
+        return 2
+    result = bundle.run_mapit(_mapit_config(args))
+    report = sanitize_traces(bundle.traces)
+    graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
+    targets = args.asn or bundle.manifest.get("verification_asns") or []
+    if not targets:
+        print("no verification ASNs (pass --asn)", file=sys.stderr)
+        return 2
+    rows = []
+    for asn in targets:
+        dataset = build_verification(
+            bundle.ground_truth,
+            asn,
+            graph,
+            set(report.retained_addresses),
+            bundle.ip2as.asn,
+        )
+        score = score_inferences(result.inferences, dataset, bundle.as2org, graph)
+        row = {"network": f"AS{asn}"}
+        row.update(score.row())
+        rows.append(row)
+    _print_rows(rows)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.analysis.explain import explain_interface
+    from repro.core.mapit import MapIt
+    from repro.graph.neighbors import build_interface_graph
+    from repro.net.ipv4 import parse_address
+    from repro.traceroute.sanitize import sanitize_traces
+
+    bundle = load_bundle(args.dataset)
+    report = sanitize_traces(bundle.traces)
+    graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
+    mapit = MapIt(
+        graph,
+        bundle.ip2as,
+        org=bundle.as2org,
+        rel=bundle.relationships,
+        config=_mapit_config(args),
+    )
+    mapit.run()
+    for address_text in args.address:
+        print(explain_interface(mapit, parse_address(address_text)).render())
+        print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import run_report
+
+    bundle = load_bundle(args.dataset)
+    result = bundle.run_mapit(_mapit_config(args))
+    print(run_report(result, bundle.relationships, bundle.as2org))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.eval.experiment import prepare_experiment
+
+    scenario = build_scenario(_PRESETS[args.scale](args.seed))
+    experiment = prepare_experiment(scenario)
+    if args.which == "stats":
+        from repro.eval.stats import pipeline_stats
+
+        rows = [
+            {"statistic": key, "value": value}
+            for key, value in pipeline_stats(experiment).rows().items()
+        ]
+        _print_rows(rows)
+    elif args.which == "fig6":
+        from repro.eval.fsweep import sweep_f
+
+        _print_rows(sweep_f(experiment).rows())
+    elif args.which == "fig7":
+        from repro.eval.steps import step_impact
+
+        _print_rows(step_impact(experiment, MapItConfig(f=args.f)).rows())
+    elif args.which == "fig8":
+        from repro.eval.compare import compare_methods
+
+        _print_rows(compare_methods(experiment).rows())
+    elif args.which == "aspath":
+        from repro.analysis.paths import path_accuracy
+
+        mapit = experiment.new_mapit(MapItConfig(f=args.f))
+        mapit.run()
+        truth = experiment.scenario.ground_truth.router_as
+        accuracy = path_accuracy(mapit, experiment.report.traces, truth)
+        _print_rows([accuracy.summary()])
+    elif args.which == "table1":
+        from repro.eval.breakdown import breakdown_by_relationship
+
+        result = experiment.run_mapit(MapItConfig(f=args.f))
+        rows = []
+        for label, dataset in experiment.datasets.items():
+            breakdown = breakdown_by_relationship(
+                result.inferences,
+                dataset,
+                scenario.relationships,
+                scenario.as2org,
+                experiment.graph,
+            )
+            for row in breakdown.rows():
+                out = {"network": label}
+                out.update(row)
+                rows.append(out)
+        _print_rows(rows)
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mapit",
+        description="MAP-IT: inferring inter-AS link interfaces from traceroute",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic dataset")
+    simulate.add_argument("output", help="dataset directory to create")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--scale", choices=sorted(_PRESETS), default="small")
+    simulate.add_argument("--no-hostnames", action="store_true")
+    simulate.add_argument(
+        "--describe", action="store_true", help="print a topology summary"
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    run = sub.add_parser("run", help="run MAP-IT over a dataset directory")
+    run.add_argument("dataset", help="dataset directory")
+    run.add_argument("--output", help="write inferences here instead of stdout")
+    run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_mapit_options(run)
+    run.set_defaults(func=cmd_run)
+
+    evaluate = sub.add_parser("evaluate", help="run and score against ground truth")
+    evaluate.add_argument("dataset", help="dataset directory with groundtruth.txt")
+    evaluate.add_argument(
+        "--asn", type=int, action="append", help="verification network(s)"
+    )
+    _add_mapit_options(evaluate)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    explain = sub.add_parser("explain", help="explain one interface's inference")
+    explain.add_argument("dataset", help="dataset directory")
+    explain.add_argument("address", nargs="+", help="interface address(es)")
+    _add_mapit_options(explain)
+    explain.set_defaults(func=cmd_explain)
+
+    report = sub.add_parser("report", help="summarize a run over a dataset")
+    report.add_argument("dataset", help="dataset directory")
+    _add_mapit_options(report)
+    report.set_defaults(func=cmd_report)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "which", choices=("stats", "fig6", "fig7", "fig8", "table1", "aspath")
+    )
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--scale", choices=sorted(_PRESETS), default="paper")
+    experiment.add_argument("--f", type=float, default=0.5)
+    experiment.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

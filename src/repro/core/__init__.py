@@ -1,0 +1,18 @@
+"""The MAP-IT multipass inference algorithm (paper section 4).
+
+Public entry points:
+
+* :class:`repro.core.mapit.MapIt` — the full algorithm driver;
+* :func:`repro.core.mapit.run_mapit` — one-call convenience wrapper
+  from sanitized traces to results;
+* :class:`repro.core.config.MapItConfig` — tuning knobs, including the
+  paper's *f* parameter and ablation switches;
+* :class:`repro.core.results.MapItResult` — high-confidence and
+  uncertain link inferences plus run metadata.
+"""
+
+from repro.core.config import MapItConfig
+from repro.core.mapit import MapIt, run_mapit
+from repro.core.results import LinkInference, MapItResult
+
+__all__ = ["LinkInference", "MapIt", "MapItConfig", "MapItResult", "run_mapit"]

@@ -1,0 +1,74 @@
+"""MAP-IT configuration.
+
+``f`` is the paper's headline knob (section 4.4.1 / 5.3): after finding
+the plurality AS in a neighbor set, at least ``f * |N|`` of the members
+must map to it for a direct inference.  The remaining switches exist
+for the ablation experiments of Fig 7 — each disables one refinement
+step so its contribution can be measured — and to choose between the
+two readings of the remove-step test (section 4.5 prose says "more than
+half of its N"; Alg 3 says "if the inference would no longer be made",
+i.e. the full add rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Remove-step test: the section 4.5 prose rule.
+REMOVE_MAJORITY = "majority"
+#: Remove-step test: re-evaluate the full Alg 2 condition.
+REMOVE_ADD_RULE = "add_rule"
+
+
+@dataclass(frozen=True)
+class MapItConfig:
+    """Tuning knobs for a MAP-IT run."""
+
+    #: Fraction of a neighbor set that must map to the plurality AS
+    #: (0 <= f <= 1).  The paper recommends 0.5.
+    f: float = 0.5
+
+    #: Minimum neighbor-set size for a direct inference (paper: 2).
+    min_neighbors: int = 2
+
+    #: Which test the remove step applies to existing direct inferences.
+    remove_rule: str = REMOVE_MAJORITY
+
+    #: Safety cap on outer add/remove iterations; the paper observes
+    #: convergence after 3.
+    max_iterations: int = 20
+
+    #: Run the Alg 4 low-visibility / NAT stub heuristic.
+    enable_stub_heuristic: bool = True
+
+    #: Resolve dual inferences (section 4.4.3).  Ablation switch.
+    fix_dual_inferences: bool = True
+
+    #: Detect divergent other sides and drop the paired indirect
+    #: updates (section 4.4.3).  Ablation switch.
+    fix_divergent_other_sides: bool = True
+
+    #: Resolve adjacent inverse inferences (section 4.4.4).  Ablation
+    #: switch.
+    fix_inverse_inferences: bool = True
+
+    #: Run the remove step at all.  Ablation switch.
+    enable_remove_step: bool = True
+
+    #: Capture a labelled snapshot of the inference set after each
+    #: algorithm stage (drives the Fig 7 reproduction).
+    record_checkpoints: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f <= 1.0:
+            raise ValueError(f"f must be within [0, 1], got {self.f}")
+        if self.min_neighbors < 1:
+            raise ValueError("min_neighbors must be at least 1")
+        if self.remove_rule not in (REMOVE_MAJORITY, REMOVE_ADD_RULE):
+            raise ValueError(f"unknown remove_rule {self.remove_rule!r}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+
+    def with_f(self, f: float) -> "MapItConfig":
+        """A copy with a different *f* (used by the Fig 6 sweep)."""
+        return replace(self, f=f)

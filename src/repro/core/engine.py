@@ -1,0 +1,178 @@
+"""Shared machinery for the add, remove, and stub passes.
+
+The :class:`Engine` binds together the interface graph, the original
+IP-to-AS mapper, sibling data, relationships, the config, and the
+mutable state, and implements the neighbor-set AS counting that every
+pass relies on (Alg 2 lines 2–3).
+
+Counting rules, from the paper:
+
+* a neighbor of the half ``(a, forward)`` is the *backward* half of
+  each member of N_F(a), and vice versa (Fig 3) — mappings are per
+  half, so the direction matters;
+* sibling ASes count as one AS (section 4.4.1); when a sibling group
+  wins, the recorded connected AS is the group's most frequent member;
+* unannounced addresses (and IXP/private markers) are not inferable
+  ASes, but they do occupy the denominator and compete for the
+  plurality — a neighbor set made "primarily of unannounced addresses"
+  must not yield an inference (section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.bgp.ip2as import IP2AS
+from repro.core.config import MapItConfig
+from repro.core.state import MapItState
+from repro.graph.halves import BACKWARD, FORWARD, Half
+from repro.graph.neighbors import InterfaceGraph
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import RelationshipDataset
+
+
+@dataclass(frozen=True)
+class Plurality:
+    """Outcome of counting a neighbor set.
+
+    ``canonical_as`` is the winning organization's representative;
+    ``member_as`` the most frequent actual AS inside it; ``count`` its
+    tally; ``total`` the neighbor-set size (the f denominator).
+    """
+
+    canonical_as: int
+    member_as: int
+    count: int
+    total: int
+
+    def satisfies_f(self, f: float) -> bool:
+        """Alg 2 line 3: COUNT(AS_N) >= COUNT(neighbors) * f."""
+        return self.count >= self.total * f
+
+    def is_majority(self) -> bool:
+        """Section 4.5's remove test: more than half of N."""
+        return 2 * self.count > self.total
+
+
+class Engine:
+    """Bound context for one MAP-IT run."""
+
+    def __init__(
+        self,
+        graph: InterfaceGraph,
+        ip2as: IP2AS,
+        org: Optional[AS2Org] = None,
+        rel: Optional[RelationshipDataset] = None,
+        config: Optional[MapItConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.ip2as = ip2as
+        self.org = org or AS2Org()
+        self.rel = rel or RelationshipDataset()
+        self.config = config or MapItConfig()
+        self.state = MapItState()
+        self._origin_cache: Dict[int, int] = {}
+
+    # -- mappings -----------------------------------------------------------
+
+    def original_asn(self, address: int) -> int:
+        """BGP-derived origin for *address* (cached)."""
+        asn = self._origin_cache.get(address)
+        if asn is None:
+            asn = self.ip2as.asn(address)
+            self._origin_cache[address] = asn
+        return asn
+
+    def half_asn(self, half: Half) -> int:
+        """Current (snapshot) mapping of *half*."""
+        return self.state.visible_asn(half, self.original_asn(half[0]))
+
+    def canonical(self, asn: int) -> int:
+        """Organization identity; sentinels map to themselves."""
+        if asn <= 0:
+            return asn
+        return self.org.canonical(asn)
+
+    # -- candidates -----------------------------------------------------------
+
+    def candidate_halves(self) -> List[Half]:
+        """Halves eligible for direct inference: |N| >= min_neighbors.
+
+        Sorted for determinism; the algorithm's results do not depend
+        on the order (section 4.4.5) but reproducible diagnostics do.
+        """
+        minimum = self.config.min_neighbors
+        halves: List[Half] = []
+        for address, members in self.graph.forward.items():
+            if len(members) >= minimum:
+                halves.append((address, FORWARD))
+        for address, members in self.graph.backward.items():
+            if len(members) >= minimum:
+                halves.append((address, BACKWARD))
+        halves.sort()
+        return halves
+
+    # -- counting -----------------------------------------------------------
+
+    def count_groups(self, half: Half) -> Tuple[Dict[int, int], Dict[int, Dict[int, int]], int]:
+        """Tally the neighbor set of *half* by organization.
+
+        Returns ``(group_counts, member_counts, total)`` where group
+        keys are canonical ASes (or non-positive sentinels) and
+        ``member_counts[group]`` tallies actual ASes inside it.
+        """
+        address, forward = half
+        neighbors = self.graph.neighbors(address, forward)
+        neighbor_direction = not forward
+        group_counts: Dict[int, int] = {}
+        member_counts: Dict[int, Dict[int, int]] = {}
+        for neighbor in neighbors:
+            asn = self.half_asn((neighbor, neighbor_direction))
+            group = self.canonical(asn)
+            group_counts[group] = group_counts.get(group, 0) + 1
+            members = member_counts.setdefault(group, {})
+            members[asn] = members.get(asn, 0) + 1
+        return group_counts, member_counts, len(neighbors)
+
+    def plurality(self, half: Half) -> Optional[Plurality]:
+        """The AS appearing strictly more than all others in N(half).
+
+        Returns None when the set is empty, when no real AS (positive
+        number) wins, or when the top count is tied.
+        """
+        group_counts, member_counts, total = self.count_groups(half)
+        if not group_counts:
+            return None
+        best_group = None
+        best_count = 0
+        tied = False
+        for group, count in group_counts.items():
+            if count > best_count:
+                best_group, best_count, tied = group, count, False
+            elif count == best_count:
+                tied = True
+        if tied or best_group is None or best_group <= 0:
+            return None
+        members = member_counts[best_group]
+        member_as = min(
+            (asn for asn, count in members.items() if count == max(members.values())),
+        )
+        return Plurality(best_group, member_as, best_count, total)
+
+    def dominance(self, half: Half, canonical_as: int) -> Plurality:
+        """Tally for a *specific* organization in N(half) (remove step)."""
+        group_counts, member_counts, total = self.count_groups(half)
+        count = group_counts.get(canonical_as, 0)
+        members = member_counts.get(canonical_as, {})
+        member_as = min(members, default=canonical_as)
+        return Plurality(canonical_as, member_as, count, total)
+
+    # -- other sides ---------------------------------------------------------
+
+    def other_side_half(self, half: Half) -> Optional[Half]:
+        """The link partner of *half*: other address, opposite direction."""
+        other = self.graph.other_side(half[0])
+        if other is None:
+            return None
+        return (other, not half[1])

@@ -1,0 +1,179 @@
+"""MAP-IT driver: Alg 1 plus the section 4.6 convergence rule.
+
+The outer loop alternates the add step and the remove step until the
+inference state at the end of a remove step repeats — the paper's
+stopping criterion, needed because uncertain inference pairs may be
+added and removed forever.  The stub heuristic runs once afterwards.
+
+:class:`MapIt` operates on a pre-built interface graph; the
+:func:`run_mapit` convenience function goes all the way from raw traces
+(sanitizing them first) to a :class:`~repro.core.results.MapItResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bgp.ip2as import IP2AS
+from repro.core.add import add_step
+from repro.core.config import MapItConfig
+from repro.core.engine import Engine
+from repro.core.remove import remove_step
+from repro.core.results import (
+    Checkpoint,
+    DIRECT,
+    INDIRECT,
+    LinkInference,
+    MapItResult,
+    STUB,
+)
+from repro.core.state import MapItState
+from repro.core.stub import stub_step
+from repro.graph.neighbors import InterfaceGraph, build_interface_graph
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import RelationshipDataset
+from repro.traceroute.model import Trace
+from repro.traceroute.sanitize import sanitize_traces
+
+
+class MapIt:
+    """One configured MAP-IT run over an interface graph."""
+
+    def __init__(
+        self,
+        graph: InterfaceGraph,
+        ip2as: IP2AS,
+        org: Optional[AS2Org] = None,
+        rel: Optional[RelationshipDataset] = None,
+        config: Optional[MapItConfig] = None,
+    ) -> None:
+        self.engine = Engine(graph, ip2as, org, rel, config)
+        self._checkpoints: List[Checkpoint] = []
+
+    # -- checkpointing (Fig 7) ------------------------------------------------
+
+    def _checkpoint(self, label: str) -> None:
+        if not self.engine.config.record_checkpoints:
+            return
+        inferences, uncertain = self._collect()
+        self._checkpoints.append(Checkpoint(label, inferences + uncertain))
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> MapItResult:
+        """Execute Alg 1 and return the results."""
+        engine = self.engine
+        config = engine.config
+        engine.state.refresh_visible()
+        seen_fingerprints = {engine.state.fingerprint()}
+        iterations = 0
+        converged = False
+        while iterations < config.max_iterations:
+            iterations += 1
+            first = iterations == 1 and config.record_checkpoints
+            hook = (lambda stage: self._checkpoint(f"add 1: {stage}")) if first else None
+            add_step(engine, hook)
+            if first:
+                self._checkpoint("add 1: all passes")
+            if config.enable_remove_step:
+                remove_step(engine)
+            self._checkpoint(f"iteration {iterations}")
+            fingerprint = engine.state.fingerprint()
+            if fingerprint in seen_fingerprints:
+                converged = True
+                break
+            seen_fingerprints.add(fingerprint)
+        if config.enable_stub_heuristic:
+            stub_step(engine)
+            self._checkpoint("stub heuristic")
+        inferences, uncertain = self._collect()
+        state = engine.state
+        return MapItResult(
+            inferences=inferences,
+            uncertain=uncertain,
+            iterations=iterations,
+            converged=converged,
+            diagnostics={
+                "dual_resolved": state.dual_resolved,
+                "dual_same_as": state.dual_same_as,
+                "divergent_other_sides": state.divergent_other_sides,
+                "inverse_removed": state.inverse_removed,
+                "uncertain_pairs": state.uncertain_pairs,
+                "direct": len(state.direct),
+                "indirect": len(state.indirect),
+            },
+            checkpoints=self._checkpoints,
+        )
+
+    # -- output ---------------------------------------------------------------
+
+    def _collect(self) -> Tuple[List[LinkInference], List[LinkInference]]:
+        """Materialize inference records from the live state.
+
+        When a half carries both a direct and an indirect inference the
+        direct one wins.  Detached indirects (divergent other sides)
+        are dropped.  Indirect inferences inherit the uncertainty of
+        their supporting direct.
+        """
+        engine = self.engine
+        state = engine.state
+        confident: List[LinkInference] = []
+        uncertain: List[LinkInference] = []
+        # Uncertain pairs are typically added and removed forever (the
+        # section 4.6 cycle), so halves from the uncertain log that are
+        # not currently held as direct inferences are reported from the
+        # log.
+        for half, direct in sorted(state.uncertain_log.items()):
+            if half in state.direct:
+                continue
+            uncertain.append(
+                LinkInference(
+                    address=half[0],
+                    forward=half[1],
+                    local_as=direct.local_as,
+                    remote_as=direct.remote_as,
+                    kind=STUB if direct.via_stub else DIRECT,
+                    other_side=engine.graph.other_side(half[0]),
+                    uncertain=True,
+                )
+            )
+        for half, direct in sorted(state.direct.items()):
+            record = LinkInference(
+                address=half[0],
+                forward=half[1],
+                local_as=direct.local_as,
+                remote_as=direct.remote_as,
+                kind=STUB if direct.via_stub else DIRECT,
+                other_side=engine.graph.other_side(half[0]),
+                uncertain=direct.uncertain,
+            )
+            (uncertain if direct.uncertain else confident).append(record)
+        for half, indirect in sorted(state.indirect.items()):
+            if half in state.direct or indirect.detached:
+                continue
+            source = state.direct.get(indirect.source)
+            source_uncertain = source.uncertain if source is not None else False
+            record = LinkInference(
+                address=half[0],
+                forward=half[1],
+                local_as=indirect.local_as,
+                remote_as=indirect.remote_as,
+                kind=INDIRECT,
+                other_side=indirect.source[0],
+                uncertain=source_uncertain,
+            )
+            (uncertain if source_uncertain else confident).append(record)
+        return confident, uncertain
+
+
+def run_mapit(
+    traces: Iterable[Trace],
+    ip2as: IP2AS,
+    org: Optional[AS2Org] = None,
+    rel: Optional[RelationshipDataset] = None,
+    config: Optional[MapItConfig] = None,
+) -> MapItResult:
+    """Sanitize *traces*, build the interface graph, and run MAP-IT."""
+    report = sanitize_traces(traces)
+    graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
+    return MapIt(graph, ip2as, org=org, rel=rel, config=config).run()

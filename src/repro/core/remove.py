@@ -1,0 +1,96 @@
+"""The remove step (paper section 4.5, Alg 3).
+
+Multiple passes over the halves carrying direct inferences, each pass
+reading only the mappings visible at its start.  A direct inference
+whose connected AS no longer dominates its neighbor set is demoted to
+an indirect inference (retaining its mapping) — it survives only while
+a direct inference on the other side of its link supports it; after
+every pass, unsupported indirect inferences are discarded along with
+their mapping updates.  The step converges because inferences are only
+ever discarded here.
+
+Two readings of the dominance test exist in the paper (prose: "more
+than half of its N"; Alg 3: "the inference would no longer be made").
+Both are implemented; :class:`~repro.core.config.MapItConfig` selects
+one, defaulting to the prose rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import REMOVE_ADD_RULE
+from repro.core.engine import Engine
+from repro.core.state import DirectInference, IndirectInference
+from repro.graph.halves import Half
+
+
+@dataclass
+class RemoveStepReport:
+    """What one remove step did."""
+
+    passes: int = 0
+    demoted: int = 0
+    indirect_discarded: int = 0
+
+
+def _still_holds(engine: Engine, direct: DirectInference) -> bool:
+    """Would this direct inference survive under current mappings?"""
+    tally = engine.dominance(direct.half, engine.canonical(direct.remote_as))
+    if engine.config.remove_rule == REMOVE_ADD_RULE:
+        plurality = engine.plurality(direct.half)
+        return (
+            plurality is not None
+            and plurality.canonical_as == engine.canonical(direct.remote_as)
+            and plurality.satisfies_f(engine.config.f)
+        )
+    return tally.is_majority()
+
+
+def _supporter_for(engine: Engine, half: Half) -> Optional[Half]:
+    """A live direct inference whose link other-side is *half*.
+
+    Other-side assignment is usually symmetric, so the candidate is the
+    direct inference on *half*'s own other side — but we verify that
+    its other side really points back at *half*, covering the rare
+    asymmetric /30-vs-/31 judgements.
+    """
+    partner = engine.other_side_half(half)
+    if partner is None or partner not in engine.state.direct:
+        return None
+    if engine.other_side_half(partner) == half:
+        return partner
+    return None
+
+
+def remove_step(engine: Engine) -> RemoveStepReport:
+    """Run the remove step to fixpoint."""
+    state = engine.state
+    report = RemoveStepReport()
+    while True:
+        report.passes += 1
+        doomed: List[Half] = [
+            half
+            for half, direct in sorted(state.direct.items())
+            if not direct.via_stub and not _still_holds(engine, direct)
+        ]
+        for half in doomed:
+            direct = state.direct.pop(half)
+            supporter = _supporter_for(engine, half)
+            if supporter is not None:
+                state.add_indirect(
+                    IndirectInference(
+                        half=half,
+                        local_as=direct.local_as,
+                        remote_as=direct.remote_as,
+                        source=supporter,
+                    )
+                )
+        report.demoted += len(doomed)
+        swept = state.sweep_unsupported_indirect()
+        report.indirect_discarded += swept
+        state.refresh_visible()
+        if not doomed and not swept:
+            break
+    return report

@@ -1,0 +1,166 @@
+"""MAP-IT output records.
+
+The algorithm produces two lists (section 4.4.4): high-confidence
+inter-AS link inferences and a much smaller list of uncertain ones.
+Each record names the interface address, which half carried the
+evidence, the two ASes the link connects, the inferred other-side
+address, and how the inference was reached (direct, indirect, or via
+the stub heuristic).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.halves import Half, half_str
+from repro.net.ipv4 import format_address
+
+DIRECT = "direct"
+INDIRECT = "indirect"
+STUB = "stub"
+
+
+@dataclass(frozen=True)
+class LinkInference:
+    """One inferred inter-AS link interface."""
+
+    address: int
+    forward: bool
+    local_as: int
+    remote_as: int
+    kind: str
+    other_side: Optional[int] = None
+    uncertain: bool = False
+
+    @property
+    def half(self) -> Half:
+        return (self.address, self.forward)
+
+    def pair(self) -> Tuple[int, int]:
+        """The unordered AS pair the link connects."""
+        low, high = sorted((self.local_as, self.remote_as))
+        return (low, high)
+
+    def involves(self, asn: int) -> bool:
+        """True when *asn* is one of the link's endpoints."""
+        return asn in (self.local_as, self.remote_as)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "address": format_address(self.address),
+            "direction": "forward" if self.forward else "backward",
+            "local_as": self.local_as,
+            "remote_as": self.remote_as,
+            "kind": self.kind,
+            "other_side": (
+                format_address(self.other_side)
+                if self.other_side is not None
+                else None
+            ),
+            "uncertain": self.uncertain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LinkInference":
+        """Inverse of :meth:`to_dict`."""
+        from repro.net.ipv4 import parse_address
+
+        other = data.get("other_side")
+        return cls(
+            address=parse_address(data["address"]),
+            forward=data["direction"] == "forward",
+            local_as=int(data["local_as"]),
+            remote_as=int(data["remote_as"]),
+            kind=str(data["kind"]),
+            other_side=parse_address(other) if other else None,
+            uncertain=bool(data.get("uncertain", False)),
+        )
+
+    def __str__(self) -> str:
+        other = (
+            format_address(self.other_side) if self.other_side is not None else "?"
+        )
+        flags = " (uncertain)" if self.uncertain else ""
+        return (
+            f"{half_str(self.half)} [{self.kind}] "
+            f"AS{self.local_as} <-> AS{self.remote_as}, other side {other}{flags}"
+        )
+
+
+@dataclass
+class Checkpoint:
+    """A labelled snapshot of inferences mid-run (drives Fig 7)."""
+
+    label: str
+    inferences: List[LinkInference]
+
+    def __len__(self) -> int:
+        return len(self.inferences)
+
+
+@dataclass
+class MapItResult:
+    """Everything a MAP-IT run produced."""
+
+    inferences: List[LinkInference]
+    uncertain: List[LinkInference]
+    iterations: int
+    converged: bool
+    diagnostics: Dict[str, int] = field(default_factory=dict)
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+
+    def by_address(self) -> Dict[int, List[LinkInference]]:
+        """High-confidence inferences grouped by interface address."""
+        grouped: Dict[int, List[LinkInference]] = {}
+        for inference in self.inferences:
+            grouped.setdefault(inference.address, []).append(inference)
+        return grouped
+
+    def addresses(self) -> Set[int]:
+        """Addresses carrying at least one high-confidence inference."""
+        return {inference.address for inference in self.inferences}
+
+    def as_links(self) -> Set[Tuple[int, int]]:
+        """The AS-level links implied by the high-confidence inferences."""
+        return {inference.pair() for inference in self.inferences}
+
+    def involving(self, asn: int) -> List[LinkInference]:
+        """High-confidence inferences with *asn* as an endpoint."""
+        return [inference for inference in self.inferences if inference.involves(asn)]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "inferences": len(self.inferences),
+            "uncertain": len(self.uncertain),
+            "interfaces": len(self.addresses()),
+            "as_links": len(self.as_links()),
+            "iterations": self.iterations,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the full result for downstream pipelines."""
+        return json.dumps(
+            {
+                "summary": self.summary(),
+                "converged": self.converged,
+                "diagnostics": self.diagnostics,
+                "inferences": [i.to_dict() for i in self.inferences],
+                "uncertain": [i.to_dict() for i in self.uncertain],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MapItResult":
+        """Inverse of :meth:`to_json` (checkpoints are not persisted)."""
+        data = json.loads(text)
+        return cls(
+            inferences=[LinkInference.from_dict(d) for d in data["inferences"]],
+            uncertain=[LinkInference.from_dict(d) for d in data["uncertain"]],
+            iterations=int(data["summary"]["iterations"]),
+            converged=bool(data["converged"]),
+            diagnostics=dict(data.get("diagnostics", {})),
+        )

@@ -1,0 +1,183 @@
+"""Mutable algorithm state: inferences and per-half IP-to-AS mappings.
+
+Key design decisions, each anchored in the paper:
+
+* IP-to-AS mappings are maintained **per interface half** (section
+  4.4.1: "An IP2AS update on one half of an interface does not affect
+  the IP2AS mapping for the other half").
+* Updates are derived entirely from live inferences: the visible
+  mapping for a half is the AS of its direct inference, else of its
+  indirect inference, else the original BGP-derived origin.  Discarding
+  an inference therefore automatically rolls back its update (Alg 3
+  line 6).
+* Determinism (section 4.4.5): passes read a *snapshot* of the visible
+  mappings taken at the start of the pass; updates become visible only
+  on the next pass.  :meth:`MapItState.refresh_visible` takes that
+  snapshot.
+* An indirect inference is linked to the direct inference on the other
+  side of its link; it survives only while that direct does (section
+  4.4.2).  Other-side assignment is not guaranteed symmetric, so the
+  link is stored explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.halves import Half, half_str
+
+
+@dataclass
+class DirectInference:
+    """A direct inference on one interface half (Alg 2).
+
+    The inference asserts: the interface is used on an inter-AS link
+    between ``local_as`` (the half's mapping when the inference was
+    made) and ``remote_as`` (the AS dominating its neighbor set).  The
+    half's visible mapping becomes ``remote_as``.
+    """
+
+    half: Half
+    local_as: int
+    remote_as: int
+    uncertain: bool = False
+    via_stub: bool = False
+
+    def pair(self) -> Tuple[int, int]:
+        """The unordered AS pair the link connects."""
+        return (min(self.local_as, self.remote_as), max(self.local_as, self.remote_as))
+
+    def __str__(self) -> str:
+        return f"{half_str(self.half)}: AS{self.local_as} <-> AS{self.remote_as}"
+
+
+@dataclass
+class IndirectInference:
+    """An indirect inference (section 4.4.2): the other side of a link.
+
+    ``source`` is the half carrying the supporting direct inference.
+    The half's visible mapping becomes ``remote_as`` (the same AS_N as
+    the source's), unless a direct inference on this half overrides it.
+    """
+
+    half: Half
+    local_as: int
+    remote_as: int
+    source: Half
+    detached: bool = False  # divergent-other-side: update suppressed
+
+    def __str__(self) -> str:
+        return (
+            f"{half_str(self.half)}: AS{self.local_as} <-> AS{self.remote_as}"
+            f" (via {half_str(self.source)})"
+        )
+
+
+class MapItState:
+    """All mutable state of a MAP-IT run."""
+
+    def __init__(self) -> None:
+        #: live direct inferences, keyed by half
+        self.direct: Dict[Half, DirectInference] = {}
+        #: live indirect inferences, keyed by half
+        self.indirect: Dict[Half, IndirectInference] = {}
+        #: halves that received a direct inference during the current
+        #: add step; Alg 2 skips them even if a contradiction fix later
+        #: removed the inference ("only a single direct inference can be
+        #: made on each IH per add step")
+        self.inferred_this_step: Set[Half] = set()
+        #: mapping snapshot the current pass reads (half -> AS override)
+        self.visible: Dict[Half, int] = {}
+        #: halves ever classified uncertain (section 4.4.4) — such
+        #: inference pairs are typically added and removed forever (the
+        #: section 4.6 cycle), so the final uncertain output is the
+        #: union over the run, not a snapshot
+        self.uncertain_log: Dict[Half, DirectInference] = {}
+        #: diagnostic counters
+        self.dual_resolved = 0
+        self.dual_same_as = 0
+        self.divergent_other_sides = 0
+        self.inverse_removed = 0
+        self.uncertain_pairs = 0
+
+    # -- inference bookkeeping -------------------------------------------
+
+    def add_direct(self, inference: DirectInference) -> None:
+        self.direct[inference.half] = inference
+        self.inferred_this_step.add(inference.half)
+
+    def add_indirect(self, inference: IndirectInference) -> None:
+        self.indirect[inference.half] = inference
+
+    def remove_direct(self, half: Half) -> Optional[DirectInference]:
+        """Discard a direct inference and its dependent indirect."""
+        inference = self.direct.pop(half, None)
+        if inference is None:
+            return None
+        for key, indirect in list(self.indirect.items()):
+            if indirect.source == half:
+                del self.indirect[key]
+        return inference
+
+    def sweep_unsupported_indirect(self) -> int:
+        """Drop indirect inferences whose supporting direct is gone."""
+        doomed = [
+            key
+            for key, indirect in self.indirect.items()
+            if indirect.source not in self.direct
+        ]
+        for key in doomed:
+            del self.indirect[key]
+        return len(doomed)
+
+    # -- visible mappings --------------------------------------------------
+
+    def refresh_visible(self) -> None:
+        """Take the mapping snapshot the next pass will read.
+
+        Direct inferences take precedence over indirect ones; detached
+        indirect inferences (divergent other sides) contribute nothing.
+        """
+        visible: Dict[Half, int] = {}
+        for half, indirect in self.indirect.items():
+            if not indirect.detached:
+                visible[half] = indirect.remote_as
+        for half, direct in self.direct.items():
+            visible[half] = direct.remote_as
+        self.visible = visible
+
+    def visible_asn(self, half: Half, original: int) -> int:
+        """Mapping of *half* in the current snapshot."""
+        return self.visible.get(half, original)
+
+    # -- convergence ---------------------------------------------------------
+
+    def fingerprint(self) -> int:
+        """Order-independent hash of the full inference state.
+
+        Used by section 4.6's stopping rule: the overall loop ends when
+        the state at the end of a remove step repeats.
+        """
+        total = 0
+        for half, direct in self.direct.items():
+            total ^= hash(
+                (half, direct.local_as, direct.remote_as, direct.uncertain, "d")
+            )
+        for half, indirect in self.indirect.items():
+            total ^= hash(
+                (half, indirect.remote_as, indirect.source, indirect.detached, "i")
+            )
+        return total
+
+    # -- introspection ------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "direct": len(self.direct),
+            "indirect": len(self.indirect),
+            "uncertain": sum(1 for d in self.direct.values() if d.uncertain),
+        }
+
+    def __len__(self) -> int:
+        return len(self.direct) + len(self.indirect)

@@ -1,0 +1,95 @@
+"""The low-visibility / NAT stub heuristic (paper section 4.8, Alg 4).
+
+The main algorithm needs at least two distinct addresses from the
+connected AS next to a link.  Stub ASes often expose exactly one
+address — a NAT front, flow control, or simply too few probes — so
+after the main loop converges, every forward half with a *single*
+neighbor is examined:
+
+* the neighbor must map (under the converged mappings) to a different,
+  non-sibling AS that is a **stub** (no non-sibling customers in the
+  relationship data);
+* neither the interface's backward half nor the neighbor's backward
+  half may already carry an inference — if the link were named from
+  the stub's space, a backward inference would already exist.
+
+A qualifying half gets a direct inference to the stub AS, its other
+side gets the matching indirect inference, and both mappings update.
+Third-party addresses cannot trigger this step: a third-party address
+returned by a stub maps to one of its providers, and providers are by
+definition not stubs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import Engine
+from repro.core.state import DirectInference, IndirectInference
+from repro.graph.halves import BACKWARD, FORWARD
+
+
+@dataclass
+class StubStepReport:
+    """What the stub heuristic did."""
+
+    examined: int = 0
+    inferred: int = 0
+
+
+def stub_step(engine: Engine) -> StubStepReport:
+    """Run Alg 4 once over all single-neighbor forward halves."""
+    state = engine.state
+    report = StubStepReport()
+    for address in sorted(engine.graph.forward):
+        members = engine.graph.forward[address]
+        if len(members) != 1:
+            continue
+        report.examined += 1
+        half = (address, FORWARD)
+        if half in state.direct or half in state.indirect:
+            # An existing inference (even an indirect one from the
+            # link's other side) means the link is already captured;
+            # stacking a stub inference on top can only compound an
+            # upstream mistake.
+            continue
+        (neighbor,) = members
+        neighbor_half = (neighbor, BACKWARD)
+        backward_half = (address, BACKWARD)
+        if backward_half in state.direct or backward_half in state.indirect:
+            continue
+        if neighbor_half in state.direct or neighbor_half in state.indirect:
+            continue
+        own_as = engine.half_asn(half)
+        neighbor_as = engine.half_asn(neighbor_half)
+        if neighbor_as <= 0 or own_as <= 0:
+            continue
+        if engine.canonical(own_as) == engine.canonical(neighbor_as):
+            continue
+        if not engine.rel.is_stub(neighbor_as, engine.org):
+            continue
+        if not engine.rel.knows(neighbor_as):
+            # An AS absent from the relationship data cannot be
+            # positively identified as a stub; inferring against it
+            # would fire on every low-visibility ISP as well.
+            continue
+        direct = DirectInference(
+            half=half,
+            local_as=own_as,
+            remote_as=neighbor_as,
+            via_stub=True,
+        )
+        state.add_direct(direct)
+        partner = engine.other_side_half(half)
+        if partner is not None and not engine.ip2as.is_ixp(address):
+            state.add_indirect(
+                IndirectInference(
+                    half=partner,
+                    local_as=own_as,
+                    remote_as=neighbor_as,
+                    source=half,
+                )
+            )
+        report.inferred += 1
+    state.refresh_visible()
+    return report

@@ -1,0 +1,40 @@
+"""Evaluation harness: the paper's verification methodology and the
+machinery behind each table and figure.
+
+* :mod:`repro.eval.metrics` - precision/recall primitives;
+* :mod:`repro.eval.verify` - section 5.2 scoring against ground truth;
+* :mod:`repro.eval.experiment` - shared plumbing (datasets per network);
+* :mod:`repro.eval.breakdown` - Table 1 (by AS relationship);
+* :mod:`repro.eval.fsweep` - Fig 6 (the *f* parameter sweep);
+* :mod:`repro.eval.steps` - Fig 7 (per-step impact);
+* :mod:`repro.eval.compare` - Fig 8 (baseline comparison);
+* :mod:`repro.eval.stats` - the section 4.1-4.3 dataset statistics.
+"""
+
+from repro.eval.breakdown import RelationshipBreakdown, breakdown_by_relationship
+from repro.eval.compare import ComparisonResult, compare_methods
+from repro.eval.experiment import Experiment, prepare_experiment
+from repro.eval.fsweep import FSweepResult, sweep_f
+from repro.eval.metrics import Score
+from repro.eval.stats import PipelineStats, pipeline_stats
+from repro.eval.steps import StepImpact, step_impact
+from repro.eval.verify import VerificationDataset, build_verification, score_inferences
+
+__all__ = [
+    "ComparisonResult",
+    "Experiment",
+    "FSweepResult",
+    "PipelineStats",
+    "RelationshipBreakdown",
+    "Score",
+    "StepImpact",
+    "VerificationDataset",
+    "breakdown_by_relationship",
+    "build_verification",
+    "compare_methods",
+    "pipeline_stats",
+    "prepare_experiment",
+    "score_inferences",
+    "step_impact",
+    "sweep_f",
+]

@@ -1,0 +1,108 @@
+"""Multi-seed aggregation of evaluation scores.
+
+One seed is an anecdote.  This module runs the same evaluation across
+several seeded worlds and reports per-network mean/min/max precision
+and recall, plus a pooled (micro-averaged) score — the robustness
+evidence behind EXPERIMENTS.md's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core import MapItConfig
+from repro.eval.experiment import Experiment, prepare_experiment
+from repro.eval.metrics import Score
+
+
+@dataclass
+class MetricSummary:
+    """Mean/min/max of one metric across seeds."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "mean": round(self.mean, 3),
+            "min": round(self.minimum, 3),
+            "max": round(self.maximum, 3),
+        }
+
+
+@dataclass
+class SeedAggregate:
+    """Per-network metric summaries plus the pooled score."""
+
+    precision: Dict[str, MetricSummary] = field(default_factory=dict)
+    recall: Dict[str, MetricSummary] = field(default_factory=dict)
+    pooled: Score = field(default_factory=Score)
+    seeds: List[int] = field(default_factory=list)
+
+    def record(self, seed: int, scores: Dict[str, Score]) -> None:
+        self.seeds.append(seed)
+        for label, score in scores.items():
+            self.precision.setdefault(label, MetricSummary()).add(score.precision)
+            self.recall.setdefault(label, MetricSummary()).add(score.recall)
+            self.pooled = self.pooled.merged_with(score)
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for label in sorted(self.precision):
+            rows.append(
+                {
+                    "network": label,
+                    "precision_mean": self.precision[label].row()["mean"],
+                    "precision_min": self.precision[label].row()["min"],
+                    "recall_mean": self.recall[label].row()["mean"],
+                    "recall_min": self.recall[label].row()["min"],
+                    "seeds": len(self.seeds),
+                }
+            )
+        rows.append(
+            {
+                "network": "pooled",
+                "precision_mean": round(self.pooled.precision, 3),
+                "precision_min": "",
+                "recall_mean": round(self.pooled.recall, 3),
+                "recall_min": "",
+                "seeds": len(self.seeds),
+            }
+        )
+        return rows
+
+
+def aggregate_over_seeds(
+    scenario_factory: Callable[[int], object],
+    seeds: Sequence[int],
+    config: Optional[MapItConfig] = None,
+) -> SeedAggregate:
+    """Run MAP-IT over one scenario per seed and aggregate the scores.
+
+    *scenario_factory* is e.g. :func:`repro.sim.presets.paper_scenario`.
+    """
+    aggregate = SeedAggregate()
+    for seed in seeds:
+        experiment = prepare_experiment(scenario_factory(seed))
+        result = experiment.run_mapit(config or MapItConfig(f=0.5))
+        aggregate.record(seed, experiment.score(result.inferences))
+    return aggregate

@@ -1,0 +1,68 @@
+"""Fig 6 reproduction: the impact of the *f* parameter.
+
+Runs MAP-IT at f = 0.0, 0.1, …, 1.0 over one experiment and scores
+each run against every verification network.  The paper's expected
+shape: precision improves with f up to a plateau (I2 hits 100% at
+f=0.5) and degrades again at f >= 0.9 where the algorithm is too
+constrained to refine mappings; recall is flat at low f and collapses
+at high f.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core import MapItConfig
+from repro.eval.experiment import Experiment
+from repro.eval.metrics import Score
+
+DEFAULT_F_VALUES = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass
+class FSweepResult:
+    """Per-f, per-network scores."""
+
+    scores: Dict[float, Dict[str, Score]] = field(default_factory=dict)
+
+    def series(self, label: str, metric: str) -> List[Tuple[float, float]]:
+        """One curve of Fig 6: (f, precision|recall) for one network."""
+        points: List[Tuple[float, float]] = []
+        for f in sorted(self.scores):
+            score = self.scores[f].get(label)
+            if score is not None:
+                points.append((f, getattr(score, metric)))
+        return points
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat rows for printing: one per (f, network)."""
+        rows: List[Dict[str, object]] = []
+        for f in sorted(self.scores):
+            for label, score in self.scores[f].items():
+                rows.append(
+                    {
+                        "f": f,
+                        "network": label,
+                        "precision": round(score.precision, 3),
+                        "recall": round(score.recall, 3),
+                        "TP": score.tp,
+                        "FP": score.fp,
+                        "FN": score.fn,
+                    }
+                )
+        return rows
+
+
+def sweep_f(
+    experiment: Experiment,
+    f_values: Iterable[float] = DEFAULT_F_VALUES,
+    base_config: Optional[MapItConfig] = None,
+) -> FSweepResult:
+    """Run the full sweep."""
+    base = base_config or MapItConfig()
+    result = FSweepResult()
+    for f in f_values:
+        mapit_result = experiment.run_mapit(base.with_f(f))
+        result.scores[f] = experiment.score(mapit_result.inferences)
+    return result

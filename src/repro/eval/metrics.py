@@ -1,0 +1,60 @@
+"""Precision/recall primitives shared by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Score:
+    """True/false positives and false negatives, with derived rates."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    #: breakdown of what went wrong, for diagnostics
+    fp_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def count_fp(self, reason: str) -> None:
+        self.fp += 1
+        self.fp_reasons[reason] = self.fp_reasons.get(reason, 0) + 1
+
+    @property
+    def precision(self) -> float:
+        """Fraction of inferences that were correct (paper section 5.2)."""
+        total = self.tp + self.fp
+        return self.tp / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of eligible ground-truth links inferred."""
+        total = self.tp + self.fn
+        return self.tp / total if total else 1.0
+
+    def merged_with(self, other: "Score") -> "Score":
+        reasons = dict(self.fp_reasons)
+        for reason, count in other.fp_reasons.items():
+            reasons[reason] = reasons.get(reason, 0) + count
+        return Score(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            fp_reasons=reasons,
+        )
+
+    def row(self) -> Dict[str, float]:
+        """A Table 1-style row."""
+        return {
+            "TP": self.tp,
+            "FP": self.fp,
+            "FN": self.fn,
+            "Precision%": round(100.0 * self.precision, 1),
+            "Recall%": round(100.0 * self.recall, 1),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"TP={self.tp} FP={self.fp} FN={self.fn} "
+            f"P={100 * self.precision:.1f}% R={100 * self.recall:.1f}%"
+        )

@@ -1,0 +1,77 @@
+"""Dataset statistics (paper sections 4.1–4.3 and 5).
+
+Collates the counters the paper quotes for its input data: traces
+kept/discarded, address retention, the /31 fraction from the other-side
+heuristic, neighbor-set size distribution, IP2AS coverage, and the
+neighbor-set overlap fraction footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.eval.experiment import Experiment
+from repro.traceroute.stats import dataset_stats
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Everything the paper reports about its pipeline inputs."""
+
+    total_traces: int
+    discarded_traces: int
+    discard_fraction: float
+    address_retention: float
+    buggy_hops_removed: int
+    distinct_addresses: int
+    adjacent_addresses: int
+    multi_neighbor_forward: int
+    multi_neighbor_backward: int
+    fraction_31: float
+    overlap_fraction: float
+    ip2as_coverage: float
+
+    def rows(self) -> Dict[str, object]:
+        return {
+            "traces (retained)": self.total_traces - self.discarded_traces,
+            "traces discarded (cycles)": self.discarded_traces,
+            "discard fraction [paper: 2.7%]": round(self.discard_fraction, 4),
+            "address retention [paper: 89.1%]": round(self.address_retention, 4),
+            "buggy quoted-TTL=0 hops removed": self.buggy_hops_removed,
+            "distinct addresses": self.distinct_addresses,
+            "addresses adjacent to another": self.adjacent_addresses,
+            "interfaces with |N_F| > 1": self.multi_neighbor_forward,
+            "interfaces with |N_B| > 1": self.multi_neighbor_backward,
+            "fraction /31-addressed [paper: 40.4%]": round(self.fraction_31, 4),
+            "N_F/N_B overlap fraction [paper: 0.3%]": round(self.overlap_fraction, 4),
+            "IP2AS coverage [paper: 99.2%]": round(self.ip2as_coverage, 4),
+        }
+
+
+def pipeline_stats(experiment: Experiment) -> PipelineStats:
+    """Compute all section 4.1–4.3 statistics for one experiment."""
+    report = experiment.report
+    graph = experiment.graph
+    stats = dataset_stats(report.traces)
+    multi = graph.count_multi_neighbor()
+    usable = [
+        address
+        for address in report.retained_addresses
+        if not experiment.scenario.ip2as.is_private(address)
+    ]
+    other_sides = graph.other_sides
+    return PipelineStats(
+        total_traces=report.total,
+        discarded_traces=report.discarded,
+        discard_fraction=report.discard_fraction,
+        address_retention=report.address_retention,
+        buggy_hops_removed=report.buggy_hops_removed,
+        distinct_addresses=stats.distinct_addresses,
+        adjacent_addresses=stats.adjacent_addresses,
+        multi_neighbor_forward=multi["forward"],
+        multi_neighbor_backward=multi["backward"],
+        fraction_31=other_sides.fraction_31() if other_sides is not None else 0.0,
+        overlap_fraction=graph.overlap_fraction(),
+        ip2as_coverage=experiment.scenario.ip2as.coverage(usable),
+    )

@@ -1,0 +1,76 @@
+"""Fig 7 reproduction: the impact of each algorithm step.
+
+MAP-IT is run with checkpoint recording; every checkpoint (each stage
+of the first add step, each outer iteration, the stub heuristic) is
+scored against every verification network.  The paper's expected
+shape: the raw direct pass is noticeably imprecise (43.8% for
+Internet2), contradiction fixes and especially inverse-inference
+removal lift precision above 90%, later iterations refine further, and
+the stub heuristic delivers a large recall jump for the stub-heavy
+networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import MapItConfig, MapItResult
+from repro.eval.experiment import Experiment
+from repro.eval.metrics import Score
+
+
+@dataclass
+class StepImpact:
+    """Scores after each labelled stage."""
+
+    stages: List[str] = field(default_factory=list)
+    scores: Dict[str, Dict[str, Score]] = field(default_factory=dict)
+    result: Optional[MapItResult] = None
+
+    def series(self, label: str, metric: str) -> List[Tuple[str, float]]:
+        """One network's metric across the stages, in stage order."""
+        return [
+            (stage, getattr(self.scores[stage][label], metric))
+            for stage in self.stages
+            if label in self.scores[stage]
+        ]
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for stage in self.stages:
+            for label, score in self.scores[stage].items():
+                rows.append(
+                    {
+                        "stage": stage,
+                        "network": label,
+                        "precision": round(score.precision, 3),
+                        "recall": round(score.recall, 3),
+                        "TP": score.tp,
+                        "FP": score.fp,
+                        "FN": score.fn,
+                    }
+                )
+        return rows
+
+
+def step_impact(
+    experiment: Experiment, config: Optional[MapItConfig] = None
+) -> StepImpact:
+    """Run once with checkpoints and score every stage."""
+    base = config or MapItConfig()
+    from dataclasses import replace
+
+    result = experiment.run_mapit(replace(base, record_checkpoints=True))
+    impact = StepImpact(result=result)
+    for checkpoint in result.checkpoints:
+        if checkpoint.label in impact.scores:
+            continue
+        impact.stages.append(checkpoint.label)
+        confident = [
+            inference
+            for inference in checkpoint.inferences
+            if not inference.uncertain
+        ]
+        impact.scores[checkpoint.label] = experiment.score(confident)
+    return impact

@@ -1,0 +1,17 @@
+"""Interface-level graph structures (paper sections 3.2, 4.2, 4.3)."""
+
+from repro.graph.halves import FORWARD, BACKWARD, Half, half_str, opposite
+from repro.graph.neighbors import InterfaceGraph, build_interface_graph
+from repro.graph.othersides import OtherSideTable, infer_other_sides
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "Half",
+    "InterfaceGraph",
+    "OtherSideTable",
+    "build_interface_graph",
+    "half_str",
+    "infer_other_sides",
+    "opposite",
+]

@@ -1,0 +1,57 @@
+"""Interface halves (paper section 3.2).
+
+Each interface address is split into a *forward half* — the interface
+looking at its forward neighbor set (addresses seen one hop after it) —
+and a *backward half*, looking at the backward neighbor set.  MAP-IT
+draws inferences and maintains IP-to-AS mappings per half, because only
+one direction is expected to carry evidence of an inter-AS link and
+because updating one half must not contaminate the other (section
+4.4.1).
+
+A half is represented as the tuple ``(address, direction)`` with
+direction :data:`FORWARD` (True) or :data:`BACKWARD` (False); tuples
+keep the millions of dict operations cheap.
+
+The *other side* of a half is the opposite-direction half of the other
+endpoint of its point-to-point link: e.g. the other side of
+``198.71.46.180_b`` (/31) is ``198.71.46.181_f``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.net.ipv4 import format_address
+
+#: Direction markers.  A forward half sees the forward neighbor set.
+FORWARD = True
+BACKWARD = False
+
+#: A half is an ``(address, direction)`` tuple.
+Half = Tuple[int, bool]
+
+
+def forward_half(address: int) -> Half:
+    """The forward half of *address*."""
+    return (address, FORWARD)
+
+
+def backward_half(address: int) -> Half:
+    """The backward half of *address*."""
+    return (address, BACKWARD)
+
+
+def opposite(half: Half) -> Half:
+    """The same interface looking the other way."""
+    return (half[0], not half[1])
+
+
+def other_side_half(half: Half, other_address: int) -> Half:
+    """The other side of *half*: the link partner, opposite direction."""
+    return (other_address, not half[1])
+
+
+def half_str(half: Half) -> str:
+    """Render like the paper: ``198.71.46.180_f``."""
+    suffix = "f" if half[1] else "b"
+    return f"{format_address(half[0])}_{suffix}"

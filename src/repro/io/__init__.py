@@ -1,0 +1,36 @@
+"""Dataset-directory persistence.
+
+A *dataset directory* is the on-disk shape of everything MAP-IT needs —
+the same inputs the paper assembles from CAIDA/RouteViews/RIPE/
+PeeringDB/PCH downloads:
+
+```
+dataset/
+  manifest.json        # metadata: seed, counts, verification ASNs
+  traces.txt           # one trace per line (text format)
+  bgp/collector-*.txt  # one RIB dump per collector
+  cymru.txt            # fallback prefix|asn table
+  ixp.txt              # IXP prefix directory
+  as2org.txt           # sibling groups
+  relationships.txt    # CAIDA serial-1 relationships
+  hostnames.txt        # optional: address<TAB>hostname
+  groundtruth.txt      # optional: simulator truth for evaluation
+```
+
+:func:`save_scenario` writes a synthetic scenario out;
+:func:`load_bundle` reads any conforming directory — including one
+assembled from real measurement data — into the objects
+:func:`repro.run_mapit` consumes.
+"""
+
+from repro.io.bundle import InputBundle, load_bundle
+from repro.io.save import save_scenario
+from repro.io.truth import load_ground_truth, save_ground_truth
+
+__all__ = [
+    "InputBundle",
+    "load_bundle",
+    "load_ground_truth",
+    "save_ground_truth",
+    "save_scenario",
+]

@@ -1,0 +1,127 @@
+"""Reading a dataset directory into runnable inputs."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.bgp.cymru import CymruTable
+from repro.bgp.ip2as import IP2AS, IP2ASBuilder
+from repro.bgp.origins import merge_collectors
+from repro.bgp.table import CollectorDump
+from repro.dns.naming import HostnameDataset
+from repro.io.truth import load_ground_truth
+from repro.ixp.dataset import IXPDataset
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import RelationshipDataset
+from repro.sim.groundtruth import GroundTruth
+from repro.traceroute.model import Trace
+from repro.traceroute.parse import parse_json_traces, parse_text_traces
+
+
+@dataclass
+class InputBundle:
+    """Everything loaded from a dataset directory.
+
+    ``traces``, ``ip2as``, ``as2org`` and ``relationships`` are exactly
+    the arguments of :func:`repro.run_mapit`; ``ground_truth`` and
+    ``hostnames`` are optional evaluation extras.
+    """
+
+    traces: List[Trace]
+    ip2as: IP2AS
+    as2org: AS2Org
+    relationships: RelationshipDataset
+    ground_truth: Optional[GroundTruth] = None
+    hostnames: Optional[HostnameDataset] = None
+    manifest: Dict = field(default_factory=dict)
+
+    def run_mapit(self, config=None):
+        """Convenience: run MAP-IT over this bundle."""
+        from repro import run_mapit
+
+        return run_mapit(
+            self.traces,
+            self.ip2as,
+            org=self.as2org,
+            rel=self.relationships,
+            config=config,
+        )
+
+
+def _read_lines(path: Path):
+    with open(path) as handle:
+        return handle.read().splitlines()
+
+
+def load_bundle(directory: Union[str, Path]) -> InputBundle:
+    """Load a dataset directory (see :mod:`repro.io` for the layout).
+
+    Only ``traces.txt`` (or ``traces.jsonl``) and at least one IP2AS
+    source (``bgp/`` or ``cymru.txt``) are required; everything else is
+    optional and defaults to empty datasets.
+    """
+    root = Path(directory)
+    traces_txt = root / "traces.txt"
+    traces_jsonl = root / "traces.jsonl"
+    if traces_txt.exists():
+        traces = list(parse_text_traces(_read_lines(traces_txt)))
+    elif traces_jsonl.exists():
+        traces = list(parse_json_traces(_read_lines(traces_jsonl)))
+    else:
+        raise FileNotFoundError(f"no traces.txt or traces.jsonl in {root}")
+
+    builder = IP2ASBuilder()
+    bgp_dir = root / "bgp"
+    dumps: List[CollectorDump] = []
+    if bgp_dir.is_dir():
+        for path in sorted(bgp_dir.glob("*.txt")):
+            dumps.append(CollectorDump.from_lines(_read_lines(path)))
+    if dumps:
+        builder.add_bgp(merge_collectors(dumps))
+    cymru_path = root / "cymru.txt"
+    if cymru_path.exists():
+        builder.add_cymru(CymruTable.from_lines(_read_lines(cymru_path)))
+    if not dumps and not cymru_path.exists():
+        raise FileNotFoundError(f"no IP2AS source (bgp/ or cymru.txt) in {root}")
+    ixp_path = root / "ixp.txt"
+    if ixp_path.exists():
+        builder.set_ixp(IXPDataset.from_lines(_read_lines(ixp_path)))
+    ip2as = builder.build()
+
+    as2org_path = root / "as2org.txt"
+    as2org = (
+        AS2Org.from_lines(_read_lines(as2org_path))
+        if as2org_path.exists()
+        else AS2Org()
+    )
+    rel_path = root / "relationships.txt"
+    relationships = (
+        RelationshipDataset.from_lines(_read_lines(rel_path))
+        if rel_path.exists()
+        else RelationshipDataset()
+    )
+    truth_path = root / "groundtruth.txt"
+    ground_truth = load_ground_truth(truth_path) if truth_path.exists() else None
+    hostnames_path = root / "hostnames.txt"
+    hostnames = (
+        HostnameDataset.from_lines(_read_lines(hostnames_path))
+        if hostnames_path.exists()
+        else None
+    )
+    manifest_path = root / "manifest.json"
+    manifest = {}
+    if manifest_path.exists():
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    return InputBundle(
+        traces=traces,
+        ip2as=ip2as,
+        as2org=as2org,
+        relationships=relationships,
+        ground_truth=ground_truth,
+        hostnames=hostnames,
+        manifest=manifest,
+    )

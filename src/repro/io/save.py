@@ -1,0 +1,66 @@
+"""Writing a scenario out as a dataset directory."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dns.naming import HostnameDataset
+from repro.io.truth import save_ground_truth
+from repro.sim.scenario import Scenario
+from repro.traceroute.parse import traces_to_json_lines, traces_to_text_lines
+
+
+def _write_lines(path: Path, lines) -> None:
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def save_scenario(
+    scenario: Scenario,
+    directory: Union[str, Path],
+    hostnames: Optional[HostnameDataset] = None,
+    trace_format: str = "text",
+) -> Path:
+    """Persist *scenario* as a dataset directory; returns its path.
+
+    *trace_format* is ``"text"`` (default) or ``"jsonl"`` for the
+    scamper-like JSON-lines form.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    if trace_format == "jsonl":
+        _write_lines(root / "traces.jsonl", traces_to_json_lines(scenario.traces))
+    elif trace_format == "text":
+        _write_lines(root / "traces.txt", traces_to_text_lines(scenario.traces))
+    else:
+        raise ValueError(f"unknown trace_format {trace_format!r}")
+
+    bgp_dir = root / "bgp"
+    bgp_dir.mkdir(exist_ok=True)
+    for dump in scenario.collector_dumps:
+        _write_lines(bgp_dir / f"{dump.name}.txt", dump.dump_lines())
+
+    _write_lines(root / "cymru.txt", scenario.cymru.dump_lines())
+    _write_lines(root / "ixp.txt", scenario.ixp_dataset.dump_lines())
+    _write_lines(root / "as2org.txt", scenario.as2org.dump_lines())
+    _write_lines(root / "relationships.txt", scenario.relationships.dump_lines())
+    save_ground_truth(scenario.ground_truth, root / "groundtruth.txt")
+    if hostnames is not None:
+        _write_lines(root / "hostnames.txt", hostnames.dump_lines())
+
+    manifest = {
+        "format": "mapit-dataset-v1",
+        "seed": scenario.config.seed,
+        "traces": len(scenario.traces),
+        "monitors": [monitor.name for monitor in scenario.monitors],
+        "collectors": [dump.name for dump in scenario.collector_dumps],
+        "verification_asns": scenario.verification_asns(),
+        "re_asn": scenario.re_asn,
+        "tier1_asns": scenario.tier1_asns,
+    }
+    with open(root / "manifest.json", "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return root

@@ -1,0 +1,76 @@
+"""Ground-truth serialization.
+
+The simulator's truth is persisted so saved datasets remain evaluable:
+one line per interface, ``border|addr|router_as|connected_as|other|owner``,
+``internal|addr|router_as`` or ``ixp|addr|member_as``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.net.ipv4 import format_address, parse_address
+from repro.sim.groundtruth import BorderInterface, GroundTruth
+
+
+def ground_truth_lines(truth: GroundTruth) -> Iterator[str]:
+    """Serialize *truth* line by line."""
+    for address in sorted(truth.border):
+        interface = truth.border[address]
+        yield (
+            f"border|{format_address(interface.address)}"
+            f"|{interface.router_as}|{interface.connected_as}"
+            f"|{format_address(interface.other_address)}|{interface.owner_as}"
+        )
+    for address in sorted(truth.internal):
+        router_as = truth.router_as.get(address, 0)
+        yield f"internal|{format_address(address)}|{router_as}"
+    for address in sorted(truth.ixp):
+        yield f"ixp|{format_address(address)}|{truth.ixp[address]}"
+
+
+def parse_ground_truth(lines: Iterable[str]) -> GroundTruth:
+    """Parse the format produced by :func:`ground_truth_lines`."""
+    truth = GroundTruth()
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        kind, rest = line.split("|", 1)
+        fields = rest.split("|")
+        if kind == "border":
+            address = parse_address(fields[0])
+            interface = BorderInterface(
+                address=address,
+                router_as=int(fields[1]),
+                connected_as=int(fields[2]),
+                other_address=parse_address(fields[3]),
+                owner_as=int(fields[4]),
+            )
+            truth.border[address] = interface
+            truth.router_as[address] = interface.router_as
+        elif kind == "internal":
+            address = parse_address(fields[0])
+            truth.internal.add(address)
+            truth.router_as[address] = int(fields[1])
+        elif kind == "ixp":
+            address = parse_address(fields[0])
+            truth.ixp[address] = int(fields[1])
+            truth.router_as[address] = int(fields[1])
+        else:
+            raise ValueError(f"unknown ground-truth record kind {kind!r}")
+    return truth
+
+
+def save_ground_truth(truth: GroundTruth, path: Path) -> None:
+    """Write *truth* to *path*."""
+    with open(path, "w") as handle:
+        for line in ground_truth_lines(truth):
+            handle.write(line + "\n")
+
+
+def load_ground_truth(path: Path) -> GroundTruth:
+    """Read ground truth from *path*."""
+    with open(path) as handle:
+        return parse_ground_truth(handle)

@@ -1,0 +1,5 @@
+"""IXP prefix and ASN datasets (PeeringDB / PCH style)."""
+
+from repro.ixp.dataset import IXPDataset, IXPRecord
+
+__all__ = ["IXPDataset", "IXPRecord"]

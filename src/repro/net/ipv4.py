@@ -1,0 +1,60 @@
+"""IPv4 address parsing and formatting.
+
+All hot-path code in the library passes addresses around as integers.
+These helpers are the only place where string forms are produced or
+consumed, which keeps parsing bugs in one spot and the rest of the code
+fast and allocation-free.
+"""
+
+from __future__ import annotations
+
+MAX_ADDRESS = (1 << 32) - 1
+
+
+class AddressError(ValueError):
+    """Raised when a dotted-quad string cannot be parsed."""
+
+
+def parse_address(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> parse_address("10.0.0.1")
+    167772161
+
+    Raises :class:`AddressError` for malformed input, including octets
+    out of range, wrong octet counts, and non-numeric octets.
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"expected 4 octets, got {len(parts)}: {text!r}")
+    value = 0
+    for part in parts:
+        if not part or not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"bad octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet {octet} out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_address(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address.
+
+    >>> format_address(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_ADDRESS:
+        raise AddressError(f"address {value} out of range")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def is_valid_address(text: str) -> bool:
+    """Return True when *text* parses as a dotted-quad IPv4 address."""
+    try:
+        parse_address(text)
+    except AddressError:
+        return False
+    return True

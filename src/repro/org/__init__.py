@@ -1,0 +1,5 @@
+"""AS-to-organization (sibling) mapping, in the style of CAIDA AS2ORG."""
+
+from repro.org.as2org import AS2Org
+
+__all__ = ["AS2Org"]

@@ -1,0 +1,112 @@
+"""Sibling AS groups (CAIDA AS2ORG-style).
+
+MAP-IT treats sibling ASes — distinct AS numbers run by one
+organization — as a single AS when counting neighbor sets, and never
+infers inter-AS links *between* siblings (section 4.9).  The paper uses
+CAIDA's WHOIS-derived AS2ORG data plus 140 hand-curated pairs, and
+notes the data is incomplete; the simulator can export a deliberately
+truncated sibling list to exercise that.
+
+Internally this is a union-find over AS numbers, with a canonical
+representative per organization.  ``canonical(asn)`` is the identity
+used wherever the algorithm compares "the same AS".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+
+class AS2Org:
+    """Union-find over AS numbers keyed by organization."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._org_names: Dict[int, str] = {}
+
+    def _find(self, asn: int) -> int:
+        parent = self._parent
+        if asn not in parent:
+            return asn
+        root = asn
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(asn, asn) != root:
+            parent[asn], asn = root, parent[asn]
+        return root
+
+    def add_siblings(self, asns: Iterable[int], org_name: str = "") -> None:
+        """Declare all of *asns* to belong to one organization."""
+        asns = list(asns)
+        if not asns:
+            return
+        roots = sorted({self._find(asn) for asn in asns})
+        canonical = roots[0]
+        for asn in asns:
+            self._parent.setdefault(asn, asn)
+        for root in roots:
+            self._parent[root] = canonical
+        if org_name:
+            self._org_names[canonical] = org_name
+
+    def add_pair(self, a: int, b: int, org_name: str = "") -> None:
+        """Declare a single sibling pair (the paper's extra 140 pairs)."""
+        self.add_siblings((a, b), org_name)
+
+    def canonical(self, asn: int) -> int:
+        """Representative AS for *asn*'s organization (itself if alone)."""
+        return self._find(asn)
+
+    def are_siblings(self, a: int, b: int) -> bool:
+        """True when *a* and *b* belong to the same organization.
+
+        An AS is trivially its own sibling.
+        """
+        return self._find(a) == self._find(b)
+
+    def siblings_of(self, asn: int) -> Set[int]:
+        """All known ASes in *asn*'s organization, including itself."""
+        root = self._find(asn)
+        group = {a for a in self._parent if self._find(a) == root}
+        group.add(asn)
+        return group
+
+    def org_name(self, asn: int) -> str:
+        """Organization name, when known."""
+        return self._org_names.get(self._find(asn), "")
+
+    def groups(self) -> Iterator[Set[int]]:
+        """Iterate non-trivial sibling groups."""
+        by_root: Dict[int, Set[int]] = {}
+        for asn in self._parent:
+            by_root.setdefault(self._find(asn), set()).add(asn)
+        for group in by_root.values():
+            if len(group) > 1:
+                yield group
+
+    def dump_lines(self) -> Iterator[str]:
+        """Serialize as ``asn1 asn2 ...|orgname`` lines."""
+        for group in self.groups():
+            members = sorted(group)
+            name = self._org_names.get(self._find(members[0]), "")
+            yield " ".join(str(asn) for asn in members) + "|" + name
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "AS2Org":
+        """Parse the format produced by :meth:`dump_lines`."""
+        org = cls()
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            members_text, _, name = line.partition("|")
+            org.add_siblings((int(tok) for tok in members_text.split()), name)
+        return org
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "AS2Org":
+        """Build from sibling pairs."""
+        org = cls()
+        for a, b in pairs:
+            org.add_pair(a, b)
+        return org

@@ -1,0 +1,10 @@
+"""AS relationship dataset (CAIDA serial-1 style) and classification."""
+
+from repro.rel.relationships import (
+    LinkType,
+    P2C,
+    P2P,
+    RelationshipDataset,
+)
+
+__all__ = ["LinkType", "P2C", "P2P", "RelationshipDataset"]

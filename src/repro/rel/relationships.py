@@ -1,0 +1,167 @@
+"""AS relationship dataset, in the style of CAIDA's serial-1 files.
+
+The paper uses CAIDA's AS Relationships dataset for three things:
+
+* identifying *ISP ASes* — ASes with at least one non-sibling customer
+  — whose complement are the *stub ASes* the Alg 4 heuristic targets;
+* the Convention baseline's provider check;
+* breaking results down by relationship type in Table 1 (ISP transit,
+  peer, stub transit), where an AS absent from the dataset is treated
+  as a stub.
+
+Serial-1 line format: ``provider|customer|-1`` or ``peer|peer|0``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.org.as2org import AS2Org
+
+#: Relationship codes matching CAIDA serial-1.
+P2C = -1
+P2P = 0
+
+
+class LinkType(Enum):
+    """Table 1 relationship categories for an inferred link."""
+
+    ISP_TRANSIT = "ISP Transit"
+    PEER = "Peer"
+    STUB_TRANSIT = "Stub Transit"
+
+
+class RelationshipDataset:
+    """Provider/customer and peer relationships between ASes."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+        self._known: Set[int] = set()
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Record that *provider* transits *customer*."""
+        self._customers.setdefault(provider, set()).add(customer)
+        self._providers.setdefault(customer, set()).add(provider)
+        self._known.update((provider, customer))
+
+    def add_p2p(self, a: int, b: int) -> None:
+        """Record a settlement-free peering between *a* and *b*."""
+        self._peers.setdefault(a, set()).add(b)
+        self._peers.setdefault(b, set()).add(a)
+        self._known.update((a, b))
+
+    def providers(self, asn: int) -> Set[int]:
+        return set(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> Set[int]:
+        return set(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> Set[int]:
+        return set(self._peers.get(asn, ()))
+
+    def knows(self, asn: int) -> bool:
+        """True when *asn* appears anywhere in the dataset."""
+        return asn in self._known
+
+    def relationship(self, a: int, b: int) -> Optional[int]:
+        """:data:`P2C` when *a* transits *b*, :data:`P2P` for peers, else None.
+
+        Note the direction: ``relationship(provider, customer) == P2C``.
+        """
+        if b in self._customers.get(a, ()):
+            return P2C
+        if b in self._peers.get(a, ()):
+            return P2P
+        return None
+
+    def is_transit_pair(self, a: int, b: int) -> bool:
+        """True when either AS transits the other."""
+        return (
+            b in self._customers.get(a, ())
+            or a in self._customers.get(b, ())
+        )
+
+    def provider_of(self, a: int, b: int) -> Optional[int]:
+        """Which of *a*, *b* is the provider, when they have a transit link."""
+        if b in self._customers.get(a, ()):
+            return a
+        if a in self._customers.get(b, ()):
+            return b
+        return None
+
+    def is_isp(self, asn: int, org: Optional[AS2Org] = None) -> bool:
+        """True for ASes with at least one non-sibling customer.
+
+        This is the paper's definition of an ISP AS; everything else is
+        a stub for the Alg 4 heuristic.
+        """
+        customers = self._customers.get(asn, ())
+        if org is None:
+            return bool(customers)
+        return any(not org.are_siblings(asn, customer) for customer in customers)
+
+    def is_stub(self, asn: int, org: Optional[AS2Org] = None) -> bool:
+        """True for ASes with no (non-sibling) customers or unknown ASes."""
+        return not self.is_isp(asn, org)
+
+    def classify_link(
+        self, a: int, b: int, org: Optional[AS2Org] = None
+    ) -> LinkType:
+        """Table 1 category for a link between *a* and *b*.
+
+        Per section 5.4: an AS absent from the dataset makes the link
+        Stub Transit; a transit pair is Stub Transit when the customer
+        side is a stub and ISP Transit otherwise; anything without a
+        transit link is a Peer.
+        """
+        if not self.knows(a) or not self.knows(b):
+            return LinkType.STUB_TRANSIT
+        provider = self.provider_of(a, b)
+        if provider is None:
+            return LinkType.PEER
+        customer = b if provider == a else a
+        if self.is_stub(customer, org):
+            return LinkType.STUB_TRANSIT
+        return LinkType.ISP_TRANSIT
+
+    def all_ases(self) -> Set[int]:
+        return set(self._known)
+
+    def __len__(self) -> int:
+        edges = sum(len(c) for c in self._customers.values())
+        peer_edges = sum(len(p) for p in self._peers.values()) // 2
+        return edges + peer_edges
+
+    def dump_lines(self) -> Iterator[str]:
+        """Serialize in CAIDA serial-1 format."""
+        for provider in sorted(self._customers):
+            for customer in sorted(self._customers[provider]):
+                yield f"{provider}|{customer}|{P2C}"
+        emitted = set()
+        for a in sorted(self._peers):
+            for b in sorted(self._peers[a]):
+                key = (min(a, b), max(a, b))
+                if key not in emitted:
+                    emitted.add(key)
+                    yield f"{key[0]}|{key[1]}|{P2P}"
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "RelationshipDataset":
+        """Parse CAIDA serial-1 format lines."""
+        dataset = cls()
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            a_text, b_text, code_text = line.split("|")[:3]
+            a, b, code = int(a_text), int(b_text), int(code_text)
+            if code == P2C:
+                dataset.add_p2c(a, b)
+            elif code == P2P:
+                dataset.add_p2p(a, b)
+            else:
+                raise ValueError(f"unknown relationship code {code} in {line!r}")
+        return dataset

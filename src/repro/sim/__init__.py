@@ -1,0 +1,32 @@
+"""Synthetic Internet simulator.
+
+Stands in for the measurement infrastructure the paper consumes: CAIDA
+ARK traceroutes, BGP collector dumps, IXP directories, AS2ORG sibling
+data, and AS relationships - all generated from one seeded topology
+with exact ground truth attached.
+
+Entry point: :func:`repro.sim.scenario.build_scenario` with a
+:class:`repro.sim.scenario.ScenarioConfig`.
+"""
+
+from repro.sim.asgraph import ASGraph, ASGraphConfig, ASNode, Tier, generate_as_graph
+from repro.sim.groundtruth import GroundTruth
+from repro.sim.network import Network, build_network
+from repro.sim.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.sim.testbed import Testbed, TestbedBuilder
+
+__all__ = [
+    "ASGraph",
+    "ASGraphConfig",
+    "ASNode",
+    "GroundTruth",
+    "Network",
+    "Scenario",
+    "ScenarioConfig",
+    "Testbed",
+    "TestbedBuilder",
+    "Tier",
+    "build_network",
+    "build_scenario",
+    "generate_as_graph",
+]

@@ -1,0 +1,188 @@
+"""Address-space allocation for the synthetic Internet.
+
+Every AS receives one or more prefixes carved out of a global pool;
+link subnets (/30 or /31), LAN prefixes, and host addresses are then
+allocated from the owning AS's space.  The allocator is deliberately
+paper-shaped: roughly 40% of point-to-point links draw from a /31
+(section 4.2 reports 40.4%), transit links usually draw from the
+provider's space (with a configurable violation rate), and some
+infrastructure prefixes can be left unannounced to exercise the
+UNKNOWN-mapping paths of the algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.prefix import Prefix
+
+
+class AddressPoolExhausted(RuntimeError):
+    """Raised when an allocator runs out of space."""
+
+
+@dataclass
+class ASAllocator:
+    """Hands out subnets and host addresses from one AS's prefixes."""
+
+    asn: int
+    prefixes: List[Prefix]
+    _cursor: int = 0
+    _block_index: int = 0
+    _reserved: List[Prefix] = field(default_factory=list)
+
+    def reserve(self, prefix: Prefix) -> None:
+        """Mark *prefix* as used by hand so allocation skips it.
+
+        Hand-authored testbeds assign link subnets explicitly; later
+        automatic allocations (e.g. monitor LANs) must not collide.
+        """
+        self._reserved.append(prefix)
+
+    def _overlaps_reserved(self, base: int, size: int) -> Optional[int]:
+        """The end of a reserved range overlapping [base, base+size)."""
+        end = base + size - 1
+        for reserved in self._reserved:
+            if base <= reserved.broadcast and reserved.address <= end:
+                return reserved.broadcast + 1
+        return None
+
+    def _advance(self, size: int) -> int:
+        """Reserve *size* aligned addresses; return the base."""
+        while self._block_index < len(self.prefixes):
+            block = self.prefixes[self._block_index]
+            base = block.address + self._cursor
+            aligned = (base + size - 1) & ~(size - 1)
+            bumped = self._overlaps_reserved(aligned, size)
+            while bumped is not None and bumped + size - 1 <= block.broadcast:
+                aligned = (bumped + size - 1) & ~(size - 1)
+                bumped = self._overlaps_reserved(aligned, size)
+            if aligned + size - 1 <= block.broadcast and bumped is None:
+                self._cursor = aligned + size - block.address
+                return aligned
+            self._block_index += 1
+            self._cursor = 0
+        raise AddressPoolExhausted(f"AS{self.asn} out of address space")
+
+    def link_subnet(self, use_31: bool) -> Prefix:
+        """Allocate a point-to-point link subnet."""
+        length = 31 if use_31 else 30
+        base = self._advance(1 << (32 - length))
+        return Prefix(base, length)
+
+    def lan(self, length: int = 24) -> Prefix:
+        """Allocate a LAN prefix (used for IXP fabrics and stub LANs)."""
+        base = self._advance(1 << (32 - length))
+        return Prefix(base, length)
+
+    def host(self) -> int:
+        """Allocate a single host address (loopbacks, servers)."""
+        return self._advance(1)
+
+
+@dataclass
+class AddressPlan:
+    """Global allocation state: which AS owns which prefixes."""
+
+    allocators: Dict[int, ASAllocator] = field(default_factory=dict)
+    announced: Dict[int, List[Prefix]] = field(default_factory=dict)
+    unannounced: Dict[int, List[Prefix]] = field(default_factory=dict)
+
+    def allocator(self, asn: int) -> ASAllocator:
+        return self.allocators[asn]
+
+    def all_prefixes(self) -> Iterator[Tuple[Prefix, int]]:
+        """Every allocated ``(prefix, owner)`` pair, announced or not."""
+        for asn, prefixes in self.announced.items():
+            for prefix in prefixes:
+                yield prefix, asn
+        for asn, prefixes in self.unannounced.items():
+            for prefix in prefixes:
+                yield prefix, asn
+
+
+def build_address_plan(
+    asns: List[int],
+    rng: random.Random,
+    unannounced_fraction: float = 0.05,
+    extra_prefix_probability: float = 0.3,
+) -> AddressPlan:
+    """Assign address space to every AS.
+
+    Each AS gets a /16 (plus occasionally a second, disjoint prefix,
+    so longest-prefix matching across multiple blocks is exercised).
+    A small fraction of the *extra* prefixes is left unannounced,
+    mirroring the unannounced infrastructure space the paper runs into.
+    """
+    plan = AddressPlan()
+    # Carve /16s out of 1.0.0.0/8 .. 99.0.0.0/8, skipping special space.
+    blocks = _usable_16s()
+    for asn in asns:
+        primary = next(blocks)
+        prefixes = [primary]
+        announced = [primary]
+        unannounced: List[Prefix] = []
+        if rng.random() < extra_prefix_probability:
+            extra = next(blocks)
+            if rng.random() < unannounced_fraction / max(extra_prefix_probability, 1e-9):
+                # Unannounced infrastructure space (the paper's IP2AS
+                # tool covers 99.2%, not 100%): such ASes number their
+                # internal gear from the unannounced block, so it shows
+                # up in traces without a BGP origin.  Putting it first
+                # makes the allocator draw infrastructure from it.
+                prefixes.insert(0, extra)
+                unannounced.append(extra)
+            else:
+                prefixes.append(extra)
+                announced.append(extra)
+        plan.allocators[asn] = ASAllocator(asn=asn, prefixes=prefixes)
+        plan.announced[asn] = announced
+        plan.unannounced[asn] = unannounced
+    return plan
+
+
+def _usable_16s() -> Iterator[Prefix]:
+    """Yield /16 blocks from public space, skipping RFC 6890 ranges."""
+    skip_first_octets = {0, 10, 127}
+    for first in range(1, 224):
+        if first in skip_first_octets or first in (100, 169, 172, 192, 198, 203, 224):
+            continue
+        for second in range(0, 256):
+            yield Prefix((first << 24) | (second << 16), 16)
+
+
+@dataclass
+class LinkAddressing:
+    """Outcome of numbering one point-to-point link."""
+
+    subnet: Prefix
+    owner_as: int
+    #: address assigned to the prefix owner's router
+    owner_address: int
+    #: address assigned to the other router
+    other_address: int
+
+
+def number_p2p_link(
+    allocator: ASAllocator, rng: random.Random, p31_fraction: float = 0.4
+) -> LinkAddressing:
+    """Allocate and assign addresses for one point-to-point link.
+
+    The prefix owner's router takes the first host address, the far
+    router the second — mirroring the common provider-takes-low
+    practice.
+    """
+    use_31 = rng.random() < p31_fraction
+    subnet = allocator.link_subnet(use_31)
+    if use_31:
+        low, high = subnet.address, subnet.address + 1
+    else:
+        low, high = subnet.address + 1, subnet.address + 2
+    return LinkAddressing(
+        subnet=subnet,
+        owner_as=allocator.asn,
+        owner_address=low,
+        other_address=high,
+    )

@@ -1,0 +1,277 @@
+"""AS-level topology generation.
+
+Produces a Gao-Rexford-style AS hierarchy: a clique of tier-1
+providers, tier-2 transit networks buying from tier-1s and peering
+among themselves, regional ISPs buying from tier-2s, and a large
+population of stub ASes (some multihomed, some NATed, some barely
+visible).  A research-and-education network modelled on Internet2 can
+be included: a mid-tier AS whose transit customers' links are often
+numbered from the *customer's* address space, the convention violation
+at the heart of the paper's Fig 1.
+
+Sibling groups (one organization holding several ASNs) and IXPs
+(multipoint peering LANs) are generated here as well, since both shape
+MAP-IT's counting rules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class Tier(Enum):
+    """Role of an AS in the hierarchy."""
+
+    TIER1 = "tier1"
+    TIER2 = "tier2"
+    REGIONAL = "regional"
+    STUB = "stub"
+    RE_NETWORK = "r&e"  # Internet2-like research & education network
+    IXP = "ixp"
+
+
+@dataclass
+class ASNode:
+    """One autonomous system."""
+
+    asn: int
+    tier: Tier
+    name: str
+    #: number of backbone routers to synthesize
+    router_count: int = 2
+    #: stub ASes behind a NAT expose a single address (section 4.8)
+    natted: bool = False
+    #: fraction of this AS's transit links numbered from the customer's
+    #: space instead of the provider's (the Internet2-style violation)
+    customer_space_bias: float = 0.0
+    #: this AS's border routers never answer traceroute
+    silent_borders: bool = False
+
+    def __hash__(self) -> int:
+        return self.asn
+
+
+@dataclass(frozen=True)
+class ASEdge:
+    """One AS-level adjacency."""
+
+    a: int
+    b: int
+    #: "transit" (a is provider of b) or "peer"
+    kind: str
+
+    def other(self, asn: int) -> int:
+        return self.b if asn == self.a else self.a
+
+
+@dataclass
+class IXPSpec:
+    """One IXP: a name, an optional ASN, and the member ASes."""
+
+    name: str
+    asn: Optional[int]
+    members: List[int]
+    #: bilateral peering sessions established across the LAN
+    sessions: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class ASGraph:
+    """The generated AS-level topology."""
+
+    nodes: Dict[int, ASNode] = field(default_factory=dict)
+    edges: List[ASEdge] = field(default_factory=list)
+    sibling_groups: List[Set[int]] = field(default_factory=list)
+    ixps: List[IXPSpec] = field(default_factory=list)
+
+    def add_node(self, node: ASNode) -> None:
+        self.nodes[node.asn] = node
+
+    def add_transit(self, provider: int, customer: int) -> None:
+        if not self.has_edge(provider, customer):
+            self.edges.append(ASEdge(provider, customer, "transit"))
+
+    def add_peering(self, a: int, b: int) -> None:
+        if not self.has_edge(a, b):
+            self.edges.append(ASEdge(min(a, b), max(a, b), "peer"))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return any(
+            {edge.a, edge.b} == {a, b} for edge in self.edges
+        )
+
+    def providers(self, asn: int) -> List[int]:
+        return [e.a for e in self.edges if e.kind == "transit" and e.b == asn]
+
+    def customers(self, asn: int) -> List[int]:
+        return [e.b for e in self.edges if e.kind == "transit" and e.a == asn]
+
+    def peers(self, asn: int) -> List[int]:
+        return [
+            e.other(asn)
+            for e in self.edges
+            if e.kind == "peer" and asn in (e.a, e.b)
+        ]
+
+    def neighbors(self, asn: int) -> List[int]:
+        return self.providers(asn) + self.customers(asn) + self.peers(asn)
+
+    def by_tier(self, tier: Tier) -> List[ASNode]:
+        return [node for node in self.nodes.values() if node.tier == tier]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass(frozen=True)
+class ASGraphConfig:
+    """Knobs for :func:`generate_as_graph`."""
+
+    tier1_count: int = 3
+    tier2_count: int = 8
+    regional_count: int = 14
+    stub_count: int = 45
+    include_re_network: bool = True
+    re_customer_count: int = 10
+    peering_probability: float = 0.35
+    regional_peering_probability: float = 0.15
+    multihome_probability: float = 0.35
+    stub_tier1_probability: float = 0.3
+    nat_stub_fraction: float = 0.15
+    silent_border_fraction: float = 0.05
+    sibling_group_count: int = 3
+    ixp_count: int = 2
+    ixp_member_fraction: float = 0.3
+    seed: int = 0
+
+
+def generate_as_graph(config: ASGraphConfig = ASGraphConfig()) -> ASGraph:
+    """Generate a deterministic AS hierarchy from *config*."""
+    rng = random.Random(config.seed)
+    graph = ASGraph()
+    next_asn = 100
+
+    def make_node(tier: Tier, name: str, routers: int, **kwargs) -> ASNode:
+        nonlocal next_asn
+        node = ASNode(asn=next_asn, tier=tier, name=name, router_count=routers, **kwargs)
+        next_asn += rng.randint(1, 40)
+        graph.add_node(node)
+        return node
+
+    tier1s = [
+        make_node(Tier.TIER1, f"tier1-{i}", rng.randint(8, 12))
+        for i in range(config.tier1_count)
+    ]
+    for i, first in enumerate(tier1s):
+        for second in tier1s[i + 1 :]:
+            graph.add_peering(first.asn, second.asn)
+
+    tier2s = [
+        make_node(
+            Tier.TIER2,
+            f"tier2-{i}",
+            rng.randint(4, 7),
+            silent_borders=rng.random() < config.silent_border_fraction,
+        )
+        for i in range(config.tier2_count)
+    ]
+    for node in tier2s:
+        for provider in rng.sample(tier1s, k=min(len(tier1s), rng.randint(1, 2))):
+            graph.add_transit(provider.asn, node.asn)
+    for i, first in enumerate(tier2s):
+        for second in tier2s[i + 1 :]:
+            if rng.random() < config.peering_probability:
+                graph.add_peering(first.asn, second.asn)
+
+    re_network = None
+    if config.include_re_network:
+        # An Internet2-like network: transit from tier-1s, peers with
+        # tier-2s, and R&E customers whose links it often numbers out
+        # of the customer's space.
+        re_network = make_node(
+            Tier.RE_NETWORK, "re-backbone", 9, customer_space_bias=0.7
+        )
+        for provider in rng.sample(tier1s, k=min(2, len(tier1s))):
+            graph.add_transit(provider.asn, re_network.asn)
+        for peer in rng.sample(tier2s, k=min(3, len(tier2s))):
+            graph.add_peering(re_network.asn, peer.asn)
+
+    regionals = [
+        make_node(Tier.REGIONAL, f"regional-{i}", rng.randint(2, 4))
+        for i in range(config.regional_count)
+    ]
+    for node in regionals:
+        providers = rng.sample(tier2s, k=min(len(tier2s), rng.randint(1, 2)))
+        for provider in providers:
+            graph.add_transit(provider.asn, node.asn)
+    for i, first in enumerate(regionals):
+        for second in regionals[i + 1 :]:
+            if rng.random() < config.regional_peering_probability:
+                graph.add_peering(first.asn, second.asn)
+
+    if re_network is not None:
+        for i in range(config.re_customer_count):
+            customer = make_node(Tier.STUB, f"re-customer-{i}", rng.randint(1, 2))
+            graph.add_transit(re_network.asn, customer.asn)
+            if rng.random() < 0.3 and regionals:
+                graph.add_transit(rng.choice(regionals).asn, customer.asn)
+
+    # Tier-1s sell transit to enterprises directly — the paper's
+    # biggest verified category for Level 3 is stub transit.
+    transit_pool = tier2s + regionals
+    for i in range(config.stub_count):
+        stub = make_node(
+            Tier.STUB,
+            f"stub-{i}",
+            rng.randint(1, 2),
+            natted=rng.random() < config.nat_stub_fraction,
+        )
+        if rng.random() < config.stub_tier1_probability:
+            providers = [rng.choice(tier1s)]
+        else:
+            providers = [rng.choice(transit_pool)]
+        if rng.random() < config.multihome_probability:
+            extra = rng.choice(transit_pool + tier1s)
+            if extra.asn != providers[0].asn:
+                providers.append(extra)
+        for provider in providers:
+            graph.add_transit(provider.asn, stub.asn)
+
+    _make_sibling_groups(graph, rng, config.sibling_group_count)
+    _make_ixps(graph, rng, config, next_asn)
+    return graph
+
+
+def _make_sibling_groups(graph: ASGraph, rng: random.Random, count: int) -> None:
+    """Merge pairs of mid-tier ASes into sibling organizations."""
+    candidates = graph.by_tier(Tier.TIER2) + graph.by_tier(Tier.REGIONAL)
+    rng.shuffle(candidates)
+    for i in range(min(count, len(candidates) // 2)):
+        first, second = candidates[2 * i], candidates[2 * i + 1]
+        graph.sibling_groups.append({first.asn, second.asn})
+        # Siblings usually interconnect; model it as transit so routes
+        # flow between the halves of the organization.
+        graph.add_transit(first.asn, second.asn)
+
+
+def _make_ixps(
+    graph: ASGraph, rng: random.Random, config: ASGraphConfig, next_asn: int
+) -> None:
+    """Create IXPs whose members establish bilateral peerings."""
+    candidates = [
+        node.asn
+        for node in graph.nodes.values()
+        if node.tier in (Tier.TIER2, Tier.REGIONAL)
+    ]
+    for i in range(config.ixp_count):
+        member_count = max(3, int(len(candidates) * config.ixp_member_fraction))
+        members = rng.sample(candidates, k=min(member_count, len(candidates)))
+        ixp = IXPSpec(name=f"ixp-{i}", asn=next_asn + i, members=members)
+        for j, first in enumerate(members):
+            for second in members[j + 1 :]:
+                if rng.random() < 0.5 and not graph.has_edge(first, second):
+                    ixp.sessions.append((first, second))
+        graph.ixps.append(ixp)

@@ -1,0 +1,55 @@
+"""Topology summaries for generated and hand-authored worlds."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.sim.asgraph import ASGraph, Tier
+from repro.sim.network import EXTERNAL, INTERNAL, IXP_LAN, MONITOR_LAN, Network
+
+
+def describe_as_graph(graph: ASGraph) -> Dict[str, object]:
+    """Counts per tier plus edge-kind totals."""
+    tiers = Counter(node.tier.value for node in graph.nodes.values())
+    kinds = Counter(edge.kind for edge in graph.edges)
+    return {
+        "ases": len(graph),
+        "by_tier": dict(sorted(tiers.items())),
+        "transit_edges": kinds.get("transit", 0),
+        "peering_edges": kinds.get("peer", 0),
+        "ixps": len(graph.ixps),
+        "ixp_sessions": sum(len(ixp.sessions) for ixp in graph.ixps),
+        "sibling_groups": len(graph.sibling_groups),
+        "natted_stubs": sum(1 for node in graph.nodes.values() if node.natted),
+    }
+
+
+def describe_network(network: Network) -> Dict[str, object]:
+    """Router/link/interface totals and artifact-flag counts."""
+    link_kinds = Counter(link.kind for link in network.links.values())
+    routers = network.routers.values()
+    return {
+        "routers": len(network.routers),
+        "interfaces": len(network.address_owner),
+        "internal_links": link_kinds.get(INTERNAL, 0),
+        "external_links": link_kinds.get(EXTERNAL, 0),
+        "ixp_lans": link_kinds.get(IXP_LAN, 0),
+        "monitor_lans": link_kinds.get(MONITOR_LAN, 0),
+        "per_packet_lb_routers": sum(1 for r in routers if r.per_packet_lb),
+        "egress_reply_routers": sum(
+            1 for r in network.routers.values() if r.replies_with_egress
+        ),
+        "silent_routers": sum(1 for r in network.routers.values() if r.silent),
+        "buggy_ttl_routers": sum(1 for r in network.routers.values() if r.buggy_ttl),
+    }
+
+
+def describe_lines(graph: ASGraph, network: Network) -> List[str]:
+    """Human-readable description, one fact per line."""
+    lines: List[str] = []
+    for key, value in describe_as_graph(graph).items():
+        lines.append(f"{key}: {value}")
+    for key, value in describe_network(network).items():
+        lines.append(f"{key}: {value}")
+    return lines

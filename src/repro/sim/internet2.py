@@ -1,0 +1,103 @@
+"""The paper's Internet2 neighborhood as a hand-authored testbed.
+
+Recreates, with the paper's literal addresses wherever the text gives
+them, the networks of Figs 1, 2 and 5:
+
+* **AS11537 Internet2** — a four-router backbone (New York, Cleveland,
+  Atlanta, Chicago) numbered from 198.71.44.0/22;
+* **AS2603 NORDUnet** — peers at New York over 109.105.98.8/30, the
+  link numbered from *NORDUnet's* space: 109.105.98.9 on the NORDUnet
+  router, **109.105.98.10** as the New York router's ingress — the
+  paper's central worked example;
+* **AS237 Merit** — peers at New York from its own 216.249.136.0/24;
+* **AS3754 NYSERNet** — customer at New York over 199.109.5.0/30
+  (customer-space numbering, the Internet2 convention violation);
+* **AS10466 MAGPI** — customer at Atlanta, Internet2-numbered link;
+* **AS3807 U. Montana** — customer at Chicago over two parallel links
+  numbered from Internet2's space (198.71.46.196/31 and .216/31), with
+  internal gear in 192.73.48.0/24 — the Fig 5 inverse-inference
+  topology;
+* **AS55 UPenn** — a stub below MAGPI (Fig 1's indirect connectivity).
+
+Monitors sit in NORDUnet, Merit, and UPenn, so traces cross Internet2
+in several directions, exposing the ingress interfaces of Fig 2.
+"""
+
+from __future__ import annotations
+
+from repro.sim.asgraph import Tier
+from repro.sim.testbed import Testbed, TestbedBuilder
+
+#: The paper's actors.
+INTERNET2 = 11537
+NORDUNET = 2603
+MERIT = 237
+NYSERNET = 3754
+MAGPI = 10466
+MONTANA = 3807
+UPENN = 55
+
+
+def internet2_testbed(seed: int = 0) -> Testbed:
+    """Build the Fig 1/2/5 neighborhood."""
+    tb = TestbedBuilder(seed=seed)
+    tb.add_as(INTERNET2, "internet2", "198.71.44.0/22", tier=Tier.RE_NETWORK)
+    tb.add_as(NORDUNET, "nordunet", "109.105.96.0/22", tier=Tier.TIER2)
+    tb.add_as(MERIT, "merit", "216.249.136.0/24", tier=Tier.REGIONAL)
+    tb.add_as(NYSERNET, "nysernet", "199.109.0.0/16", tier=Tier.REGIONAL)
+    tb.add_as(MAGPI, "magpi", "205.233.255.0/24", tier=Tier.REGIONAL)
+    tb.add_as(MONTANA, "montana", "192.73.48.0/24", tier=Tier.STUB)
+    tb.add_as(UPENN, "upenn", "158.130.0.0/16", tier=Tier.STUB)
+
+    # Internet2 backbone (all links from Internet2's space).
+    for router in ("newy", "clev", "atla", "chic"):
+        tb.add_router(router, INTERNET2)
+    tb.link("newy", "clev", "198.71.45.0/31")
+    tb.link("newy", "atla", "198.71.45.4/31")
+    tb.link("clev", "chic", "198.71.45.8/31")
+    tb.link("atla", "chic", "198.71.45.12/31")
+    tb.link("clev", "atla", "198.71.46.180/31")
+
+    # NORDUnet: one border router, link from NORDUnet space (Fig 2).
+    tb.add_router("nord-border", NORDUNET)
+    tb.add_router("nord-core", NORDUNET)
+    tb.link("nord-core", "nord-border", "109.105.97.0/31")
+    tb.link("nord-border", "newy", "109.105.98.8/30")  # .9 nord, .10 newy
+    tb.peer(NORDUNET, INTERNET2)
+
+    # Merit: link from Merit's space.
+    tb.add_router("merit-border", MERIT)
+    tb.add_router("merit-core", MERIT)
+    tb.link("merit-core", "merit-border", "216.249.136.0/31")
+    tb.link("merit-border", "newy", "216.249.136.196/31")
+    tb.peer(MERIT, INTERNET2)
+
+    # NYSERNet: customer, link numbered from the *customer's* space —
+    # the convention violation of Fig 1 / section 3.  199.109.5.1 is
+    # the NYSERNet router's ingress, seen right after New York.
+    tb.add_router("nyser", NYSERNET)
+    tb.link("nyser", "newy", "199.109.5.0/30", owner=NYSERNET)
+    tb.transit(INTERNET2, NYSERNET)
+
+    # Montana: two parallel customer links from Internet2 space (Fig 5)
+    # plus internal gear in its own /24.
+    tb.add_router("mont-border", MONTANA)
+    tb.add_router("mont-core", MONTANA)
+    tb.link("chic", "mont-border", "198.71.46.196/31")
+    tb.link("chic", "mont-border", "198.71.46.216/31")
+    tb.link("mont-border", "mont-core", "192.73.48.120/31")
+    tb.transit(INTERNET2, MONTANA)
+
+    # MAGPI at Atlanta (Internet2-numbered), UPenn below MAGPI.
+    tb.add_router("magpi", MAGPI)
+    tb.link("atla", "magpi", "198.71.46.32/31")
+    tb.transit(INTERNET2, MAGPI)
+    tb.add_router("upenn", UPENN)
+    tb.link("magpi", "upenn", "205.233.255.36/30")
+    tb.transit(MAGPI, UPENN)
+
+    # Vantage points.
+    tb.monitor("mon-nord", "nord-core")
+    tb.monitor("mon-merit", "merit-core")
+    tb.monitor("mon-upenn", "upenn")
+    return tb.build()

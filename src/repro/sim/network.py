@@ -1,0 +1,303 @@
+"""Router-level topology synthesis.
+
+Expands the AS-level graph into routers, links, and numbered
+interfaces:
+
+* each AS gets a small backbone (ring plus random chords) whose links
+  are numbered from its own space — the *intra*-AS interfaces of Fig 2;
+* every AS adjacency becomes one or two physical point-to-point links
+  between border routers, numbered from the provider's space by
+  convention, from the customer's with the configured violation
+  probability (Internet2-style), or from a random side for peerings;
+* each IXP becomes a multipoint LAN with one interface per member.
+
+The resulting :class:`Network` is the single source of truth: the
+traceroute engine walks it, and the ground-truth export reads link
+roles straight from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.net.prefix import Prefix
+from repro.sim.addressing import (
+    AddressPlan,
+    LinkAddressing,
+    build_address_plan,
+    number_p2p_link,
+)
+from repro.sim.asgraph import ASGraph, ASNode, IXPSpec
+
+INTERNAL = "internal"
+EXTERNAL = "external"
+IXP_LAN = "ixp"
+MONITOR_LAN = "monitor"
+
+
+@dataclass
+class Link:
+    """A physical link: two endpoints for p2p, many for an IXP LAN."""
+
+    link_id: int
+    kind: str
+    subnet: Prefix
+    owner_as: int
+    #: ``(router_id, address)`` per attached router
+    endpoints: List[Tuple[int, int]] = field(default_factory=list)
+
+    def other_endpoint(self, router_id: int) -> Tuple[int, int]:
+        """The far endpoint of a p2p link."""
+        for endpoint in self.endpoints:
+            if endpoint[0] != router_id:
+                return endpoint
+        raise ValueError(f"link {self.link_id} has no endpoint besides {router_id}")
+
+    def address_of(self, router_id: int) -> int:
+        for endpoint_router, address in self.endpoints:
+            if endpoint_router == router_id:
+                return address
+        raise KeyError(router_id)
+
+
+@dataclass
+class Router:
+    """One router: its AS, name, and attached links."""
+
+    router_id: int
+    asn: int
+    name: str
+    #: link ids attached to this router
+    links: List[int] = field(default_factory=list)
+    #: per-packet load balancer (section 4.1 artifact)
+    per_packet_lb: bool = False
+    #: replies with the interface facing the reply path instead of the
+    #: ingress interface (third-party address generator, Fig 4)
+    replies_with_egress: bool = False
+    #: never replies to traceroute
+    silent: bool = False
+    #: forwards TTL=1 packets instead of replying (quoted-TTL=0 bug)
+    buggy_ttl: bool = False
+
+
+@dataclass
+class Network:
+    """The complete router-level topology."""
+
+    as_graph: ASGraph
+    plan: AddressPlan
+    routers: Dict[int, Router] = field(default_factory=dict)
+    links: Dict[int, Link] = field(default_factory=dict)
+    routers_by_as: Dict[int, List[int]] = field(default_factory=dict)
+    #: internal adjacency per AS: router -> [(link_id, neighbor_router)]
+    internal_adjacency: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    #: external p2p links between an AS pair
+    external_links: Dict[FrozenSet[int], List[int]] = field(default_factory=dict)
+    #: IXP LAN link per IXP name, plus which sessions it carries
+    ixp_links: Dict[str, int] = field(default_factory=dict)
+    ixp_sessions: Dict[FrozenSet[int], str] = field(default_factory=dict)
+    #: address -> (router_id, link_id)
+    address_owner: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    _next_router: int = 0
+    _next_link: int = 0
+
+    # -- construction helpers -------------------------------------------------
+
+    def new_router(self, asn: int, name: str) -> Router:
+        router = Router(router_id=self._next_router, asn=asn, name=name)
+        self._next_router += 1
+        self.routers[router.router_id] = router
+        self.routers_by_as.setdefault(asn, []).append(router.router_id)
+        self.internal_adjacency.setdefault(router.router_id, [])
+        return router
+
+    def new_link(self, kind: str, subnet: Prefix, owner_as: int) -> Link:
+        link = Link(link_id=self._next_link, kind=kind, subnet=subnet, owner_as=owner_as)
+        self._next_link += 1
+        self.links[link.link_id] = link
+        return link
+
+    def attach(self, link: Link, router_id: int, address: int) -> None:
+        link.endpoints.append((router_id, address))
+        self.routers[router_id].links.append(link.link_id)
+        self.address_owner[address] = (router_id, link.link_id)
+
+    # -- queries ---------------------------------------------------------------
+
+    def router_as(self, router_id: int) -> int:
+        return self.routers[router_id].asn
+
+    def external_link_ids(self, a: int, b: int) -> List[int]:
+        return self.external_links.get(frozenset((a, b)), [])
+
+    def border_routers(self, asn: int, toward: int) -> List[int]:
+        """Routers of *asn* with a direct link (p2p or IXP) toward *toward*."""
+        borders: List[int] = []
+        for link_id in self.external_link_ids(asn, toward):
+            for router_id, _ in self.links[link_id].endpoints:
+                if self.router_as(router_id) == asn:
+                    borders.append(router_id)
+        session = self.ixp_sessions.get(frozenset((asn, toward)))
+        if session is not None:
+            lan = self.links[self.ixp_links[session]]
+            for router_id, _ in lan.endpoints:
+                if self.router_as(router_id) == asn:
+                    borders.append(router_id)
+        return borders
+
+    def interfaces(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every ``(address, router_id, link_id)``."""
+        for address, (router_id, link_id) in self.address_owner.items():
+            yield address, router_id, link_id
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Knobs for :func:`build_network`."""
+
+    p31_fraction: float = 0.4
+    #: global probability a transit link is numbered from the customer
+    customer_space_violation: float = 0.12
+    parallel_link_probability: float = 0.15
+    chord_probability: float = 0.3
+    per_packet_lb_fraction: float = 0.02
+    egress_reply_fraction: float = 0.05
+    silent_router_fraction: float = 0.02
+    buggy_ttl_fraction: float = 0.01
+    unannounced_fraction: float = 0.05
+    seed: int = 0
+
+
+def build_network(graph: ASGraph, config: NetworkConfig = NetworkConfig()) -> Network:
+    """Expand *graph* into a router-level :class:`Network`."""
+    rng = random.Random(config.seed ^ 0x5EED)
+    asns = sorted(graph.nodes)
+    ixp_asns = sorted(ixp.asn for ixp in graph.ixps if ixp.asn is not None)
+    plan = build_address_plan(
+        asns + ixp_asns, rng, unannounced_fraction=config.unannounced_fraction
+    )
+    network = Network(as_graph=graph, plan=plan)
+    for asn in asns:
+        _build_backbone(network, graph.nodes[asn], rng, config)
+    for edge in graph.edges:
+        _build_external_links(network, edge.a, edge.b, edge.kind, rng, config)
+    for ixp in graph.ixps:
+        _build_ixp(network, ixp, rng)
+    _assign_artifacts(network, rng, config)
+    return network
+
+
+def _build_backbone(
+    network: Network, node: ASNode, rng: random.Random, config: NetworkConfig
+) -> None:
+    """Create an AS's routers and internal links (ring + chords)."""
+    routers = [
+        network.new_router(node.asn, f"{node.name}-r{i}")
+        for i in range(node.router_count)
+    ]
+    if len(routers) < 2:
+        return
+    pairs: List[Tuple[Router, Router]] = []
+    for i, router in enumerate(routers):
+        pairs.append((router, routers[(i + 1) % len(routers)]))
+    if len(routers) == 2:
+        pairs = pairs[:1]
+    for i, first in enumerate(routers):
+        for second in routers[i + 2 :]:
+            if rng.random() < config.chord_probability and len(routers) > 3:
+                pairs.append((first, second))
+    allocator = network.plan.allocator(node.asn)
+    for first, second in pairs:
+        addressing = number_p2p_link(allocator, rng, config.p31_fraction)
+        link = network.new_link(INTERNAL, addressing.subnet, node.asn)
+        network.attach(link, first.router_id, addressing.owner_address)
+        network.attach(link, second.router_id, addressing.other_address)
+        network.internal_adjacency[first.router_id].append(
+            (link.link_id, second.router_id)
+        )
+        network.internal_adjacency[second.router_id].append(
+            (link.link_id, first.router_id)
+        )
+
+
+def _build_external_links(
+    network: Network,
+    a: int,
+    b: int,
+    kind: str,
+    rng: random.Random,
+    config: NetworkConfig,
+) -> None:
+    """Create the physical link(s) realizing one AS adjacency."""
+    count = 2 if rng.random() < config.parallel_link_probability else 1
+    for _ in range(count):
+        owner = _pick_numbering_as(network.as_graph, a, b, kind, rng, config)
+        allocator = network.plan.allocator(owner)
+        addressing = number_p2p_link(allocator, rng, config.p31_fraction)
+        link = network.new_link(EXTERNAL, addressing.subnet, owner)
+        other = b if owner == a else a
+        owner_router = rng.choice(network.routers_by_as[owner])
+        other_router = rng.choice(network.routers_by_as[other])
+        network.attach(link, owner_router, addressing.owner_address)
+        network.attach(link, other_router, addressing.other_address)
+        network.external_links.setdefault(frozenset((a, b)), []).append(link.link_id)
+
+
+def _pick_numbering_as(
+    graph: ASGraph, a: int, b: int, kind: str, rng: random.Random, config: NetworkConfig
+) -> int:
+    """Whose address space numbers this link.
+
+    Transit links conventionally use the provider's space; the provider
+    node's ``customer_space_bias`` (Internet2-style) or the global
+    violation probability flips that.  Peering links pick a random side.
+    """
+    if kind != "transit":
+        return rng.choice((a, b))
+    provider, customer = a, b
+    bias = graph.nodes[provider].customer_space_bias
+    violation = max(bias, config.customer_space_violation)
+    if rng.random() < violation:
+        return customer
+    return provider
+
+
+def _build_ixp(network: Network, ixp: IXPSpec, rng: random.Random) -> None:
+    """Create an IXP LAN and attach one border router per member."""
+    if ixp.asn is None or not ixp.sessions:
+        return
+    allocator = network.plan.allocator(ixp.asn)
+    lan_prefix = allocator.lan(24)
+    link = network.new_link(IXP_LAN, lan_prefix, ixp.asn)
+    hosts = iter(range(lan_prefix.address + 1, lan_prefix.broadcast))
+    participants = sorted({asn for session in ixp.sessions for asn in session})
+    for member in participants:
+        router_id = rng.choice(network.routers_by_as[member])
+        network.attach(link, router_id, next(hosts))
+    network.ixp_links[ixp.name] = link.link_id
+    for first, second in ixp.sessions:
+        network.ixp_sessions[frozenset((first, second))] = ixp.name
+
+
+def _assign_artifacts(
+    network: Network, rng: random.Random, config: NetworkConfig
+) -> None:
+    """Flag routers with the section 4.1/4.7 artifact behaviours."""
+    for router in network.routers.values():
+        node = network.as_graph.nodes[router.asn]
+        router.per_packet_lb = rng.random() < config.per_packet_lb_fraction
+        router.replies_with_egress = rng.random() < config.egress_reply_fraction
+        router.silent = rng.random() < config.silent_router_fraction
+        router.buggy_ttl = rng.random() < config.buggy_ttl_fraction
+        if node.silent_borders and _is_border(network, router):
+            router.silent = True
+
+
+def _is_border(network: Network, router: Router) -> bool:
+    """True when the router terminates an external or IXP link."""
+    return any(
+        network.links[link_id].kind in (EXTERNAL, IXP_LAN)
+        for link_id in router.links
+    )

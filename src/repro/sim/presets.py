@@ -1,0 +1,87 @@
+"""Named scenario presets.
+
+* :func:`small_scenario` — seconds-fast, for unit tests and examples;
+* :func:`paper_scenario` — the evaluation-scale topology used by every
+  benchmark: three tier-1s (two of which play Level 3 / TeliaSonera),
+  an Internet2-like R&E network with a customer cone that numbers
+  transit links from customer space, a deep tier-2/regional hierarchy,
+  IXPs, sibling organizations, and a large stub population with NATed
+  and low-visibility members;
+* :func:`dense_scenario` — a heavier variant for scaling studies.
+"""
+
+from __future__ import annotations
+
+from repro.sim.asgraph import ASGraphConfig
+from repro.sim.network import NetworkConfig
+from repro.sim.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.sim.tracer import TracerConfig
+
+
+def small_config(seed: int = 0) -> ScenarioConfig:
+    """A tiny world: ~30 ASes, a few hundred traces."""
+    return ScenarioConfig(
+        seed=seed,
+        as_graph=ASGraphConfig(
+            tier1_count=2,
+            tier2_count=4,
+            regional_count=5,
+            stub_count=12,
+            re_customer_count=5,
+            sibling_group_count=1,
+            ixp_count=1,
+        ),
+        monitor_count=5,
+        targets_per_prefix=3,
+        collector_count=3,
+    )
+
+
+def paper_config(seed: int = 0) -> ScenarioConfig:
+    """The evaluation-scale world behind the table/figure benchmarks."""
+    return ScenarioConfig(
+        seed=seed,
+        as_graph=ASGraphConfig(
+            tier1_count=3,
+            tier2_count=12,
+            regional_count=20,
+            stub_count=70,
+            re_customer_count=16,
+            sibling_group_count=4,
+            ixp_count=2,
+        ),
+        monitor_count=16,
+        targets_per_prefix=6,
+        collector_count=8,
+    )
+
+
+def dense_config(seed: int = 0) -> ScenarioConfig:
+    """A heavier world for scaling and robustness studies."""
+    return ScenarioConfig(
+        seed=seed,
+        as_graph=ASGraphConfig(
+            tier1_count=4,
+            tier2_count=18,
+            regional_count=30,
+            stub_count=120,
+            re_customer_count=20,
+            sibling_group_count=6,
+            ixp_count=3,
+        ),
+        monitor_count=24,
+        targets_per_prefix=8,
+        collector_count=10,
+    )
+
+
+def small_scenario(seed: int = 0) -> Scenario:
+    return build_scenario(small_config(seed))
+
+
+def paper_scenario(seed: int = 0) -> Scenario:
+    return build_scenario(paper_config(seed))
+
+
+def dense_scenario(seed: int = 0) -> Scenario:
+    return build_scenario(dense_config(seed))

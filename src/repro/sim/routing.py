@@ -1,0 +1,229 @@
+"""Policy routing for the synthetic Internet.
+
+Two layers, as in the real thing:
+
+* **Inter-AS**: Gao-Rexford valley-free route selection.  For each
+  destination AS, every other AS picks a next-hop AS preferring
+  customer-learned routes over peer-learned over provider-learned,
+  breaking ties by AS-path length and then lowest next-hop ASN.
+  Bilateral IXP sessions participate as peering edges.
+* **Intra-AS**: per-AS IGP shortest paths (hop count) with equal-cost
+  sets preserved, so the traceroute engine can model per-flow and
+  per-packet load balancing across them.
+
+Everything is deterministic given the topology; randomness lives only
+in the traceroute engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sim.asgraph import ASGraph
+from repro.sim.network import Network
+
+#: Route classes in preference order.
+SELF, CUSTOMER, PEER, PROVIDER = 0, 1, 2, 3
+
+_INF = 1 << 30
+
+
+class ASRoutes:
+    """Valley-free next-hop tables, computed per destination AS."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._providers: Dict[int, List[int]] = {}
+        self._customers: Dict[int, List[int]] = {}
+        self._peers: Dict[int, List[int]] = {}
+        for asn in graph.nodes:
+            self._providers[asn] = sorted(graph.providers(asn))
+            self._customers[asn] = sorted(graph.customers(asn))
+            self._peers[asn] = sorted(graph.peers(asn))
+        for ixp in graph.ixps:
+            for a, b in ixp.sessions:
+                if b not in self._peers[a]:
+                    self._peers[a].append(b)
+                if a not in self._peers[b]:
+                    self._peers[b].append(a)
+        for peers in self._peers.values():
+            peers.sort()
+        self._asns = sorted(graph.nodes)
+        self._tables: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
+
+    # -- route computation ------------------------------------------------
+
+    def knows(self, asn: int) -> bool:
+        """True when *asn* participates in inter-AS routing."""
+        return asn in self._providers
+
+    def table_for(self, dst_as: int) -> Dict[int, Tuple[int, int, int]]:
+        """``asn -> (route_class, path_length, next_hop_as)`` toward *dst_as*."""
+        table = self._tables.get(dst_as)
+        if table is None:
+            table = self._compute(dst_as) if self.knows(dst_as) else {}
+            self._tables[dst_as] = table
+        return table
+
+    def _compute(self, dst_as: int) -> Dict[int, Tuple[int, int, int]]:
+        customer_dist: Dict[int, int] = {dst_as: 0}
+        customer_next: Dict[int, int] = {}
+        # Customer routes propagate from the destination up provider
+        # chains: a provider reaches dst through its customer.
+        queue = deque([dst_as])
+        while queue:
+            current = queue.popleft()
+            for provider in self._providers[current]:
+                if provider not in customer_dist:
+                    customer_dist[provider] = customer_dist[current] + 1
+                    customer_next[provider] = current
+                    queue.append(provider)
+                elif (
+                    customer_dist[provider] == customer_dist[current] + 1
+                    and current < customer_next[provider]
+                ):
+                    customer_next[provider] = current
+
+        table: Dict[int, Tuple[int, int, int]] = {}
+        for asn, dist in customer_dist.items():
+            route_class = SELF if asn == dst_as else CUSTOMER
+            table[asn] = (route_class, dist, customer_next.get(asn, asn))
+
+        # Peer routes: one peer hop into the customer cone.
+        peer_candidates: Dict[int, Tuple[int, int]] = {}
+        for asn in self._asns:
+            if asn in customer_dist:
+                continue
+            best: Optional[Tuple[int, int]] = None
+            for peer in self._peers[asn]:
+                dist = customer_dist.get(peer)
+                if dist is None:
+                    continue
+                candidate = (dist + 1, peer)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is not None:
+                peer_candidates[asn] = best
+                table[asn] = (PEER, best[0], best[1])
+
+        # Provider routes: repeated relaxation up the customer->provider
+        # direction (an AS uses its provider's best route of any class).
+        changed = True
+        while changed:
+            changed = False
+            for asn in self._asns:
+                if asn in table and table[asn][0] in (SELF, CUSTOMER, PEER):
+                    continue
+                best: Optional[Tuple[int, int]] = None
+                for provider in self._providers[asn]:
+                    entry = table.get(provider)
+                    if entry is None:
+                        continue
+                    candidate = (entry[1] + 1, provider)
+                    if best is None or candidate < best:
+                        best = candidate
+                if best is not None:
+                    entry = (PROVIDER, best[0], best[1])
+                    if table.get(asn) != entry:
+                        table[asn] = entry
+                        changed = True
+        return table
+
+    def next_hop(self, src_as: int, dst_as: int) -> Optional[int]:
+        """The next-hop AS from *src_as* toward *dst_as*, or None."""
+        if src_as == dst_as:
+            return src_as
+        entry = self.table_for(dst_as).get(src_as)
+        return entry[2] if entry is not None else None
+
+    def alternate_next_hop(self, src_as: int, dst_as: int) -> Optional[int]:
+        """A valid but non-best next-hop AS toward *dst_as*, or None.
+
+        Used to model transient routing changes: the fallback route a
+        network uses while its best path is withdrawn.  Candidates obey
+        valley-freeness — customers and peers are only usable when they
+        hold customer routes; providers export everything.
+        """
+        if src_as == dst_as:
+            return None
+        table = self.table_for(dst_as)
+        best = table.get(src_as)
+        candidates: List[Tuple[int, int, int]] = []
+        for customer in self._customers[src_as]:
+            entry = table.get(customer)
+            if entry is not None and entry[0] in (SELF, CUSTOMER):
+                candidates.append((CUSTOMER, entry[1] + 1, customer))
+        for peer in self._peers[src_as]:
+            entry = table.get(peer)
+            if entry is not None and entry[0] in (SELF, CUSTOMER):
+                candidates.append((PEER, entry[1] + 1, peer))
+        for provider in self._providers[src_as]:
+            entry = table.get(provider)
+            if entry is not None:
+                candidates.append((PROVIDER, entry[1] + 1, provider))
+        candidates.sort()
+        primary = best[2] if best is not None else None
+        for _, _, asn in candidates:
+            if asn != primary:
+                return asn
+        return None
+
+    def as_path(self, src_as: int, dst_as: int) -> Optional[List[int]]:
+        """The full AS path, or None when unreachable."""
+        path = [src_as]
+        current = src_as
+        for _ in range(64):
+            if current == dst_as:
+                return path
+            nxt = self.next_hop(current, dst_as)
+            if nxt is None or nxt in path:
+                return None
+            path.append(nxt)
+            current = nxt
+        return None
+
+
+class IGP:
+    """Per-AS shortest paths with equal-cost next-hop sets."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        #: (src_router, dst_router) -> sorted [(link_id, next_router)]
+        self._next: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._dist: Dict[Tuple[int, int], int] = {}
+        self._done: Set[int] = set()
+
+    def _ensure(self, dst_router: int) -> None:
+        """BFS from *dst_router* within its AS, recording ECMP sets."""
+        if dst_router in self._done:
+            return
+        self._done.add(dst_router)
+        network = self._network
+        dist: Dict[int, int] = {dst_router: 0}
+        queue = deque([dst_router])
+        while queue:
+            current = queue.popleft()
+            for link_id, neighbor in network.internal_adjacency[current]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+        for router_id, router_dist in dist.items():
+            self._dist[(router_id, dst_router)] = router_dist
+            if router_id == dst_router:
+                continue
+            hops = sorted(
+                (link_id, neighbor)
+                for link_id, neighbor in network.internal_adjacency[router_id]
+                if dist.get(neighbor, _INF) == router_dist - 1
+            )
+            self._next[(router_id, dst_router)] = hops
+
+    def distance(self, src_router: int, dst_router: int) -> Optional[int]:
+        """IGP hop count, or None when disconnected / different ASes."""
+        self._ensure(dst_router)
+        return self._dist.get((src_router, dst_router))
+
+    def next_hops(self, src_router: int, dst_router: int) -> List[Tuple[int, int]]:
+        """Equal-cost ``(link_id, next_router)`` choices, sorted."""
+        self._ensure(dst_router)
+        return self._next.get((src_router, dst_router), [])

@@ -1,0 +1,432 @@
+"""Traceroute engine with artifact injection (paper sections 4.1, 4.7).
+
+Simulates Paris-style traceroute over the synthetic network.  The
+engine walks the two-layer routing (valley-free inter-AS, ECMP IGP
+intra-AS) and renders one hop per TTL, injecting exactly the artifact
+classes the paper contends with:
+
+* **per-flow load balancing** — ECMP choices hashed on the flow id, so
+  one trace stays on one path (what Paris traceroute guarantees);
+* **per-packet load balancing** — flagged routers choose uniformly per
+  probe, so consecutive TTLs may ride different paths, creating the
+  false adjacencies and cycles section 4.1 discards;
+* **transient route changes** — with small probability a trace's later
+  probes reroute (the flow hash is re-salted mid-trace);
+* **third-party addresses** — flagged routers reply with their
+  interface toward the *reply* path instead of the ingress (Fig 4);
+* **quoted-TTL=0 bug** — flagged routers forward TTL=1 probes, so the
+  next router answers with quoted TTL 0;
+* **silent routers / silent border policies** — `*` hops;
+* **NAT stubs** — every router inside replies with the stub's single
+  public address (section 4.8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+from repro.sim.asgraph import Tier
+from repro.sim.network import EXTERNAL, IXP_LAN, MONITOR_LAN, Link, Network
+from repro.sim.routing import ASRoutes, IGP
+from repro.traceroute.model import Hop, Trace
+
+_MAX_TTL = 40
+_GAP_LIMIT = 3
+
+
+@dataclass
+class Monitor:
+    """A vantage point: a host hanging off one router."""
+
+    name: str
+    asn: int
+    address: int
+    gateway_router: int
+    lan_link: int
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """Probabilities for per-trace artifact behaviour."""
+
+    transient_change_probability: float = 0.02
+    destination_reply_probability: float = 0.7
+    seed: int = 0
+
+
+class TracerouteEngine:
+    """Walks the network and renders traces."""
+
+    def __init__(
+        self,
+        network: Network,
+        as_routes: ASRoutes,
+        igp: IGP,
+        config: TracerConfig = TracerConfig(),
+    ) -> None:
+        self.network = network
+        self.as_routes = as_routes
+        self.igp = igp
+        self.config = config
+        self._owner_trie = PrefixTrie()
+        for prefix, asn in network.plan.all_prefixes():
+            self._owner_trie.insert(prefix, asn)
+        self._nat_address: Dict[int, int] = self._find_nat_addresses()
+        self._monitors: Dict[str, Monitor] = {}
+        self._home_cache: Dict[int, int] = {}
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_monitor(
+        self,
+        name: str,
+        asn: int,
+        rng: random.Random,
+        router_id: Optional[int] = None,
+    ) -> Monitor:
+        """Attach a monitor host to a router of *asn*.
+
+        The gateway router is chosen at random unless *router_id* pins
+        it (hand-authored testbeds do).
+        """
+        network = self.network
+        if router_id is None:
+            router_id = rng.choice(network.routers_by_as[asn])
+        allocator = network.plan.allocator(asn)
+        subnet = allocator.link_subnet(use_31=False)
+        gateway_address, host_address = subnet.address + 1, subnet.address + 2
+        link = network.new_link(MONITOR_LAN, subnet, asn)
+        network.attach(link, router_id, gateway_address)
+        monitor = Monitor(
+            name=name,
+            asn=asn,
+            address=host_address,
+            gateway_router=router_id,
+            lan_link=link.link_id,
+        )
+        self._monitors[name] = monitor
+        return monitor
+
+    def _find_nat_addresses(self) -> Dict[int, int]:
+        """The single public address each NATed stub exposes.
+
+        Everything behind a NATed stub's border — internal routers and
+        probed destinations alike — answers from this one address (a
+        NAT pool address in the stub's own space), which is what makes
+        such stubs invisible to the main algorithm and the target of
+        the Alg 4 heuristic.
+        """
+        addresses: Dict[int, int] = {}
+        for node in self.network.as_graph.nodes.values():
+            if node.natted:
+                addresses[node.asn] = self.network.plan.allocator(node.asn).host()
+        return addresses
+
+    # -- address helpers -----------------------------------------------------
+
+    def owner_as(self, address: int) -> Optional[int]:
+        """Which AS's allocation covers *address* (ground truth)."""
+        return self._owner_trie.lookup_value(address)
+
+    def home_router(self, address: int) -> Optional[int]:
+        """The router that 'hosts' *address* for forwarding purposes."""
+        owned = self.network.address_owner.get(address)
+        if owned is not None:
+            return owned[0]
+        asn = self.owner_as(address)
+        if asn is None:
+            return None
+        routers = self.network.routers_by_as.get(asn)
+        if not routers:
+            return None
+        return routers[address % len(routers)]
+
+    # -- forwarding ------------------------------------------------------------
+
+    def _select(self, choices: List, salt: int, per_packet: bool, rng: random.Random):
+        """ECMP selection: flow-hashed normally, uniform when per-packet."""
+        if len(choices) == 1:
+            return choices[0]
+        if per_packet:
+            return choices[rng.randrange(len(choices))]
+        return choices[salt % len(choices)]
+
+    def _walk(
+        self,
+        start_router: int,
+        dst_address: int,
+        flow_salt: int,
+        rng: random.Random,
+        max_steps: int = 80,
+        prefer_far: bool = False,
+    ) -> Tuple[List[Tuple[int, Optional[int]]], bool]:
+        """Forward from *start_router* to the destination's home router.
+
+        Returns ``(path, arrived)``: one ``(router_id,
+        ingress_link_id)`` entry per router the packet arrives at after
+        leaving the start router, and whether the walk actually reached
+        the destination's home router (policy routing can leave a
+        destination unreachable, e.g. a peer's space beyond a
+        valley-free boundary).
+        """
+        network = self.network
+        dst_as = self.owner_as(dst_address)
+        home = self.home_router(dst_address)
+        if dst_as is None or home is None:
+            return [], False
+        path: List[Tuple[int, Optional[int]]] = []
+        current = start_router
+        diverted = not prefer_far
+        for _ in range(max_steps):
+            router = network.routers[current]
+            if current == home:
+                break
+            per_packet = router.per_packet_lb
+            if router.asn == dst_as:
+                hops = self.igp.next_hops(current, home)
+                if not hops:
+                    break
+                link_id, nxt = self._select(hops, flow_salt, per_packet, rng)
+                path.append((nxt, link_id))
+                current = nxt
+                continue
+            next_as = self.as_routes.next_hop(router.asn, dst_as)
+            if not diverted:
+                # Transient routing change: the first AS-level decision
+                # falls back to a non-best route, as if the best path
+                # was just withdrawn.
+                alternate = self.as_routes.alternate_next_hop(router.asn, dst_as)
+                if alternate is not None:
+                    next_as = alternate
+                    diverted = True
+            if next_as is None:
+                break
+            crossing = self._crossing_links(current, next_as)
+            if crossing:
+                link_id, nxt = self._select(crossing, flow_salt, per_packet, rng)
+                path.append((nxt, link_id))
+                current = nxt
+                continue
+            borders = network.border_routers(router.asn, next_as)
+            if not borders:
+                break
+            distances = [
+                (self.igp.distance(current, border), border)
+                for border in borders
+            ]
+            reachable = sorted(
+                (dist, border) for dist, border in distances if dist is not None
+            )
+            if not reachable:
+                break
+            # A transient routing change (prefer_far) temporarily sends
+            # traffic through the most distant egress instead of the
+            # nearest, the way a withdrawn best route falls back to a
+            # longer one.
+            pick = reachable[-1][0] if prefer_far else reachable[0][0]
+            nearest = [border for dist, border in reachable if dist == pick]
+            border = self._select(nearest, flow_salt, per_packet, rng)
+            hops = self.igp.next_hops(current, border)
+            if not hops:
+                break
+            link_id, nxt = self._select(hops, flow_salt, per_packet, rng)
+            path.append((nxt, link_id))
+            current = nxt
+        return path, current == home
+
+    def _crossing_links(self, router_id: int, next_as: int) -> List[Tuple[int, int]]:
+        """Links on *router_id* that cross directly into *next_as*."""
+        network = self.network
+        crossings: List[Tuple[int, int]] = []
+        for link_id in network.routers[router_id].links:
+            link = network.links[link_id]
+            if link.kind == EXTERNAL:
+                other_router, _ = link.other_endpoint(router_id)
+                if network.router_as(other_router) == next_as:
+                    crossings.append((link_id, other_router))
+            elif link.kind == IXP_LAN:
+                session = network.ixp_sessions.get(
+                    frozenset((network.router_as(router_id), next_as))
+                )
+                if session is not None and network.ixp_links[session] == link_id:
+                    for other_router, _ in link.endpoints:
+                        if network.router_as(other_router) == next_as:
+                            crossings.append((link_id, other_router))
+        return sorted(crossings)
+
+    # -- responses -------------------------------------------------------------
+
+    def _response_address(
+        self,
+        router_id: int,
+        ingress_link: Optional[int],
+        monitor: Monitor,
+        flow_salt: int,
+        rng: random.Random,
+    ) -> Optional[int]:
+        """What address the router at this hop replies with."""
+        network = self.network
+        router = network.routers[router_id]
+        if router.silent:
+            return None
+        nat = self._nat_address.get(router.asn)
+        if nat is not None:
+            # The stub's border still reports its ingress on the
+            # inter-AS link (the CPE's WAN interface); everything
+            # deeper answers from the NAT pool address.
+            ingress_external = (
+                ingress_link is not None
+                and network.links[ingress_link].kind == EXTERNAL
+            )
+            if not ingress_external:
+                return nat
+        if router.replies_with_egress:
+            egress = self._reply_interface(router_id, monitor, flow_salt, rng)
+            if egress is not None:
+                return egress
+        if ingress_link is not None:
+            try:
+                return network.links[ingress_link].address_of(router_id)
+            except KeyError:
+                pass
+        # No ingress knowledge (first hop): fall back to any interface.
+        for link_id in router.links:
+            try:
+                return network.links[link_id].address_of(router_id)
+            except KeyError:
+                continue
+        return None
+
+    def _reply_interface(
+        self, router_id: int, monitor: Monitor, flow_salt: int, rng: random.Random
+    ) -> Optional[int]:
+        """The interface used to send the ICMP reply toward the monitor.
+
+        This is what generates genuine third-party addresses: the reply
+        leaves via a different neighbor than the probe arrived from.
+        """
+        reverse, _ = self._walk(router_id, monitor.address, flow_salt ^ 0x9E37, rng)
+        if not reverse:
+            return None
+        first_link = reverse[0][1]
+        if first_link is None:
+            return None
+        try:
+            return self.network.links[first_link].address_of(router_id)
+        except KeyError:
+            return None
+
+    # -- the public entry point ---------------------------------------------
+
+    def trace(self, monitor_name: str, dst_address: int, flow_id: int) -> Trace:
+        """Run one traceroute from a monitor toward *dst_address*."""
+        monitor = self._monitors[monitor_name]
+        seed = (
+            monitor.address * 1000003 + dst_address * 31 + flow_id
+        ) ^ self.config.seed
+        rng = random.Random(seed & 0xFFFFFFFF)
+        flow_salt = (dst_address * 2654435761 + flow_id) & 0xFFFFFFFF
+        # A transient routing change diverts probes onto an alternate
+        # path for a window of TTLs and then reverts; when the two
+        # paths differ in length, earlier hops reappear later — the
+        # interface cycles section 4.1 discards.
+        reroute_window = None
+        if rng.random() < self.config.transient_change_probability:
+            start = rng.randint(2, 12)
+            reroute_window = (start, start + rng.randint(2, 6))
+
+        base_path, base_arrived = self._full_path(monitor, dst_address, flow_salt, rng)
+        needs_per_probe = reroute_window is not None or any(
+            self.network.routers[router_id].per_packet_lb
+            for router_id, _ in base_path
+        )
+        dst_replies = (
+            rng.random() < self.config.destination_reply_probability
+        )
+
+        hops: List[Hop] = []
+        gaps = 0
+        for ttl in range(1, _MAX_TTL + 1):
+            if needs_per_probe:
+                diverted = (
+                    reroute_window is not None
+                    and reroute_window[0] <= ttl < reroute_window[1]
+                )
+                probe_path, arrived = self._full_path(
+                    monitor, dst_address, flow_salt, rng, prefer_far=diverted
+                )
+            else:
+                probe_path, arrived = base_path, base_arrived
+            if ttl > len(probe_path):
+                # Beyond the home router: only the destination host is
+                # left to answer (echo reply), or nobody is.  Behind a
+                # NAT, the reply is sourced from the NAT pool address
+                # regardless of the probed destination.  An unreachable
+                # destination (policy routing dead end) never answers.
+                if dst_replies and arrived:
+                    dst_as = self.owner_as(dst_address)
+                    reply = self._nat_address.get(dst_as, dst_address)
+                    hops.append(Hop(reply, quoted_ttl=1, rtt_ms=float(ttl)))
+                break
+            hop, done = self._render_hop(
+                probe_path, ttl, dst_address, monitor, flow_salt, rng
+            )
+            hops.append(hop)
+            if done:
+                break
+            gaps = gaps + 1 if hop.address is None else 0
+            if gaps >= _GAP_LIMIT:
+                break
+        while hops and hops[-1].address is None:
+            hops.pop()
+        return Trace(monitor_name, dst_address, tuple(hops), flow_id)
+
+    def _full_path(
+        self,
+        monitor: Monitor,
+        dst_address: int,
+        flow_salt: int,
+        rng: random.Random,
+        prefer_far: bool = False,
+    ) -> Tuple[List[Tuple[int, Optional[int]]], bool]:
+        """The router path (gateway first) plus whether it arrived."""
+        gateway = [(monitor.gateway_router, monitor.lan_link)]
+        walked, arrived = self._walk(
+            monitor.gateway_router, dst_address, flow_salt, rng, prefer_far=prefer_far
+        )
+        if not walked and monitor.gateway_router == self.home_router(dst_address):
+            arrived = True
+        return gateway + walked, arrived
+
+    def _render_hop(
+        self,
+        probe_path: List[Tuple[int, Optional[int]]],
+        ttl: int,
+        dst_address: int,
+        monitor: Monitor,
+        flow_salt: int,
+        rng: random.Random,
+    ) -> Tuple[Hop, bool]:
+        """Render the response for the probe with this TTL."""
+        router_id, ingress_link = probe_path[ttl - 1]
+        router = self.network.routers[router_id]
+        if ttl == len(probe_path):
+            owned = self.network.address_owner.get(dst_address)
+            if owned is not None and owned[0] == router_id:
+                # Probing a router's own interface: the echo reply is
+                # sourced from the probed address itself.
+                return Hop(dst_address, quoted_ttl=1, rtt_ms=float(ttl)), True
+        if router.buggy_ttl and ttl < len(probe_path):
+            # The buggy router forwards the expiring probe; the next
+            # router replies with quoted TTL 0 (section 4.1).
+            next_router, next_link = probe_path[ttl]
+            address = self._response_address(
+                next_router, next_link, monitor, flow_salt, rng
+            )
+            return Hop(address, quoted_ttl=0), False
+        address = self._response_address(router_id, ingress_link, monitor, flow_salt, rng)
+        return Hop(address, quoted_ttl=1, rtt_ms=float(ttl)), False

@@ -1,0 +1,37 @@
+"""Traceroute trace model, parsing, and sanitization (paper section 4.1)."""
+
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.parse import (
+    parse_text_traces,
+    parse_json_traces,
+    traces_to_json_lines,
+    traces_to_text_lines,
+)
+from repro.traceroute.ops import (
+    by_monitor,
+    dedupe_traces,
+    filter_traces,
+    merge_datasets,
+    sample_traces,
+)
+from repro.traceroute.sanitize import SanitizeReport, find_cycle, sanitize_traces
+from repro.traceroute.stats import DatasetStats, dataset_stats
+
+__all__ = [
+    "DatasetStats",
+    "Hop",
+    "SanitizeReport",
+    "Trace",
+    "by_monitor",
+    "dedupe_traces",
+    "filter_traces",
+    "merge_datasets",
+    "sample_traces",
+    "dataset_stats",
+    "find_cycle",
+    "parse_json_traces",
+    "parse_text_traces",
+    "sanitize_traces",
+    "traces_to_json_lines",
+    "traces_to_text_lines",
+]

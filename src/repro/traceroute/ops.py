@@ -1,0 +1,84 @@
+"""Bulk operations over trace datasets.
+
+Month-scale collections need routine dataset surgery before analysis:
+deduplication (ARK probes the same /24 repeatedly), deterministic
+subsampling, splitting by vantage point, and merging cycles'
+collections.  All helpers are lazy where possible and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.traceroute.model import Trace
+
+
+def path_signature(trace: Trace) -> Tuple:
+    """A hashable signature of the responsive hop sequence."""
+    return tuple(hop.address for hop in trace.hops)
+
+
+def dedupe_traces(traces: Iterable[Trace]) -> Iterator[Trace]:
+    """Drop traces whose (monitor, destination, hops) repeat exactly.
+
+    Keeps the first occurrence; order is otherwise preserved.  Useful
+    when merging overlapping collection cycles.
+    """
+    seen: Set[Tuple] = set()
+    for trace in traces:
+        key = (trace.monitor, trace.dst, path_signature(trace))
+        if key not in seen:
+            seen.add(key)
+            yield trace
+
+
+def sample_traces(
+    traces: Iterable[Trace], fraction: float, salt: int = 0
+) -> Iterator[Trace]:
+    """Deterministically keep roughly *fraction* of the traces.
+
+    Selection hashes (monitor, dst, flow) so the same subset comes back
+    on every run — resampling a growing dataset keeps earlier picks.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    threshold = int(fraction * (1 << 32))
+    for trace in traces:
+        key = (trace.dst * 2654435761 + trace.flow_id * 40503 + salt) & 0xFFFFFFFF
+        mixed = (key ^ (key >> 16)) * 2246822519 & 0xFFFFFFFF
+        if mixed < threshold:
+            yield trace
+
+
+def by_monitor(traces: Iterable[Trace]) -> Dict[str, List[Trace]]:
+    """Group traces by vantage point."""
+    grouped: Dict[str, List[Trace]] = {}
+    for trace in traces:
+        grouped.setdefault(trace.monitor, []).append(trace)
+    return grouped
+
+
+def filter_traces(
+    traces: Iterable[Trace],
+    monitor: Optional[str] = None,
+    involving: Optional[int] = None,
+    min_hops: int = 0,
+) -> Iterator[Trace]:
+    """Select traces by vantage point, visited address, or length."""
+    for trace in traces:
+        if monitor is not None and trace.monitor != monitor:
+            continue
+        if len(trace.hops) < min_hops:
+            continue
+        if involving is not None and involving not in set(trace.addresses()):
+            continue
+        yield trace
+
+
+def merge_datasets(*datasets: Iterable[Trace]) -> Iterator[Trace]:
+    """Concatenate collections, deduplicating across them."""
+    def chained() -> Iterator[Trace]:
+        for dataset in datasets:
+            yield from dataset
+
+    return dedupe_traces(chained())

@@ -1,0 +1,108 @@
+"""Trace serialization: a compact text format and a JSON-lines format.
+
+The text format is one trace per line::
+
+    monitor|dst|hop hop hop ...
+
+where each hop is ``*`` (no reply) or ``address[@quoted_ttl]``; a
+quoted TTL of 1 is implied when omitted.  The JSON-lines format mirrors
+scamper/warts-style output closely enough to demonstrate ingesting real
+collections: one JSON object per line with ``src``, ``dst`` and a
+``hops`` array of ``{"addr": ..., "probe_ttl": ..., "reply_ttl": ...,
+"rtt": ...}`` objects; missing probe TTLs are treated as gaps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, List
+
+from repro.net.ipv4 import format_address, parse_address
+from repro.traceroute.model import Hop, Trace
+
+
+def traces_to_text_lines(traces: Iterable[Trace]) -> Iterator[str]:
+    """Serialize traces in the compact text format."""
+    for trace in traces:
+        hop_texts: List[str] = []
+        for hop in trace.hops:
+            if hop.address is None:
+                hop_texts.append("*")
+            elif hop.quoted_ttl != 1:
+                hop_texts.append(f"{format_address(hop.address)}@{hop.quoted_ttl}")
+            else:
+                hop_texts.append(format_address(hop.address))
+        yield f"{trace.monitor}|{format_address(trace.dst)}|{' '.join(hop_texts)}"
+
+
+def parse_text_traces(lines: Iterable[str]) -> Iterator[Trace]:
+    """Parse the compact text format."""
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        monitor, dst_text, hops_text = line.split("|", 2)
+        hops: List[Hop] = []
+        for token in hops_text.split():
+            if token == "*":
+                hops.append(Hop(None))
+                continue
+            addr_text, _, ttl_text = token.partition("@")
+            quoted = int(ttl_text) if ttl_text else 1
+            hops.append(Hop(parse_address(addr_text), quoted))
+        yield Trace(monitor, parse_address(dst_text), tuple(hops))
+
+
+def traces_to_json_lines(traces: Iterable[Trace]) -> Iterator[str]:
+    """Serialize traces in the scamper-like JSON-lines format."""
+    for trace in traces:
+        hops = []
+        for index, hop in enumerate(trace.hops, start=1):
+            if hop.address is None:
+                continue
+            hops.append(
+                {
+                    "addr": format_address(hop.address),
+                    "probe_ttl": index,
+                    "reply_ttl": hop.quoted_ttl,
+                    "rtt": hop.rtt_ms,
+                }
+            )
+        yield json.dumps(
+            {
+                "src": trace.monitor,
+                "dst": format_address(trace.dst),
+                "hop_count": len(trace.hops),
+                "hops": hops,
+            },
+            separators=(",", ":"),
+        )
+
+
+def parse_json_traces(lines: Iterable[str]) -> Iterator[Trace]:
+    """Parse the scamper-like JSON-lines format.
+
+    Hops missing from the ``hops`` array (unresponsive probes) become
+    ``*`` entries, reconstructed from the probe TTLs.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        replies = {hop["probe_ttl"]: hop for hop in record.get("hops", ())}
+        count = record.get("hop_count") or (max(replies) if replies else 0)
+        hops: List[Hop] = []
+        for ttl in range(1, count + 1):
+            reply = replies.get(ttl)
+            if reply is None:
+                hops.append(Hop(None))
+            else:
+                hops.append(
+                    Hop(
+                        parse_address(reply["addr"]),
+                        int(reply.get("reply_ttl", 1)),
+                        float(reply.get("rtt", 0.0)),
+                    )
+                )
+        yield Trace(record.get("src", ""), parse_address(record["dst"]), tuple(hops))

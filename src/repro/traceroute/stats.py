@@ -1,0 +1,59 @@
+"""Dataset-level statistics matching the numbers quoted in the paper.
+
+Section 5 reports: total traces, traces retained after cycle discard,
+distinct interface addresses, and addresses seen adjacent to at least
+one other address.  Section 4.3 reports how many interfaces have
+forward/backward neighbor sets with more than one member.  These
+counters let the benchmark harness print the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.traceroute.model import Trace
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics over a (sanitized) trace dataset."""
+
+    traces: int
+    distinct_addresses: int
+    adjacent_addresses: int
+    mean_hops: float
+
+    def as_rows(self) -> Dict[str, float]:
+        return {
+            "traces": self.traces,
+            "distinct_addresses": self.distinct_addresses,
+            "adjacent_addresses": self.adjacent_addresses,
+            "mean_hops": round(self.mean_hops, 2),
+        }
+
+
+def dataset_stats(traces: Iterable[Trace]) -> DatasetStats:
+    """Compute dataset statistics in one pass."""
+    count = 0
+    hop_total = 0
+    addresses: Set[int] = set()
+    adjacent: Set[int] = set()
+    for trace in traces:
+        count += 1
+        hop_total += len(trace.hops)
+        previous = None
+        for hop in trace.hops:
+            address = hop.address
+            if address is not None:
+                addresses.add(address)
+                if previous is not None:
+                    adjacent.add(address)
+                    adjacent.add(previous)
+            previous = address
+    return DatasetStats(
+        traces=count,
+        distinct_addresses=len(addresses),
+        adjacent_addresses=len(adjacent),
+        mean_hops=(hop_total / count) if count else 0.0,
+    )

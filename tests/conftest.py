@@ -1,0 +1,59 @@
+"""Shared fixtures: a small deterministic scenario and the paper's
+worked examples (Fig 2/3 neighborhood of Internet2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.ip2as import IP2AS
+from repro.eval.experiment import Experiment, prepare_experiment
+from repro.sim.presets import small_scenario
+from repro.sim.scenario import Scenario
+from repro.traceroute.parse import parse_text_traces
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """One small synthetic world shared by integration-style tests."""
+    return small_scenario(seed=42)
+
+
+@pytest.fixture(scope="session")
+def experiment(scenario) -> Experiment:
+    """The prepared experiment over the shared scenario."""
+    return prepare_experiment(scenario)
+
+
+@pytest.fixture()
+def fig2_ip2as() -> IP2AS:
+    """IP-to-AS mappings for the paper's Fig 2 neighborhood."""
+    return IP2AS.from_pairs(
+        [
+            ("109.105.98.0/24", 2603),   # NORDUnet
+            ("198.71.44.0/22", 11537),   # Internet2
+            ("199.109.5.0/24", 3754),    # NYSERNet
+            ("205.233.255.0/24", 10466), # MAGPI-ish
+            ("216.249.136.0/24", 237),   # Merit-ish
+            ("192.73.48.0/24", 3807),    # U. Montana
+        ]
+    )
+
+
+@pytest.fixture()
+def fig2_traces():
+    """Traces reproducing the interface neighborhoods of Fig 2/3.
+
+    109.105.98.10 is a NORDUnet-numbered ingress on an Internet2
+    router; its forward neighbors are dominated by AS11537, with
+    199.109.5.1 (NYSERNet-numbered, on the AS3754 side of another
+    Internet2 link) also appearing after it.
+    """
+    lines = [
+        "m1|205.233.255.99|109.105.98.10 198.71.46.180 205.233.255.36",
+        "m1|216.249.136.99|109.105.98.10 198.71.46.180 216.249.136.197",
+        "m2|205.233.255.99|198.71.45.236 198.71.46.180 205.233.255.36",
+        "m1|199.109.5.99|109.105.98.10 199.109.5.1 199.109.5.99",
+        "m2|199.109.5.99|109.105.98.10 199.109.5.1 199.109.5.88",
+        "m1|199.109.5.77|109.105.98.10 198.71.45.2",
+    ]
+    return list(parse_text_traces(lines))

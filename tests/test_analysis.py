@@ -1,0 +1,168 @@
+"""Tests for the analysis extensions (explain / AS graph / report)."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.analysis.asgraph import ASLinkGraph, compare_with_relationships
+from repro.analysis.explain import explain_interface
+from repro.analysis.report import run_report
+from repro.core.results import DIRECT, INDIRECT, LinkInference
+from repro.net.ipv4 import format_address, parse_address
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+@pytest.fixture(scope="module")
+def run(experiment):
+    mapit = experiment.new_mapit(MapItConfig(f=0.5))
+    result = mapit.run()
+    return mapit, result
+
+
+class TestExplain:
+    def test_inferred_interface(self, run):
+        mapit, result = run
+        inference = next(i for i in result.inferences if i.kind == DIRECT)
+        explanation = explain_interface(mapit, inference.address)
+        text = explanation.render()
+        assert format_address(inference.address) in text
+        assert "inference:" in text
+        assert f"AS{inference.remote_as}" in text
+
+    def test_neighbors_listed(self, run):
+        mapit, result = run
+        inference = next(i for i in result.inferences if i.kind == DIRECT)
+        explanation = explain_interface(mapit, inference.address)
+        view = explanation.forward if inference.forward else explanation.backward
+        assert view.total >= 2
+        assert view.plurality_as is not None
+
+    def test_uninferred_interface(self, run):
+        mapit, result = run
+        inferred = {i.address for i in result.inferences}
+        graph = mapit.engine.graph
+        address = next(a for a in sorted(graph.addresses()) if a not in inferred)
+        explanation = explain_interface(mapit, address)
+        assert explanation.forward.inference is None
+        assert explanation.backward.inference is None
+        assert "inference:" not in explanation.render()
+
+    def test_mapping_updates_visible(self, run):
+        """At least one explanation shows an AS mapping update."""
+        mapit, result = run
+        found = False
+        for inference in result.inferences[:50]:
+            text = explain_interface(mapit, inference.address).render()
+            if "->" in text:
+                found = True
+                break
+        assert found
+
+
+def make_inferences():
+    return [
+        LinkInference(addr("9.0.0.1"), True, 1, 2, DIRECT),
+        LinkInference(addr("9.0.0.2"), False, 1, 2, INDIRECT),
+        LinkInference(addr("9.1.0.1"), True, 2, 3, DIRECT),
+        LinkInference(addr("9.2.0.1"), True, 1, 3, DIRECT),
+    ]
+
+
+class TestASLinkGraph:
+    def test_links_and_support(self):
+        graph = ASLinkGraph.from_inferences(make_inferences())
+        assert len(graph) == 3
+        link = graph.link(1, 2)
+        assert link.support == 2
+        assert link.kinds == {DIRECT, INDIRECT}
+
+    def test_adjacency(self):
+        graph = ASLinkGraph.from_inferences(make_inferences())
+        assert graph.neighbors(1) == {2, 3}
+        assert graph.degree(2) == 2
+        assert graph.ases() == {1, 2, 3}
+        assert (2, 1) in graph
+
+    def test_top_by_degree(self):
+        graph = ASLinkGraph.from_inferences(make_inferences())
+        top = graph.top_by_degree(2)
+        assert top[0][1] == 2
+
+    def test_relationship_annotation(self):
+        from repro.rel.relationships import LinkType, RelationshipDataset
+
+        rel = RelationshipDataset()
+        rel.add_p2c(1, 2)
+        rel.add_p2p(2, 3)
+        graph = ASLinkGraph.from_inferences(make_inferences(), rel)
+        assert graph.link(2, 3).link_type == LinkType.PEER
+
+    def test_from_scenario_result(self, run, experiment):
+        _, result = run
+        graph = ASLinkGraph.from_result(
+            result, experiment.scenario.relationships, experiment.scenario.as2org
+        )
+        assert len(graph) == len(result.as_links())
+        assert all(link.link_type is not None for link in graph.links())
+
+
+class TestComparison:
+    def test_inferred_links_mostly_in_bgp(self, run, experiment):
+        """In the simulator, every true link is a BGP adjacency, so
+        correct inferences must be confirmed by the relationship data."""
+        _, result = run
+        graph = ASLinkGraph.from_result(result)
+        comparison = compare_with_relationships(
+            graph, experiment.scenario.relationships
+        )
+        assert comparison.bgp_coverage > 0.85
+        assert comparison.only_bgp  # not every adjacency was traversed
+
+    def test_summary(self, run, experiment):
+        _, result = run
+        graph = ASLinkGraph.from_result(result)
+        summary = compare_with_relationships(
+            graph, experiment.scenario.relationships
+        ).summary()
+        assert set(summary) == {"in_both", "only_traceroute", "only_bgp", "bgp_coverage"}
+
+
+class TestReport:
+    def test_report_contents(self, run, experiment):
+        _, result = run
+        text = run_report(
+            result, experiment.scenario.relationships, experiment.scenario.as2org
+        )
+        assert "MAP-IT run report" in text
+        assert "AS-level links" in text
+        assert "by relationship:" in text
+        assert "contradiction handling:" in text
+
+    def test_report_without_relationships(self, run):
+        _, result = run
+        text = run_report(result)
+        assert "by relationship:" not in text
+        assert "top 5 ASes" in text
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        from repro.rel.relationships import RelationshipDataset
+
+        rel = RelationshipDataset()
+        rel.add_p2c(1, 2)
+        rel.add_p2p(2, 3)
+        graph = ASLinkGraph.from_inferences(make_inferences(), rel)
+        dot = graph.to_dot(names={1: "tier1"})
+        assert dot.startswith("graph aslinks {")
+        assert dot.rstrip().endswith("}")
+        assert '1 [label="tier1"];' in dot
+        assert "1 -- 2" in dot
+        assert "style=dashed" in dot  # the 2--3 peering
+        assert "style=solid" in dot   # the 1--2 transit
+
+    def test_dot_unclassified(self):
+        graph = ASLinkGraph.from_inferences(make_inferences())
+        assert "style=dotted" in graph.to_dot()

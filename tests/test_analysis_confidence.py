@@ -1,0 +1,75 @@
+"""Tests for evidence-based confidence scoring."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.analysis.confidence import Confidence, confidence_for, rank_inferences
+
+
+class TestConfidenceModel:
+    def test_score_bounds(self):
+        assert Confidence(support=0, dominance=0.0, corroborated=False).score == 0.0
+        assert Confidence(support=100, dominance=1.0, corroborated=True).score == 1.0
+
+    def test_support_saturates(self):
+        low = Confidence(support=8, dominance=1.0, corroborated=True)
+        high = Confidence(support=1000, dominance=1.0, corroborated=True)
+        assert low.score == high.score
+
+    def test_corroboration_discount(self):
+        yes = Confidence(support=4, dominance=1.0, corroborated=True)
+        no = Confidence(support=4, dominance=1.0, corroborated=False)
+        assert no.score < yes.score
+
+    def test_dominance_scales(self):
+        strong = Confidence(support=4, dominance=1.0, corroborated=True)
+        weak = Confidence(support=4, dominance=0.5, corroborated=True)
+        assert weak.score == pytest.approx(strong.score / 2)
+
+
+class TestOnScenario:
+    @pytest.fixture(scope="class")
+    def ranked(self, experiment):
+        mapit = experiment.new_mapit(MapItConfig(f=0.5))
+        result = mapit.run()
+        return experiment, mapit, rank_inferences(mapit, result.inferences)
+
+    def test_sorted_descending(self, ranked):
+        _, _, scored = ranked
+        scores = [confidence.score for _, confidence in scored]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stub_inferences_rank_low(self, ranked):
+        """Single-neighbor stub inferences must sit below the median
+        well-supported core inference."""
+        _, _, scored = ranked
+        stub_scores = [c.score for i, c in scored if i.kind == "stub"]
+        direct_scores = [c.score for i, c in scored if i.kind == "direct"]
+        if stub_scores and direct_scores:
+            median_direct = sorted(direct_scores)[len(direct_scores) // 2]
+            assert max(stub_scores) <= median_direct + 1e-9
+
+    def test_correct_rank_above_incorrect_on_average(self, ranked):
+        experiment, _, scored = ranked
+        truth = experiment.scenario.ground_truth
+        correct, incorrect = [], []
+        for inference, confidence in scored:
+            pair = truth.connected_pair(inference.address)
+            if pair is None and not truth.is_internal(inference.address):
+                continue
+            (correct if pair == inference.pair() else incorrect).append(
+                confidence.score
+            )
+        if incorrect:
+            assert sum(correct) / len(correct) > sum(incorrect) / len(incorrect)
+
+    def test_indirect_inherits_source_evidence(self, ranked):
+        _, mapit, scored = ranked
+        by_half = {(i.address, i.forward): c for i, c in scored}
+        for inference, confidence in scored:
+            if inference.kind != "indirect" or inference.other_side is None:
+                continue
+            source = by_half.get((inference.other_side, not inference.forward))
+            if source is not None:
+                assert confidence.support == source.support
+                break

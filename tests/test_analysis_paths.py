@@ -1,0 +1,86 @@
+"""Tests for MAP-IT-corrected AS-level paths."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.analysis.paths import as_path, path_accuracy, raw_as_path
+from repro.bgp.ip2as import IP2AS
+from repro.core.mapit import MapIt
+from repro.graph.neighbors import build_interface_graph
+from repro.net.ipv4 import parse_address
+from repro.traceroute.parse import parse_text_traces
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+class TestFig2Paths:
+    """On the paper's Fig 2 data, the raw AS path through the New York
+    router wrongly inserts AS2603 (the ingress is NORDUnet-numbered);
+    the corrected path attributes it to AS11537."""
+
+    PAIRS = [
+        ("109.105.98.0/24", 2603),
+        ("216.249.136.0/24", 237),
+        ("198.71.44.0/22", 11537),
+        ("199.109.5.0/24", 3754),
+    ]
+    LINES = [
+        "m1|198.71.46.99|109.105.98.10 198.71.46.180",
+        "m1|198.71.45.99|109.105.98.10 198.71.45.2",
+        "m1|199.109.5.99|109.105.98.10 199.109.5.1 199.109.5.99",
+        "m2|198.71.46.99|216.249.136.196 198.71.46.180",
+        "m2|198.71.45.99|216.249.136.196 198.71.45.2",
+        "m2|199.109.5.98|216.249.136.196 199.109.5.1 199.109.5.98",
+    ]
+
+    @pytest.fixture()
+    def mapit(self):
+        traces = list(parse_text_traces(self.LINES))
+        graph = build_interface_graph(traces)
+        mapit = MapIt(graph, IP2AS.from_pairs(self.PAIRS), config=MapItConfig(f=0.5))
+        mapit.run()
+        return mapit, traces
+
+    def test_raw_path_has_false_as(self, mapit):
+        runner, traces = mapit
+        raw = raw_as_path(runner, traces[0])
+        assert raw == [2603, 11537]
+
+    def test_corrected_path_removes_false_as(self, mapit):
+        runner, traces = mapit
+        corrected = as_path(runner, traces[0])
+        assert corrected == [11537]
+
+    def test_nyser_trace_corrected(self, mapit):
+        runner, traces = mapit
+        # 109.105.98.10 (AS11537 router) -> 199.109.5.1 (AS3754 router)
+        # -> destination host in AS3754.
+        assert as_path(runner, traces[2]) == [11537, 3754]
+        assert raw_as_path(runner, traces[2]) == [2603, 3754]
+
+    def test_no_collapse(self, mapit):
+        runner, traces = mapit
+        labels = as_path(runner, traces[2], collapse=False)
+        assert labels == [11537, 3754, 3754]
+
+
+class TestPathAccuracyOnScenario:
+    def test_correction_improves_hop_attribution(self, experiment):
+        mapit = experiment.new_mapit(MapItConfig(f=0.5))
+        mapit.run()
+        truth = experiment.scenario.ground_truth.router_as
+        accuracy = path_accuracy(mapit, experiment.report.traces, truth)
+        assert accuracy.hops > 1000
+        assert accuracy.corrected_accuracy >= accuracy.raw_accuracy
+        assert accuracy.corrected_accuracy > 0.9
+
+    def test_summary_fields(self, experiment):
+        mapit = experiment.new_mapit(MapItConfig(f=0.5))
+        mapit.run()
+        truth = experiment.scenario.ground_truth.router_as
+        summary = path_accuracy(
+            mapit, experiment.report.traces[:100], truth
+        ).summary()
+        assert set(summary) == {"hops", "raw_accuracy", "corrected_accuracy", "improvement"}

@@ -1,0 +1,179 @@
+"""Tests for the Simple, Convention, and ITDK-style baselines."""
+
+from repro.baselines.alias import AliasProfile, simulate_alias_resolution
+from repro.baselines.convention import convention_heuristic
+from repro.baselines.itdk import assign_routers_to_ases, itdk_links, run_itdk
+from repro.baselines.simple import simple_heuristic
+from repro.bgp.ip2as import IP2AS
+from repro.net.ipv4 import parse_address
+from repro.rel.relationships import RelationshipDataset
+from repro.traceroute.parse import parse_text_traces
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+PAIRS = [("9.0.0.0/16", 100), ("9.1.0.0/16", 200), ("9.2.0.0/16", 300)]
+IP2AS_SMALL = IP2AS.from_pairs(PAIRS)
+
+
+class TestSimple:
+    def test_first_address_in_new_as(self):
+        traces = list(parse_text_traces(["m|9.9.9.9|9.0.0.1 9.1.0.1 9.1.0.5"]))
+        inferences = simple_heuristic(traces, IP2AS_SMALL)
+        assert len(inferences) == 1
+        assert inferences[0].address == addr("9.1.0.1")
+        assert inferences[0].pair() == (100, 200)
+
+    def test_dedupes_across_traces(self):
+        traces = list(
+            parse_text_traces(
+                ["m|9.9.9.9|9.0.0.1 9.1.0.1", "m|9.9.9.8|9.0.0.5 9.1.0.1"]
+            )
+        )
+        assert len(simple_heuristic(traces, IP2AS_SMALL)) == 1
+
+    def test_multiple_pairs_per_interface(self):
+        """The paper: per-trace methods may infer many links for the
+        same interface address."""
+        traces = list(
+            parse_text_traces(
+                ["m|9.9.9.9|9.0.0.1 9.1.0.1", "m|9.9.9.8|9.2.0.1 9.1.0.1"]
+            )
+        )
+        inferences = simple_heuristic(traces, IP2AS_SMALL)
+        assert len(inferences) == 2
+        assert {i.pair() for i in inferences} == {(100, 200), (200, 300)}
+
+    def test_ignores_unknown_and_gaps(self):
+        traces = list(parse_text_traces(["m|9.9.9.9|9.0.0.1 * 9.1.0.1 8.0.0.1"]))
+        assert simple_heuristic(traces, IP2AS_SMALL) == []
+
+
+class TestConvention:
+    def rel(self):
+        rel = RelationshipDataset()
+        rel.add_p2c(100, 200)
+        return rel
+
+    def test_provider_side_chosen_when_provider_first(self):
+        traces = list(parse_text_traces(["m|9.9.9.9|9.0.0.1 9.1.0.1"]))
+        inferences = convention_heuristic(traces, IP2AS_SMALL, self.rel())
+        assert len(inferences) == 1
+        # 100 transits 200: the provider-side address (9.0.0.1) is taken.
+        assert inferences[0].address == addr("9.0.0.1")
+
+    def test_provider_side_chosen_when_provider_second(self):
+        traces = list(parse_text_traces(["m|9.9.9.9|9.1.0.1 9.0.0.1"]))
+        inferences = convention_heuristic(traces, IP2AS_SMALL, self.rel())
+        assert inferences[0].address == addr("9.0.0.1")
+
+    def test_falls_back_to_simple_for_peers(self):
+        traces = list(parse_text_traces(["m|9.9.9.9|9.1.0.1 9.2.0.1"]))
+        inferences = convention_heuristic(traces, IP2AS_SMALL, self.rel())
+        assert inferences[0].address == addr("9.2.0.1")
+
+
+class TestAliasResolution:
+    def test_perfect_profile_recovers_routers(self, scenario):
+        profile = AliasProfile(name="perfect", split_probability=0.0, merge_probability=0.0)
+        clusters = simulate_alias_resolution(scenario.network, profile, seed=1)
+        truth = {}
+        for address, (router_id, _) in scenario.network.address_owner.items():
+            truth.setdefault(router_id, set()).add(address)
+        got = {frozenset(cluster) for cluster in clusters.clusters}
+        want = {frozenset(cluster) for cluster in truth.values()}
+        assert got == want
+
+    def test_split_heavy_profile_increases_cluster_count(self, scenario):
+        perfect = simulate_alias_resolution(
+            scenario.network,
+            AliasProfile("p", 0.0, 0.0),
+            seed=1,
+        )
+        split = simulate_alias_resolution(
+            scenario.network,
+            AliasProfile("s", 0.9, 0.0),
+            seed=1,
+        )
+        assert len(split) > len(perfect)
+
+    def test_merge_heavy_profile_decreases_cluster_count(self, scenario):
+        perfect = simulate_alias_resolution(
+            scenario.network, AliasProfile("p", 0.0, 0.0), seed=1
+        )
+        merged = simulate_alias_resolution(
+            scenario.network, AliasProfile("m", 0.0, 0.9), seed=1
+        )
+        assert len(merged) < len(perfect)
+
+    def test_observed_filter(self, scenario):
+        observed = set(list(scenario.network.address_owner)[:10])
+        clusters = simulate_alias_resolution(
+            scenario.network, AliasProfile.midar_like(), seed=1, observed=observed
+        )
+        members = {address for cluster in clusters.clusters for address in cluster}
+        assert members <= observed
+
+    def test_profiles(self):
+        midar = AliasProfile.midar_like()
+        kapar = AliasProfile.kapar_like()
+        assert midar.split_probability > kapar.split_probability
+        assert kapar.merge_probability > midar.merge_probability
+
+
+class TestITDK:
+    def test_router_to_as_election(self):
+        from repro.baselines.alias import AliasClusters
+
+        clusters = AliasClusters(
+            clusters=[
+                {addr("9.0.0.1"), addr("9.0.0.5"), addr("9.1.0.1")},
+                {addr("8.0.0.1")},  # unannounced only
+            ]
+        )
+        assignment = assign_routers_to_ases(clusters, IP2AS_SMALL)
+        assert assignment[0] == 100
+        assert 1 not in assignment
+
+    def test_election_tie_breaks_low(self):
+        from repro.baselines.alias import AliasClusters
+
+        clusters = AliasClusters(clusters=[{addr("9.0.0.1"), addr("9.1.0.1")}])
+        assert assign_routers_to_ases(clusters, IP2AS_SMALL)[0] == 100
+
+    def test_link_extraction(self):
+        from repro.baselines.alias import AliasClusters
+
+        clusters = AliasClusters(
+            clusters=[{addr("9.0.0.1")}, {addr("9.1.0.1")}]
+        )
+        traces = list(parse_text_traces(["m|9.9.9.9|9.0.0.1 9.1.0.1"]))
+        inferences = itdk_links(traces, clusters, IP2AS_SMALL)
+        assert len(inferences) == 1
+        assert inferences[0].address == addr("9.1.0.1")
+        assert inferences[0].pair() == (100, 200)
+
+    def test_merge_error_changes_inferences(self):
+        """A false alias merging routers across the border suppresses
+        or corrupts the link inference — the ITDK failure mode."""
+        from repro.baselines.alias import AliasClusters
+
+        merged = AliasClusters(clusters=[{addr("9.0.0.1"), addr("9.1.0.1")}])
+        traces = list(parse_text_traces(["m|9.9.9.9|9.0.0.1 9.1.0.1"]))
+        assert itdk_links(traces, merged, IP2AS_SMALL) == []
+
+    def test_run_itdk_end_to_end(self, scenario, experiment):
+        inferences = run_itdk(
+            experiment.report.traces,
+            scenario.network,
+            scenario.ip2as,
+            seed=1,
+        )
+        assert inferences
+        addresses = {inference.address for inference in inferences}
+        # It should find at least some genuine border interfaces...
+        truth = scenario.ground_truth
+        hits = sum(1 for address in addresses if truth.is_inter_as(address))
+        assert hits > 0

@@ -1,0 +1,93 @@
+"""Tests for the composite IP2AS mapper and the Cymru fallback."""
+
+from repro.bgp.cymru import CymruTable
+from repro.bgp.ip2as import IP2AS, IP2ASBuilder, IXP_AS, PRIVATE_AS, UNKNOWN_AS
+from repro.bgp.origins import OriginTable
+from repro.ixp.dataset import IXPDataset, IXPRecord
+from repro.net.ipv4 import parse_address
+from repro.net.prefix import Prefix
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+class TestCymruTable:
+    def test_lookup(self):
+        table = CymruTable()
+        table.add(Prefix.parse("10.0.0.0/8"), 64500)
+        assert table.lookup(addr("10.1.1.1")) == 64500
+        assert table.lookup(addr("11.1.1.1")) is None
+
+    def test_roundtrip(self):
+        table = CymruTable()
+        table.add(Prefix.parse("10.0.0.0/8"), 1)
+        table.add(Prefix.parse("192.0.2.0/24"), 2)
+        parsed = CymruTable.from_lines(table.dump_lines())
+        assert parsed.lookup(addr("10.0.0.1")) == 1
+        assert parsed.lookup(addr("192.0.2.1")) == 2
+        assert len(parsed) == 2
+
+
+class TestFromPairs:
+    def test_longest_match(self):
+        ip2as = IP2AS.from_pairs([("20.0.0.0/8", 1), ("20.5.0.0/16", 2)])
+        assert ip2as.asn(addr("20.5.0.1")) == 2
+        assert ip2as.asn(addr("20.6.0.1")) == 1
+
+    def test_unknown(self):
+        ip2as = IP2AS.from_pairs([("10.0.0.0/8", 1)])
+        assert ip2as.asn(addr("11.0.0.1")) == UNKNOWN_AS
+        assert not ip2as.is_mapped(addr("11.0.0.1"))
+
+    def test_private(self):
+        ip2as = IP2AS.from_pairs([("10.0.0.0/8", 1)])
+        # RFC 1918 space is special-purpose even when a pair covers it.
+        assert ip2as.asn(addr("10.0.0.1")) == PRIVATE_AS
+        assert ip2as.is_private(addr("10.0.0.1"))
+        assert ip2as.asn(addr("192.168.1.1")) == PRIVATE_AS
+
+
+class TestIXPLayer:
+    def test_ixp_without_asn(self):
+        ixp = IXPDataset([IXPRecord(Prefix.parse("80.81.192.0/24"), None, "decix")])
+        ip2as = IP2AS.from_pairs([("80.0.0.0/8", 5)], ixp=ixp)
+        assert ip2as.asn(addr("80.81.192.10")) == IXP_AS
+        assert ip2as.is_ixp(addr("80.81.192.10"))
+        assert ip2as.asn(addr("80.82.0.1")) == 5
+
+    def test_ixp_with_asn(self):
+        ixp = IXPDataset([IXPRecord(Prefix.parse("80.81.192.0/24"), 6695, "decix")])
+        ip2as = IP2AS.from_pairs([], ixp=ixp)
+        assert ip2as.asn(addr("80.81.192.10")) == 6695
+
+
+class TestBuilder:
+    def _origins(self):
+        table = OriginTable()
+        table.record(Prefix.parse("11.0.0.0/8"), 100)
+        table.record(Prefix.parse("20.0.0.0/8"), 200)
+        return table
+
+    def test_bgp_layer(self):
+        ip2as = IP2ASBuilder().add_bgp(self._origins()).build()
+        assert ip2as.asn(addr("20.1.1.1")) == 200
+        assert ip2as.source(addr("20.1.1.1")) == "bgp"
+
+    def test_cymru_only_fills_gaps(self):
+        cymru = CymruTable()
+        cymru.add(Prefix.parse("11.0.0.0/8"), 999)   # conflicts with BGP
+        cymru.add(Prefix.parse("30.0.0.0/8"), 300)   # new
+        ip2as = IP2ASBuilder().add_bgp(self._origins()).add_cymru(cymru).build()
+        assert ip2as.asn(addr("11.1.1.1")) == 100  # BGP wins
+        assert ip2as.asn(addr("30.1.1.1")) == 300  # Cymru fills
+        assert ip2as.source(addr("30.1.1.1")) == "cymru"
+
+    def test_coverage(self):
+        ip2as = IP2ASBuilder().add_bgp(self._origins()).build()
+        addresses = [addr("11.0.0.1"), addr("20.0.0.1"), addr("30.0.0.1")]
+        assert abs(ip2as.coverage(addresses) - 2 / 3) < 1e-9
+
+    def test_source_unknown(self):
+        ip2as = IP2ASBuilder().build()
+        assert ip2as.source(addr("8.8.8.8")) == "unknown"

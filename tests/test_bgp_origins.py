@@ -1,0 +1,86 @@
+"""Tests for multi-collector origin merging and MOAS handling."""
+
+from repro.bgp.origins import OriginTable, merge_collectors
+from repro.bgp.table import CollectorDump
+from repro.net.prefix import Prefix
+
+P8 = Prefix.parse("10.0.0.0/8")
+P24 = Prefix.parse("192.0.2.0/24")
+
+
+def make_dump(name, routes):
+    dump = CollectorDump(name=name)
+    for prefix, path in routes:
+        dump.add_route(prefix, path)
+    return dump
+
+
+class TestOriginTable:
+    def test_single_origin(self):
+        table = OriginTable()
+        table.record(P8, 100)
+        assert table.origins(P8) == {100}
+        assert table.best_origin(P8) == 100
+
+    def test_moas_majority_wins(self):
+        table = OriginTable()
+        table.record(P8, 100)
+        table.record(P8, 200)
+        table.record(P8, 200)
+        assert table.best_origin(P8) == 200
+        assert table.moas_prefixes() == {P8: {100, 200}}
+
+    def test_moas_tie_breaks_to_lowest(self):
+        table = OriginTable()
+        table.record(P8, 200)
+        table.record(P8, 100)
+        assert table.best_origin(P8) == 100
+
+    def test_best_origins_map(self):
+        table = OriginTable()
+        table.record(P8, 1)
+        table.record(P24, 2)
+        assert table.best_origins() == {P8: 1, P24: 2}
+
+    def test_unknown_prefix_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            OriginTable().best_origin(P8)
+
+    def test_contains_and_len(self):
+        table = OriginTable()
+        table.record(P8, 1)
+        assert P8 in table
+        assert P24 not in table
+        assert len(table) == 1
+
+
+class TestMergeCollectors:
+    def test_merges_views(self):
+        dumps = [
+            make_dump("a", [(P8, [1, 2, 100])]),
+            make_dump("b", [(P24, [3, 200])]),
+        ]
+        table = merge_collectors(dumps)
+        assert table.best_origin(P8) == 100
+        assert table.best_origin(P24) == 200
+
+    def test_one_vote_per_collector(self):
+        """Many paths to the same prefix at one collector count once."""
+        dumps = [
+            make_dump("a", [(P8, [1, 100]), (P8, [2, 5, 100]), (P8, [9, 100])]),
+            make_dump("b", [(P8, [1, 200])]),
+            make_dump("c", [(P8, [1, 200])]),
+        ]
+        table = merge_collectors(dumps)
+        # 200 seen by two collectors, 100 by one (despite three paths).
+        assert table.best_origin(P8) == 200
+
+    def test_moas_across_collectors(self):
+        dumps = [
+            make_dump("a", [(P8, [1, 100])]),
+            make_dump("b", [(P8, [2, 200])]),
+        ]
+        table = merge_collectors(dumps)
+        assert table.origins(P8) == {100, 200}

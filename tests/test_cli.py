@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-dataset")
+    code = main(["simulate", str(directory), "--seed", "3", "--scale", "small"])
+    assert code == 0
+    return directory
+
+
+class TestSimulate:
+    def test_creates_dataset(self, dataset_dir):
+        assert (dataset_dir / "traces.txt").exists()
+        assert (dataset_dir / "manifest.json").exists()
+        assert (dataset_dir / "hostnames.txt").exists()
+
+    def test_no_hostnames_flag(self, tmp_path):
+        code = main(
+            ["simulate", str(tmp_path / "d"), "--seed", "1", "--no-hostnames"]
+        )
+        assert code == 0
+        assert not (tmp_path / "d" / "hostnames.txt").exists()
+
+
+class TestRun:
+    def test_writes_inferences(self, dataset_dir, tmp_path, capsys):
+        out = tmp_path / "inferences.txt"
+        code = main(["run", str(dataset_dir), "--output", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "AS" in text and "<->" in text
+        captured = capsys.readouterr()
+        assert "inferences" in captured.err
+
+    def test_stdout_mode(self, dataset_dir, capsys):
+        assert main(["run", str(dataset_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "<->" in captured.out
+
+    def test_f_flag_changes_output(self, dataset_dir, tmp_path):
+        loose, strict = tmp_path / "loose.txt", tmp_path / "strict.txt"
+        main(["run", str(dataset_dir), "--f", "0.0", "--output", str(loose)])
+        main(["run", str(dataset_dir), "--f", "1.0", "--output", str(strict)])
+        assert len(strict.read_text().splitlines()) <= len(
+            loose.read_text().splitlines()
+        )
+
+
+class TestEvaluate:
+    def test_scores_manifest_networks(self, dataset_dir, capsys):
+        assert main(["evaluate", str(dataset_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "Precision%" in captured.out
+        assert captured.out.count("AS") >= 3
+
+    def test_explicit_asn(self, dataset_dir, capsys):
+        import json
+
+        manifest = json.loads((dataset_dir / "manifest.json").read_text())
+        asn = manifest["verification_asns"][0]
+        assert main(["evaluate", str(dataset_dir), "--asn", str(asn)]) == 0
+        captured = capsys.readouterr()
+        assert f"AS{asn}" in captured.out
+
+    def test_without_ground_truth(self, tmp_path, capsys):
+        (tmp_path / "traces.txt").write_text("m|9.1.0.9|9.0.0.1 9.1.0.1\n")
+        (tmp_path / "cymru.txt").write_text("9.0.0.0/16|100\n")
+        assert main(["evaluate", str(tmp_path)]) == 2
+
+
+class TestExperiment:
+    def test_stats(self, capsys):
+        assert main(["experiment", "stats", "--scale", "small", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "discard fraction" in captured.out
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "small", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "Stub Transit" in captured.out
+        assert "Total" in captured.out
+
+    def test_fig8(self, capsys):
+        assert main(["experiment", "fig8", "--scale", "small", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        for method in ("MAP-IT", "Simple", "Convention", "ITDK-MIDAR", "ITDK-Kapar"):
+            assert method in captured.out
+
+    def test_fig7(self, capsys):
+        assert main(["experiment", "fig7", "--scale", "small", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "stub heuristic" in captured.out
+
+
+class TestExplain:
+    def test_explains_interfaces(self, dataset_dir, capsys):
+        import re
+
+        assert main(["run", str(dataset_dir)]) == 0
+        captured = capsys.readouterr()
+        address = re.match(r"(\S+)_[fb] ", captured.out.splitlines()[0]).group(1)
+        assert main(["explain", str(dataset_dir), address]) == 0
+        captured = capsys.readouterr()
+        assert f"interface {address}" in captured.out
+        assert "neighbors" in captured.out
+        assert "inference:" in captured.out
+
+    def test_multiple_addresses(self, dataset_dir, capsys):
+        assert main(["explain", str(dataset_dir), "1.0.0.1", "1.0.0.2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("interface ") == 2
+
+
+class TestReport:
+    def test_report(self, dataset_dir, capsys):
+        assert main(["report", str(dataset_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "MAP-IT run report" in captured.out
+        assert "AS-level links" in captured.out
+
+
+class TestJsonOutput:
+    def test_run_json(self, dataset_dir, tmp_path):
+        import json
+
+        out = tmp_path / "result.json"
+        assert main(["run", str(dataset_dir), "--json", "--output", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["converged"]
+        assert data["inferences"]
+        assert {"address", "direction", "kind"} <= set(data["inferences"][0])
+
+    def test_json_roundtrips_through_result(self, dataset_dir, tmp_path):
+        from repro.core.results import MapItResult
+
+        out = tmp_path / "result.json"
+        main(["run", str(dataset_dir), "--json", "--output", str(out)])
+        result = MapItResult.from_json(out.read_text())
+        assert result.inferences
+
+
+class TestAspathExperiment:
+    def test_aspath(self, capsys):
+        assert main(["experiment", "aspath", "--scale", "small", "--seed", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "corrected_accuracy" in captured.out

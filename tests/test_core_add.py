@@ -1,0 +1,169 @@
+"""Focused tests for add-step mechanics not covered by the worked
+examples: divergent other sides, IXP special-casing, unannounced
+addresses, and the per-add-step single-inference rule."""
+
+from repro import MapItConfig, run_mapit
+from repro.bgp.ip2as import IP2AS
+from repro.ixp.dataset import IXPDataset, IXPRecord
+from repro.net.ipv4 import parse_address
+from repro.net.prefix import Prefix
+from repro.traceroute.parse import parse_text_traces
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+def run(lines, pairs, ixp=None, f=0.5, **config_kwargs):
+    ip2as = IP2AS.from_pairs(pairs, ixp=ixp)
+    return run_mapit(
+        list(parse_text_traces(lines)),
+        ip2as,
+        config=MapItConfig(f=f, **config_kwargs),
+    )
+
+
+def on(result, address_text, forward=None):
+    return [
+        inference
+        for inference in result.inferences
+        if inference.address == addr(address_text)
+        and (forward is None or inference.forward == forward)
+    ]
+
+
+class TestDivergentOtherSides:
+    """Both endpoints of one /31 get direct inferences toward
+    *different* ASes: the paper assumes the other-side pairing is
+    wrong and keeps both, but the cross-updates must be dropped."""
+
+    PAIRS = [
+        ("9.0.0.0/16", 100),
+        ("9.1.0.0/16", 200),
+        ("9.2.0.0/16", 300),
+    ]
+    # 9.0.0.100/31: .100's N_F dominated by AS200, .101's N_B dominated
+    # by AS300 — mutually inconsistent other-side updates.
+    LINES = [
+        "m1|9.1.9.1|9.0.0.100 9.1.0.1",
+        "m1|9.1.9.2|9.0.0.100 9.1.0.5",
+        "m2|9.9.9.1|9.2.0.1 9.0.0.101 9.9.0.1",
+        "m2|9.9.9.2|9.2.0.5 9.0.0.101 9.9.0.1",
+        # make 9.0.0.100/101 recognizably a /31 (reserved /30 sibling
+        # appears in the dataset)
+        "m3|9.9.9.3|9.0.0.102 9.0.0.103",
+    ]
+
+    def test_both_directs_kept_and_counted(self):
+        result = run(self.LINES, self.PAIRS)
+        forward = on(result, "9.0.0.100", forward=True)
+        backward = on(result, "9.0.0.101", forward=False)
+        assert len(forward) == 1 and forward[0].remote_as == 200
+        assert len(backward) == 1 and backward[0].remote_as == 300
+
+    def test_cross_indirects_detached(self):
+        """Neither half's record should claim the other's AS via the
+        suspect other-side pairing."""
+        result = run(self.LINES, self.PAIRS)
+        # indirect records on the two halves would collide with the
+        # directs; the directs win and the indirect updates are
+        # detached, so only the two direct records surface.
+        records = on(result, "9.0.0.100") + on(result, "9.0.0.101")
+        assert len(records) == 2
+        assert all(record.kind == "direct" for record in records)
+
+
+class TestIXPInterfaces:
+    """Known IXP interfaces get no other-side updates: IXP LANs are
+    multipoint, so the /30-/31 arithmetic does not apply."""
+
+    PAIRS = [("9.0.0.0/16", 100), ("9.1.0.0/16", 200)]
+
+    def ixp(self):
+        return IXPDataset([IXPRecord(Prefix.parse("80.81.0.0/21"), None, "ix")])
+
+    LINES = [
+        "m1|9.1.9.1|80.81.0.10 9.1.0.1",
+        "m1|9.1.9.2|80.81.0.10 9.1.0.5",
+    ]
+
+    def test_inference_made_but_no_other_side(self):
+        result = run(self.LINES, self.PAIRS, ixp=self.ixp())
+        (inference,) = on(result, "80.81.0.10", forward=True)
+        assert inference.remote_as == 200
+        # No indirect inference on the /30-/31 "partner" of an IXP LAN
+        # address.
+        assert on(result, "80.81.0.9") == []
+        assert on(result, "80.81.0.11") == []
+
+
+class TestUnannouncedAddresses:
+    PAIRS = [("9.0.0.0/16", 100), ("9.1.0.0/16", 200)]
+
+    def test_unknown_dominated_set_yields_nothing(self):
+        lines = [
+            "m1|9.9.9.1|9.0.0.1 8.0.0.1",
+            "m1|9.9.9.2|9.0.0.1 8.0.1.1",
+            "m1|9.9.9.3|9.0.0.1 8.0.2.1",
+        ]
+        result = run(lines, self.PAIRS)
+        assert on(result, "9.0.0.1") == []
+
+    def test_inference_on_unannounced_interface(self):
+        """The interface itself being unannounced does not block the
+        inference — the paper deliberately updates unannounced
+        addresses because that enables further inferences."""
+        lines = [
+            "m1|9.1.9.1|8.0.0.1 9.1.0.1",
+            "m1|9.1.9.2|8.0.0.1 9.1.0.5",
+        ]
+        result = run(lines, self.PAIRS)
+        (inference,) = on(result, "8.0.0.1", forward=True)
+        assert inference.remote_as == 200
+        assert inference.local_as == 0  # UNKNOWN
+
+
+class TestRemoveRuleVariant:
+    PAIRS = [
+        ("9.0.0.0/16", 100),
+        ("9.1.0.0/16", 200),
+        ("9.2.0.0/16", 300),
+    ]
+    # 9.0.0.50's forward set {200, 200, 300, 100-ish}: after updates the
+    # AS200 halves flip to 300, leaving AS200 with 0 of 4 — removed
+    # under either rule.  (See TestRemoveStep in test_core_mapit for
+    # the majority-rule case.)
+    LINES = [
+        "m1|9.9.0.1|9.0.0.50 9.1.0.1",
+        "m2|9.9.0.2|9.0.0.50 9.1.0.5",
+        "m3|9.9.0.3|9.0.0.50 9.0.0.60",
+        "m4|9.9.0.4|9.2.0.1 9.1.0.1",
+        "m4|9.9.0.5|9.2.0.5 9.1.0.1",
+        "m5|9.9.0.6|9.2.0.9 9.1.0.5",
+        "m5|9.9.0.7|9.2.0.13 9.1.0.5",
+    ]
+
+    def test_add_rule_also_revises(self):
+        result = run(self.LINES, self.PAIRS, remove_rule="add_rule")
+        (inference,) = on(result, "9.0.0.50", forward=True)
+        assert inference.remote_as == 300
+
+
+class TestSingleInferencePerStep:
+    def test_dual_resolution_not_thrashed_within_step(self):
+        """A half whose inference was discarded by a contradiction fix
+        is not re-inferred within the same add step (section 4.4.2),
+        and the terminal state is stable across the outer cycle."""
+        pairs = [
+            ("212.113.9.0/24", 3356),
+            ("62.115.0.0/16", 1299),
+            ("91.228.0.0/16", 51159),
+        ]
+        lines = [
+            "m1|91.228.0.99|62.115.0.1 212.113.9.210 91.228.0.1",
+            "m2|91.228.0.98|62.115.0.5 212.113.9.210 91.228.0.5",
+        ]
+        result = run(lines, pairs)
+        assert result.converged
+        backward = on(result, "212.113.9.210", forward=False)
+        assert backward == []

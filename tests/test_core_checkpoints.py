@@ -1,0 +1,49 @@
+"""Tests for the Fig 7 checkpoint instrumentation."""
+
+import pytest
+
+from repro import MapItConfig
+
+
+@pytest.fixture(scope="module")
+def checkpointed(experiment):
+    return experiment.run_mapit(MapItConfig(f=0.5, record_checkpoints=True))
+
+
+class TestCheckpoints:
+    def test_disabled_by_default(self, experiment):
+        result = experiment.run_mapit(MapItConfig(f=0.5))
+        assert result.checkpoints == []
+
+    def test_stage_labels_and_order(self, checkpointed):
+        labels = [checkpoint.label for checkpoint in checkpointed.checkpoints]
+        assert labels[0] == "add 1: direct"
+        assert labels[1] == "add 1: contradictions"
+        assert labels[2] == "add 1: inverse"
+        assert labels[3] == "add 1: all passes"
+        assert labels[4] == "iteration 1"
+        assert labels[-1] == "stub heuristic"
+
+    def test_one_iteration_checkpoint_per_iteration(self, checkpointed):
+        labels = [checkpoint.label for checkpoint in checkpointed.checkpoints]
+        iteration_labels = [l for l in labels if l.startswith("iteration")]
+        assert len(iteration_labels) == checkpointed.iterations
+
+    def test_final_checkpoint_matches_output(self, checkpointed):
+        final = checkpointed.checkpoints[-1]
+        final_halves = {(i.address, i.forward) for i in final.inferences}
+        output_halves = {
+            (i.address, i.forward)
+            for i in checkpointed.inferences + checkpointed.uncertain
+        }
+        assert final_halves == output_halves
+
+    def test_multipass_grows_first_add_step(self, checkpointed):
+        by_label = {c.label: c for c in checkpointed.checkpoints}
+        assert len(by_label["add 1: all passes"]) >= len(by_label["add 1: inverse"])
+
+    def test_checkpoints_do_not_change_outcome(self, experiment, checkpointed):
+        plain = experiment.run_mapit(MapItConfig(f=0.5))
+        assert [str(i) for i in plain.inferences] == [
+            str(i) for i in checkpointed.inferences
+        ]

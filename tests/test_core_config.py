@@ -1,0 +1,43 @@
+"""Tests for MAP-IT configuration validation."""
+
+import pytest
+
+from repro.core.config import MapItConfig, REMOVE_ADD_RULE, REMOVE_MAJORITY
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = MapItConfig()
+        assert config.f == 0.5
+        assert config.min_neighbors == 2
+        assert config.remove_rule == REMOVE_MAJORITY
+        assert config.enable_stub_heuristic
+
+    @pytest.mark.parametrize("f", [-0.1, 1.1, 2.0])
+    def test_f_range(self, f):
+        with pytest.raises(ValueError):
+            MapItConfig(f=f)
+
+    @pytest.mark.parametrize("f", [0.0, 0.5, 1.0])
+    def test_f_boundaries_ok(self, f):
+        assert MapItConfig(f=f).f == f
+
+    def test_min_neighbors(self):
+        with pytest.raises(ValueError):
+            MapItConfig(min_neighbors=0)
+
+    def test_remove_rule(self):
+        assert MapItConfig(remove_rule=REMOVE_ADD_RULE).remove_rule == REMOVE_ADD_RULE
+        with pytest.raises(ValueError):
+            MapItConfig(remove_rule="bogus")
+
+    def test_max_iterations(self):
+        with pytest.raises(ValueError):
+            MapItConfig(max_iterations=0)
+
+    def test_with_f(self):
+        config = MapItConfig(f=0.5, min_neighbors=3)
+        new = config.with_f(0.8)
+        assert new.f == 0.8
+        assert new.min_neighbors == 3
+        assert config.f == 0.5  # original untouched

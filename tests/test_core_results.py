@@ -1,0 +1,103 @@
+"""Tests for MAP-IT result records."""
+
+from repro.core.results import DIRECT, INDIRECT, LinkInference, MapItResult
+from repro.net.ipv4 import parse_address
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+def make(address="9.0.0.1", forward=True, local=1, remote=2, kind=DIRECT, **kwargs):
+    return LinkInference(
+        address=addr(address),
+        forward=forward,
+        local_as=local,
+        remote_as=remote,
+        kind=kind,
+        **kwargs,
+    )
+
+
+class TestLinkInference:
+    def test_pair_is_sorted(self):
+        assert make(local=20, remote=10).pair() == (10, 20)
+
+    def test_involves(self):
+        inference = make(local=1, remote=2)
+        assert inference.involves(1)
+        assert inference.involves(2)
+        assert not inference.involves(3)
+
+    def test_half(self):
+        assert make(forward=False).half == (addr("9.0.0.1"), False)
+
+    def test_str_mentions_kind_and_ases(self):
+        text = str(make(kind=INDIRECT, other_side=addr("9.0.0.2")))
+        assert "indirect" in text
+        assert "AS1" in text and "AS2" in text
+        assert "9.0.0.2" in text
+
+    def test_str_marks_uncertain(self):
+        assert "(uncertain)" in str(make(uncertain=True))
+
+
+class TestMapItResult:
+    def result(self):
+        return MapItResult(
+            inferences=[
+                make("9.0.0.1", local=1, remote=2),
+                make("9.0.0.2", local=1, remote=2, kind=INDIRECT),
+                make("9.0.0.5", local=1, remote=3),
+            ],
+            uncertain=[make("9.0.0.9", local=2, remote=3, uncertain=True)],
+            iterations=3,
+            converged=True,
+        )
+
+    def test_by_address(self):
+        grouped = self.result().by_address()
+        assert len(grouped) == 3
+        assert len(grouped[addr("9.0.0.1")]) == 1
+
+    def test_as_links(self):
+        assert self.result().as_links() == {(1, 2), (1, 3)}
+
+    def test_involving(self):
+        assert len(self.result().involving(3)) == 1
+        assert len(self.result().involving(1)) == 3
+
+    def test_summary(self):
+        summary = self.result().summary()
+        assert summary["inferences"] == 3
+        assert summary["uncertain"] == 1
+        assert summary["as_links"] == 2
+        assert summary["iterations"] == 3
+
+
+class TestSerialization:
+    def test_link_inference_dict_roundtrip(self):
+        inference = make(
+            "9.0.0.1", forward=False, local=10, remote=20,
+            kind=INDIRECT, other_side=addr("9.0.0.2"), uncertain=True,
+        )
+        assert LinkInference.from_dict(inference.to_dict()) == inference
+
+    def test_dict_roundtrip_without_other_side(self):
+        inference = make("9.0.0.1")
+        assert LinkInference.from_dict(inference.to_dict()) == inference
+
+    def test_result_json_roundtrip(self):
+        result = MapItResult(
+            inferences=[make("9.0.0.1"), make("9.0.0.5", local=1, remote=3)],
+            uncertain=[make("9.0.0.9", uncertain=True)],
+            iterations=2,
+            converged=True,
+            diagnostics={"dual_resolved": 1},
+        )
+        back = MapItResult.from_json(result.to_json())
+        assert back.inferences == result.inferences
+        assert back.uncertain == result.uncertain
+        assert back.converged
+        assert back.iterations == 2
+        assert back.diagnostics == result.diagnostics

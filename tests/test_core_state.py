@@ -1,0 +1,106 @@
+"""Tests for MAP-IT state bookkeeping."""
+
+from repro.core.state import DirectInference, IndirectInference, MapItState
+from repro.graph.halves import BACKWARD, FORWARD
+
+
+def direct(half, local=1, remote=2, **kwargs):
+    return DirectInference(half=half, local_as=local, remote_as=remote, **kwargs)
+
+
+def indirect(half, source, local=1, remote=2, **kwargs):
+    return IndirectInference(
+        half=half, local_as=local, remote_as=remote, source=source, **kwargs
+    )
+
+
+H1, H2, H3 = (10, FORWARD), (11, BACKWARD), (12, FORWARD)
+
+
+class TestInferenceBookkeeping:
+    def test_add_and_remove_direct(self):
+        state = MapItState()
+        state.add_direct(direct(H1))
+        assert H1 in state.direct
+        assert H1 in state.inferred_this_step
+        removed = state.remove_direct(H1)
+        assert removed is not None
+        assert H1 not in state.direct
+        # The step marker is intentionally retained: only one direct
+        # inference may be attempted per IH per add step.
+        assert H1 in state.inferred_this_step
+
+    def test_remove_direct_cascades_to_indirect(self):
+        state = MapItState()
+        state.add_direct(direct(H1))
+        state.add_indirect(indirect(H2, source=H1))
+        state.remove_direct(H1)
+        assert H2 not in state.indirect
+
+    def test_remove_missing_direct(self):
+        assert MapItState().remove_direct(H1) is None
+
+    def test_sweep_unsupported(self):
+        state = MapItState()
+        state.add_direct(direct(H1))
+        state.add_indirect(indirect(H2, source=H1))
+        state.add_indirect(indirect(H3, source=(99, FORWARD)))
+        swept = state.sweep_unsupported_indirect()
+        assert swept == 1
+        assert H2 in state.indirect
+        assert H3 not in state.indirect
+
+
+class TestVisibleMappings:
+    def test_direct_overrides_indirect(self):
+        state = MapItState()
+        state.add_direct(direct(H1, remote=5))
+        state.add_indirect(indirect(H1, source=H2, remote=7))
+        state.refresh_visible()
+        assert state.visible_asn(H1, 0) == 5
+
+    def test_detached_indirect_contributes_nothing(self):
+        state = MapItState()
+        inference = indirect(H1, source=H2, remote=7)
+        inference.detached = True
+        state.add_indirect(inference)
+        state.refresh_visible()
+        assert state.visible_asn(H1, 42) == 42
+
+    def test_fallback_to_original(self):
+        state = MapItState()
+        state.refresh_visible()
+        assert state.visible_asn(H1, 1234) == 1234
+
+
+class TestFingerprint:
+    def test_equal_states_equal_fingerprints(self):
+        a, b = MapItState(), MapItState()
+        for state in (a, b):
+            state.add_direct(direct(H1))
+            state.add_indirect(indirect(H2, source=H1))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_order_independent(self):
+        a, b = MapItState(), MapItState()
+        a.add_direct(direct(H1))
+        a.add_direct(direct(H3))
+        b.add_direct(direct(H3))
+        b.add_direct(direct(H1))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_move_fingerprint(self):
+        state = MapItState()
+        empty = state.fingerprint()
+        state.add_direct(direct(H1))
+        with_one = state.fingerprint()
+        assert empty != with_one
+        state.direct[H1].uncertain = True
+        assert state.fingerprint() != with_one
+
+    def test_counts(self):
+        state = MapItState()
+        state.add_direct(direct(H1, uncertain=True))
+        state.add_indirect(indirect(H2, source=H1))
+        assert state.counts() == {"direct": 1, "indirect": 1, "uncertain": 1}
+        assert len(state) == 2

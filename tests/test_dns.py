@@ -1,0 +1,144 @@
+"""Tests for hostname synthesis and hostname-derived verification."""
+
+import random
+
+from repro.dns.naming import HostnameDataset, generate_hostnames
+from repro.dns.verification import (
+    EXTERNAL_TAG,
+    FABRIC_TAG,
+    INTERNAL_TAG,
+    UNKNOWN_TAG,
+    build_dns_verification,
+    classify_hostname,
+    tag_table,
+)
+
+
+class TestClassifyHostname:
+    def test_external(self):
+        kind, tag = classify_hostname("cogent-ic-309423-den-b1.c.telia.net")
+        assert kind == EXTERNAL_TAG
+        assert tag == "cogent"
+
+    def test_internal(self):
+        kind, tag = classify_hostname("ae-41-41.ebr1.berlin1.level3.net")
+        assert kind == INTERNAL_TAG
+        assert tag is None
+
+    def test_fabric(self):
+        kind, _ = classify_hostname("fabric-peering.london.operator.net")
+        assert kind == FABRIC_TAG
+
+    def test_unknown(self):
+        assert classify_hostname("dialup-99.example.net")[0] == UNKNOWN_TAG
+        assert classify_hostname(None)[0] == UNKNOWN_TAG
+        assert classify_hostname("")[0] == UNKNOWN_TAG
+
+
+class TestGeneration:
+    def test_covers_operator_space(self, scenario):
+        operator = scenario.tier1_asns[0]
+        hostnames = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator],
+            seed=1, coverage=1.0, stale_probability=0.0,
+        )
+        assert len(hostnames) > 0
+        # Every name is in operator-controlled space.
+        for address in hostnames.names:
+            # the engine's owner view == plan owner
+            assert scenario.engine.owner_as(address) == operator
+
+    def test_external_tags_name_the_connected_network(self, scenario):
+        operator = scenario.tier1_asns[0]
+        hostnames = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator],
+            seed=1, coverage=1.0, stale_probability=0.0,
+        )
+        tags = tag_table(scenario.network)
+        truth = scenario.ground_truth
+        checked = 0
+        for address, name in hostnames.names.items():
+            kind, tag = classify_hostname(name)
+            if kind != EXTERNAL_TAG:
+                continue
+            border = truth.border[address]
+            expected = next(asn for asn in border.pair() if asn != operator)
+            assert tags[tag] == expected
+            checked += 1
+        assert checked > 0
+
+    def test_coverage_knob(self, scenario):
+        operator = scenario.tier1_asns[0]
+        full = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator], seed=1, coverage=1.0
+        )
+        half = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator], seed=1, coverage=0.4
+        )
+        assert len(half) < len(full)
+
+    def test_staleness_changes_tags(self, scenario):
+        operator = scenario.tier1_asns[0]
+        clean = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator],
+            seed=1, coverage=1.0, stale_probability=0.0,
+        )
+        stale = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator],
+            seed=1, coverage=1.0, stale_probability=1.0,
+        )
+        assert any(
+            clean.names.get(address) != name for address, name in stale.names.items()
+        )
+
+    def test_lines_roundtrip(self, scenario):
+        operator = scenario.tier1_asns[0]
+        hostnames = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator], seed=1
+        )
+        parsed = HostnameDataset.from_lines(hostnames.dump_lines())
+        assert parsed.names == hostnames.names
+
+
+class TestDnsVerification:
+    def build(self, scenario, experiment, staleness=0.0):
+        operator = scenario.tier1_asns[0]
+        hostnames = generate_hostnames(
+            scenario.network, scenario.ground_truth, [operator],
+            seed=1, coverage=1.0, stale_probability=staleness,
+        )
+        dataset = build_dns_verification(
+            operator,
+            hostnames,
+            experiment.graph,
+            experiment.seen,
+            scenario.ip2as.asn,
+            tag_table(scenario.network),
+        )
+        return operator, dataset
+
+    def test_dataset_marked_incomplete(self, scenario, experiment):
+        _, dataset = self.build(scenario, experiment)
+        assert not dataset.complete
+
+    def test_links_match_ground_truth_when_clean(self, scenario, experiment):
+        operator, dataset = self.build(scenario, experiment)
+        truth = scenario.ground_truth
+        for record in set(dataset.link_by_address.values()):
+            tagged_address = next(
+                a for a in record.addresses if a in truth.border
+            )
+            assert truth.border[tagged_address].pair() == record.pair
+
+    def test_internal_set_is_really_internal(self, scenario, experiment):
+        operator, dataset = self.build(scenario, experiment)
+        truth = scenario.ground_truth
+        for address in dataset.internal:
+            assert not truth.is_inter_as(address)
+
+    def test_staleness_corrupts_pairs(self, scenario, experiment):
+        _, clean = self.build(scenario, experiment, staleness=0.0)
+        _, noisy = self.build(scenario, experiment, staleness=1.0)
+        clean_pairs = {r.pair for r in clean.link_by_address.values()}
+        noisy_pairs = {r.pair for r in noisy.link_by_address.values()}
+        assert clean_pairs != noisy_pairs

@@ -1,0 +1,71 @@
+"""Tests for multi-seed aggregation and topology descriptions."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.eval.aggregate import MetricSummary, SeedAggregate, aggregate_over_seeds
+from repro.eval.metrics import Score
+from repro.sim.describe import describe_as_graph, describe_lines, describe_network
+from repro.sim.presets import small_scenario
+
+
+class TestMetricSummary:
+    def test_statistics(self):
+        summary = MetricSummary()
+        for value in (0.8, 0.9, 1.0):
+            summary.add(value)
+        assert summary.mean == pytest.approx(0.9)
+        assert summary.minimum == 0.8
+        assert summary.maximum == 1.0
+        assert summary.spread == pytest.approx(0.2)
+
+    def test_empty(self):
+        summary = MetricSummary()
+        assert summary.mean == 0.0
+        assert summary.spread == 0.0
+
+
+class TestSeedAggregate:
+    def test_record_and_rows(self):
+        aggregate = SeedAggregate()
+        aggregate.record(1, {"I2": Score(tp=9, fp=1, fn=0)})
+        aggregate.record(2, {"I2": Score(tp=8, fp=2, fn=2)})
+        rows = aggregate.rows()
+        assert rows[0]["network"] == "I2"
+        assert rows[0]["seeds"] == 2
+        assert rows[0]["precision_mean"] == pytest.approx(0.85)
+        pooled = rows[-1]
+        assert pooled["network"] == "pooled"
+        assert pooled["precision_mean"] == pytest.approx(17 / 20)
+
+    def test_aggregate_over_seeds(self):
+        aggregate = aggregate_over_seeds(
+            small_scenario, seeds=(1, 2), config=MapItConfig(f=0.5)
+        )
+        assert aggregate.seeds == [1, 2]
+        assert aggregate.pooled.tp > 0
+        rows = aggregate.rows()
+        assert {row["network"] for row in rows} >= {"I2", "pooled"}
+        # Precision stays high across seeds for every network.
+        for label, summary in aggregate.precision.items():
+            assert summary.minimum > 0.5, label
+
+
+class TestDescribe:
+    def test_as_graph_summary(self, scenario):
+        summary = describe_as_graph(scenario.graph)
+        assert summary["ases"] == len(scenario.graph)
+        assert summary["transit_edges"] > 0
+        assert summary["by_tier"]["tier1"] == 2
+
+    def test_network_summary(self, scenario):
+        summary = describe_network(scenario.network)
+        assert summary["routers"] == len(scenario.network.routers)
+        assert summary["interfaces"] == len(scenario.network.address_owner)
+        assert summary["external_links"] > 0
+        assert summary["monitor_lans"] == len(scenario.monitors)
+
+    def test_lines(self, scenario):
+        lines = describe_lines(scenario.graph, scenario.network)
+        assert any(line.startswith("ases:") for line in lines)
+        assert any(line.startswith("routers:") for line in lines)

@@ -1,0 +1,156 @@
+"""Tests for the experiment runner and the table/figure machinery on a
+small scenario (integration level)."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.eval.breakdown import breakdown_by_relationship
+from repro.eval.compare import (
+    ALL_METHODS,
+    CONVENTION,
+    ITDK_KAPAR,
+    ITDK_MIDAR,
+    MAPIT,
+    SIMPLE,
+    compare_methods,
+)
+from repro.eval.fsweep import sweep_f
+from repro.eval.stats import pipeline_stats
+from repro.eval.steps import step_impact
+from repro.rel.relationships import LinkType
+
+
+class TestExperiment:
+    def test_datasets_for_three_networks(self, experiment):
+        assert set(experiment.datasets) == {"I2", "T1-A", "T1-B"}
+        assert experiment.datasets["I2"].complete
+        assert not experiment.datasets["T1-A"].complete
+
+    def test_mapit_scores_reasonably(self, experiment):
+        result = experiment.run_mapit(MapItConfig(f=0.5))
+        scores = experiment.score(result.inferences)
+        for label, score in scores.items():
+            assert score.precision > 0.6, f"{label}: {score}"
+
+    def test_convergence_within_paper_range(self, experiment):
+        result = experiment.run_mapit(MapItConfig(f=0.5))
+        assert result.converged
+        assert result.iterations <= 6
+
+
+class TestPipelineStats:
+    def test_rows_complete(self, experiment):
+        stats = pipeline_stats(experiment)
+        rows = stats.rows()
+        assert rows["traces (retained)"] > 0
+        assert 0 <= stats.discard_fraction < 0.2
+        assert 0.2 < stats.fraction_31 < 0.65
+        assert stats.ip2as_coverage > 0.9
+        assert stats.multi_neighbor_backward > 0
+
+
+class TestFSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, experiment):
+        return sweep_f(experiment, f_values=(0.0, 0.5, 1.0))
+
+    def test_all_networks_scored(self, sweep, experiment):
+        for f in (0.0, 0.5, 1.0):
+            assert set(sweep.scores[f]) == set(experiment.datasets)
+
+    def test_recall_collapses_at_high_f(self, sweep):
+        """Fig 6 shape: f=1 requires unanimous neighbor sets."""
+        for label in ("I2",):
+            low = sweep.scores[0.5][label]
+            high = sweep.scores[1.0][label]
+            assert high.tp <= low.tp
+
+    def test_series_and_rows(self, sweep):
+        series = sweep.series("I2", "precision")
+        assert [f for f, _ in series] == [0.0, 0.5, 1.0]
+        rows = sweep.rows()
+        assert len(rows) == 9
+
+
+class TestStepImpact:
+    @pytest.fixture(scope="class")
+    def impact(self, experiment):
+        return step_impact(experiment, MapItConfig(f=0.5))
+
+    def test_stage_order(self, impact):
+        assert impact.stages[0] == "add 1: direct"
+        assert impact.stages[-1] == "stub heuristic"
+        assert any(stage.startswith("iteration") for stage in impact.stages)
+
+    def test_inverse_removal_does_not_hurt_precision(self, impact):
+        for label in ("I2", "T1-A", "T1-B"):
+            before = dict(impact.series(label, "precision"))
+            assert before["add 1: inverse"] >= before["add 1: contradictions"] - 1e-9
+
+    def test_rows(self, impact):
+        rows = impact.rows()
+        assert {row["network"] for row in rows} == {"I2", "T1-A", "T1-B"}
+
+
+class TestBreakdown:
+    def test_totals_match_plain_scoring(self, experiment):
+        result = experiment.run_mapit(MapItConfig(f=0.5))
+        scenario = experiment.scenario
+        for label, dataset in experiment.datasets.items():
+            breakdown = breakdown_by_relationship(
+                result.inferences,
+                dataset,
+                scenario.relationships,
+                scenario.as2org,
+                experiment.graph,
+            )
+            plain = experiment.score(result.inferences)[label]
+            total = breakdown.total()
+            assert total.tp == plain.tp
+            assert total.fp == plain.fp
+            assert total.fn == plain.fn
+
+    def test_rows_have_total(self, experiment):
+        result = experiment.run_mapit(MapItConfig(f=0.5))
+        dataset = experiment.datasets["I2"]
+        breakdown = breakdown_by_relationship(
+            result.inferences,
+            dataset,
+            experiment.scenario.relationships,
+            experiment.scenario.as2org,
+            experiment.graph,
+        )
+        rows = breakdown.rows()
+        assert rows[-1]["class"] == "Total"
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, experiment):
+        return compare_methods(experiment)
+
+    def test_all_methods_run(self, comparison):
+        assert set(comparison.scores) == set(ALL_METHODS)
+
+    def test_mapit_beats_per_trace_heuristics(self, comparison):
+        """Fig 8 headline: MAP-IT precision dominates Simple and
+        Convention on every network."""
+        for label in ("I2", "T1-A", "T1-B"):
+            mapit = comparison.scores[MAPIT][label].precision
+            assert mapit > comparison.scores[SIMPLE][label].precision
+            assert mapit >= comparison.scores[CONVENTION][label].precision
+        # On the R&E network, whose transit links are often numbered
+        # from the customer's space, Convention must lose outright.
+        assert (
+            comparison.scores[MAPIT]["I2"].precision
+            > comparison.scores[CONVENTION]["I2"].precision
+        )
+
+    def test_mapit_beats_itdk_on_re_network(self, comparison):
+        mapit = comparison.scores[MAPIT]["I2"].precision
+        assert mapit > comparison.scores[ITDK_MIDAR]["I2"].precision
+        assert mapit > comparison.scores[ITDK_KAPAR]["I2"].precision
+
+    def test_rows(self, comparison):
+        rows = comparison.rows()
+        assert len(rows) == len(ALL_METHODS) * 3

@@ -1,0 +1,47 @@
+"""Tests for precision/recall scoring primitives."""
+
+from repro.eval.metrics import Score
+
+
+class TestScore:
+    def test_precision(self):
+        score = Score(tp=9, fp=1)
+        assert abs(score.precision - 0.9) < 1e-9
+
+    def test_recall(self):
+        score = Score(tp=8, fn=2)
+        assert abs(score.recall - 0.8) < 1e-9
+
+    def test_empty_is_perfect(self):
+        score = Score()
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_count_fp(self):
+        score = Score()
+        score.count_fp("internal")
+        score.count_fp("internal")
+        score.count_fp("wrong_pair")
+        assert score.fp == 3
+        assert score.fp_reasons == {"internal": 2, "wrong_pair": 1}
+
+    def test_merged(self):
+        a = Score(tp=1, fp=0, fn=2)
+        a.count_fp("x")
+        b = Score(tp=3, fn=1)
+        b.count_fp("x")
+        b.count_fp("y")
+        merged = a.merged_with(b)
+        assert merged.tp == 4
+        assert merged.fp == 3
+        assert merged.fn == 3
+        assert merged.fp_reasons == {"x": 2, "y": 1}
+
+    def test_row(self):
+        row = Score(tp=1, fp=1, fn=3).row()
+        assert row["TP"] == 1
+        assert row["Precision%"] == 50.0
+        assert row["Recall%"] == 25.0
+
+    def test_str(self):
+        assert "P=50.0%" in str(Score(tp=1, fp=1))

@@ -1,0 +1,54 @@
+"""Smoke tests: the runnable examples must keep working.
+
+The fast examples run in-process; the paper-scale ones are exercised
+indirectly by the benchmarks and skipped here for speed.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_traces.py",
+    "diagnostics.py",
+    "internet2_testbed.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip()
+
+
+def test_quickstart_reports_accuracy(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "against ground truth" in captured.out
+
+
+def test_custom_traces_finds_all_three_links(capsys):
+    runpy.run_path(str(EXAMPLES / "custom_traces.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "NORDUnet <-> Internet2" in captured.out
+    assert "NYSERNet <-> Internet2" in captured.out
+    assert "Merit <-> Internet2" in captured.out
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py",
+        "custom_traces.py",
+        "internet2_verification.py",
+        "internet2_testbed.py",
+        "tier1_dns_verification.py",
+        "artifact_robustness.py",
+        "diagnostics.py",
+    }
+    assert expected <= {path.name for path in EXAMPLES.glob("*.py")}

@@ -1,0 +1,44 @@
+"""Golden regression test.
+
+The exact inference output for ``small_scenario(seed=42)`` at f = 0.5
+is frozen in ``tests/data/golden_small_seed42.txt``.  Any change to
+the simulator, the sanitizer, the neighbor-set construction, or the
+algorithm that alters the output — intentionally or not — fails here
+and forces a conscious snapshot update:
+
+    python -c "import tests.test_golden as g; g.regenerate()"
+"""
+
+from pathlib import Path
+
+from repro import MapItConfig
+from repro.eval.experiment import prepare_experiment
+from repro.sim.presets import small_scenario
+
+GOLDEN = Path(__file__).parent / "data" / "golden_small_seed42.txt"
+
+
+def current_lines():
+    experiment = prepare_experiment(small_scenario(seed=42))
+    result = experiment.run_mapit(MapItConfig(f=0.5))
+    lines = [str(inference) for inference in result.inferences]
+    lines += [f"UNCERTAIN {inference}" for inference in result.uncertain]
+    return lines
+
+
+def regenerate() -> None:
+    """Rewrite the snapshot after a deliberate behaviour change."""
+    lines = current_lines()
+    with open(GOLDEN, "w") as handle:
+        handle.write("# MAP-IT inferences, small_scenario(seed=42), f=0.5\n")
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def test_output_matches_golden_snapshot():
+    expected = [
+        line
+        for line in GOLDEN.read_text().splitlines()
+        if line and not line.startswith("#")
+    ]
+    assert current_lines() == expected

@@ -1,0 +1,111 @@
+"""Tests for neighbor-set extraction (paper section 4.3, Fig 3)."""
+
+from repro.graph.halves import BACKWARD, FORWARD, backward_half, forward_half, half_str, opposite
+from repro.graph.neighbors import build_interface_graph
+from repro.net.ipv4 import parse_address
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.parse import parse_text_traces
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+class TestHalves:
+    def test_opposite(self):
+        assert opposite((5, FORWARD)) == (5, BACKWARD)
+        assert opposite(opposite((5, FORWARD))) == (5, FORWARD)
+
+    def test_constructors(self):
+        assert forward_half(9) == (9, True)
+        assert backward_half(9) == (9, False)
+
+    def test_half_str_matches_paper_notation(self):
+        assert half_str((addr("198.71.46.180"), FORWARD)) == "198.71.46.180_f"
+        assert half_str((addr("198.71.46.180"), BACKWARD)) == "198.71.46.180_b"
+
+
+class TestFig3:
+    """The worked example of Fig 3, verbatim."""
+
+    def graph(self):
+        lines = [
+            "m|9.9.9.1|109.105.98.10 198.71.46.180 205.233.255.36",
+            "m|9.9.9.2|109.105.98.10 198.71.46.180 216.249.136.197",
+            "m|9.9.9.3|198.71.45.236 198.71.46.180 *",
+            "m|9.9.9.4|109.105.98.10 198.71.46.180 199.109.5.1",
+        ]
+        return build_interface_graph(parse_text_traces(lines))
+
+    def test_forward_set(self):
+        graph = self.graph()
+        assert graph.n_forward(addr("198.71.46.180")) == {
+            addr("205.233.255.36"),
+            addr("216.249.136.197"),
+            addr("199.109.5.1"),
+        }
+
+    def test_backward_set_unique_members(self):
+        """109.105.98.10 appears in three traces but is one member."""
+        graph = self.graph()
+        assert graph.n_backward(addr("198.71.46.180")) == {
+            addr("109.105.98.10"),
+            addr("198.71.45.236"),
+        }
+
+    def test_incomplete_path_contributes(self):
+        """Trace 3 ends with *, yet its earlier adjacency counts."""
+        graph = self.graph()
+        assert addr("198.71.46.180") in graph.n_forward(addr("198.71.45.236"))
+
+
+class TestGraphConstruction:
+    def test_gap_breaks_adjacency(self):
+        trace = Trace(
+            "m", addr("9.9.9.9"),
+            (Hop(addr("9.0.0.1")), Hop(None), Hop(addr("9.0.0.2"))),
+        )
+        graph = build_interface_graph([trace])
+        assert not graph.n_forward(addr("9.0.0.1"))
+        assert not graph.n_backward(addr("9.0.0.2"))
+
+    def test_private_addresses_excluded_and_break_adjacency(self):
+        trace = Trace(
+            "m", addr("9.9.9.9"),
+            (Hop(addr("9.0.0.1")), Hop(addr("10.1.1.1")), Hop(addr("9.0.0.2"))),
+        )
+        graph = build_interface_graph([trace])
+        assert addr("10.1.1.1") not in graph.addresses()
+        assert not graph.n_forward(addr("9.0.0.1"))
+        assert not graph.n_backward(addr("9.0.0.2"))
+
+    def test_other_sides_include_discarded_addresses(self):
+        trace = Trace("m", addr("9.9.9.9"), (Hop(addr("9.0.0.1")),))
+        graph = build_interface_graph([trace], all_addresses=[addr("9.0.0.0")])
+        # The extra observation proves 9.0.0.1 is /31-addressed.
+        assert graph.other_side(addr("9.0.0.1")) == addr("9.0.0.0")
+
+    def test_neighbors_accessor(self):
+        lines = ["m|9.9.9.1|9.0.0.1 9.0.0.5"]
+        graph = build_interface_graph(parse_text_traces(lines))
+        assert graph.neighbors(addr("9.0.0.1"), True) == {addr("9.0.0.5")}
+        assert graph.neighbors(addr("9.0.0.1"), False) == frozenset()
+
+    def test_count_multi_neighbor(self):
+        lines = [
+            "m|9.9.9.1|9.0.0.1 9.0.0.5",
+            "m|9.9.9.2|9.0.0.1 9.0.0.9",
+        ]
+        graph = build_interface_graph(parse_text_traces(lines))
+        counts = graph.count_multi_neighbor()
+        assert counts["forward"] == 1
+        assert counts["backward"] == 0
+
+    def test_overlap_fraction_zero_for_clean_data(self):
+        lines = ["m|9.9.9.1|9.0.0.1 9.0.0.5 9.0.0.9"]
+        graph = build_interface_graph(parse_text_traces(lines))
+        assert graph.overlap_fraction() == 0.0
+
+    def test_scenario_overlap_is_small(self, experiment):
+        """Paper footnote: only 0.3% of interfaces in both Ns."""
+        assert experiment.graph.overlap_fraction() < 0.1

@@ -1,0 +1,108 @@
+"""Whole-pipeline integration tests and algorithm-level invariants on
+the shared small scenario."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.core.results import DIRECT, INDIRECT, STUB
+
+
+@pytest.fixture(scope="module")
+def result(experiment):
+    return experiment.run_mapit(MapItConfig(f=0.5))
+
+
+class TestAlgorithmInvariants:
+    def test_no_sibling_links(self, experiment, result):
+        """Section 4.9: never infer inter-AS links between siblings."""
+        org = experiment.scenario.as2org
+        for inference in result.inferences:
+            assert not org.are_siblings(inference.local_as, inference.remote_as)
+
+    def test_no_inferences_on_private_addresses(self, experiment, result):
+        ip2as = experiment.scenario.ip2as
+        for inference in result.inferences:
+            assert not ip2as.is_private(inference.address)
+
+    def test_confident_and_uncertain_disjoint(self, result):
+        confident = {(i.address, i.forward) for i in result.inferences}
+        uncertain = {(i.address, i.forward) for i in result.uncertain}
+        assert not (confident & uncertain)
+
+    def test_at_most_one_inference_per_half(self, result):
+        halves = [(i.address, i.forward) for i in result.inferences]
+        assert len(halves) == len(set(halves))
+
+    def test_indirect_inferences_reference_inferred_links(self, result):
+        by_half = {(i.address, i.forward): i for i in result.inferences}
+        for inference in result.inferences:
+            if inference.kind != INDIRECT:
+                continue
+            # The source half lives on the other side of the link and
+            # looks the other way; it must carry the same AS pair.
+            source = by_half.get((inference.other_side, not inference.forward))
+            if source is not None:
+                assert source.pair() == inference.pair()
+
+    def test_kinds_are_known(self, result):
+        assert {i.kind for i in result.inferences} <= {DIRECT, INDIRECT, STUB}
+
+    def test_inferred_interfaces_were_observed(self, experiment, result):
+        observed = experiment.report.all_addresses
+        for inference in result.inferences:
+            if inference.kind == INDIRECT:
+                continue  # other sides are inferred, not observed
+            assert inference.address in observed
+
+    def test_reasonable_overall_quality(self, experiment, result):
+        truth = experiment.scenario.ground_truth
+        direct_like = [i for i in result.inferences if i.kind != INDIRECT]
+        correct = sum(
+            1
+            for i in direct_like
+            if truth.connected_pair(i.address) == i.pair()
+        )
+        assert correct / max(1, len(direct_like)) > 0.75
+
+    def test_determinism_across_runs(self, experiment):
+        first = experiment.run_mapit(MapItConfig(f=0.5))
+        second = experiment.run_mapit(MapItConfig(f=0.5))
+        assert [str(i) for i in first.inferences] == [
+            str(i) for i in second.inferences
+        ]
+        assert first.diagnostics == second.diagnostics
+
+
+class TestFParameterMonotonicity:
+    def test_first_pass_subset_at_f_one(self, experiment):
+        """At f=1 every neighbor must agree, so the first direct pass
+        yields a subset of f=0's.  (Later passes are not monotone: an
+        early low-f inference can cascade into removals elsewhere.)"""
+        loose = experiment.run_mapit(
+            MapItConfig(f=0.0, record_checkpoints=True)
+        )
+        strict = experiment.run_mapit(
+            MapItConfig(f=1.0, record_checkpoints=True)
+        )
+        loose_first = {
+            (i.address, i.forward) for i in loose.checkpoints[0].inferences
+        }
+        strict_first = {
+            (i.address, i.forward) for i in strict.checkpoints[0].inferences
+        }
+        assert strict_first <= loose_first
+        assert len(strict_first) < len(loose_first)
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_precision_stable_across_seeds(self, seed):
+        from repro.eval.experiment import prepare_experiment
+        from repro.sim.presets import small_scenario
+
+        experiment = prepare_experiment(small_scenario(seed=seed))
+        result = experiment.run_mapit(MapItConfig(f=0.5))
+        scores = experiment.score(result.inferences)
+        for label, score in scores.items():
+            if score.tp + score.fp >= 5:
+                assert score.precision > 0.6, f"seed {seed} {label}: {score}"

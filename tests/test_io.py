@@ -1,0 +1,120 @@
+"""Tests for dataset-directory persistence."""
+
+import pytest
+
+from repro import MapItConfig
+from repro.dns.naming import generate_hostnames
+from repro.io import load_bundle, load_ground_truth, save_ground_truth, save_scenario
+from repro.io.truth import ground_truth_lines, parse_ground_truth
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory, scenario):
+    hostnames = generate_hostnames(
+        scenario.network, scenario.ground_truth, scenario.tier1_asns[:1], seed=1
+    )
+    directory = tmp_path_factory.mktemp("dataset")
+    save_scenario(scenario, directory, hostnames=hostnames)
+    return directory
+
+
+class TestGroundTruthRoundtrip:
+    def test_roundtrip(self, scenario):
+        truth = scenario.ground_truth
+        parsed = parse_ground_truth(ground_truth_lines(truth))
+        assert parsed.border == truth.border
+        assert parsed.internal == truth.internal
+        assert parsed.ixp == truth.ixp
+
+    def test_file_roundtrip(self, tmp_path, scenario):
+        path = tmp_path / "gt.txt"
+        save_ground_truth(scenario.ground_truth, path)
+        parsed = load_ground_truth(path)
+        assert parsed.border == scenario.ground_truth.border
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            parse_ground_truth(["bogus|1.2.3.4|1"])
+
+
+class TestSaveLoad:
+    def test_layout(self, saved):
+        for name in (
+            "manifest.json",
+            "traces.txt",
+            "cymru.txt",
+            "ixp.txt",
+            "as2org.txt",
+            "relationships.txt",
+            "groundtruth.txt",
+            "hostnames.txt",
+        ):
+            assert (saved / name).exists(), name
+        assert list((saved / "bgp").glob("*.txt"))
+
+    def test_bundle_contents(self, saved, scenario):
+        bundle = load_bundle(saved)
+        assert len(bundle.traces) == len(scenario.traces)
+        assert bundle.ground_truth is not None
+        assert bundle.hostnames is not None
+        assert bundle.manifest["seed"] == scenario.config.seed
+        assert bundle.manifest["verification_asns"] == scenario.verification_asns()
+
+    def test_ip2as_equivalent(self, saved, scenario):
+        bundle = load_bundle(saved)
+        addresses = set()
+        for trace in scenario.traces[:300]:
+            addresses.update(trace.addresses())
+        for address in addresses:
+            assert bundle.ip2as.asn(address) == scenario.ip2as.asn(address)
+
+    def test_mapit_results_identical(self, saved, scenario):
+        """The full pipeline over the reloaded dataset reproduces the
+        in-memory result, inference for inference."""
+        from repro import run_mapit
+
+        bundle = load_bundle(saved)
+        on_disk = bundle.run_mapit(MapItConfig(f=0.5))
+        in_memory = run_mapit(
+            scenario.traces,
+            scenario.ip2as,
+            org=scenario.as2org,
+            rel=scenario.relationships,
+            config=MapItConfig(f=0.5),
+        )
+        assert [str(i) for i in on_disk.inferences] == [
+            str(i) for i in in_memory.inferences
+        ]
+
+    def test_missing_traces_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bundle(tmp_path)
+
+    def test_missing_ip2as_raises(self, tmp_path):
+        (tmp_path / "traces.txt").write_text("m|9.0.0.1|9.0.0.1 9.0.0.2\n")
+        with pytest.raises(FileNotFoundError):
+            load_bundle(tmp_path)
+
+    def test_minimal_bundle(self, tmp_path):
+        (tmp_path / "traces.txt").write_text("m|9.1.0.9|9.0.0.1 9.1.0.1\n")
+        (tmp_path / "cymru.txt").write_text("9.0.0.0/16|100\n9.1.0.0/16|200\n")
+        bundle = load_bundle(tmp_path)
+        assert len(bundle.traces) == 1
+        assert bundle.ip2as.asn(bundle.traces[0].hops[0].address) == 100
+        assert bundle.ground_truth is None
+
+
+class TestJsonlTraces:
+    def test_jsonl_roundtrip(self, tmp_path, scenario):
+        save_scenario(scenario, tmp_path, trace_format="jsonl")
+        assert (tmp_path / "traces.jsonl").exists()
+        assert not (tmp_path / "traces.txt").exists()
+        bundle = load_bundle(tmp_path)
+        assert len(bundle.traces) == len(scenario.traces)
+        original = [h.address for h in scenario.traces[0].hops]
+        loaded = [h.address for h in bundle.traces[0].hops]
+        assert loaded == original
+
+    def test_unknown_format_rejected(self, tmp_path, scenario):
+        with pytest.raises(ValueError):
+            save_scenario(scenario, tmp_path, trace_format="pcap")

@@ -1,0 +1,77 @@
+"""Tests for IPv4 address parsing/formatting."""
+
+import pytest
+
+from repro.net.ipv4 import (
+    MAX_ADDRESS,
+    AddressError,
+    format_address,
+    is_valid_address,
+    parse_address,
+)
+
+
+class TestParseAddress:
+    def test_basic(self):
+        assert parse_address("1.2.3.4") == (1 << 24) | (2 << 16) | (3 << 8) | 4
+
+    def test_zero(self):
+        assert parse_address("0.0.0.0") == 0
+
+    def test_max(self):
+        assert parse_address("255.255.255.255") == MAX_ADDRESS
+
+    def test_known_value(self):
+        assert parse_address("10.0.0.1") == 167772161
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "1.2.3.999",
+            "a.b.c.d",
+            "1..2.3",
+            "",
+            "1.2.3.4 ",
+            "-1.2.3.4",
+            "01.2.3.4",  # leading zeros rejected (ambiguous octal)
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_address(bad)
+
+    def test_single_zero_octet_allowed(self):
+        assert parse_address("10.0.0.0") == 10 << 24
+
+
+class TestFormatAddress:
+    def test_basic(self):
+        assert format_address(167772161) == "10.0.0.1"
+
+    def test_zero(self):
+        assert format_address(0) == "0.0.0.0"
+
+    def test_max(self):
+        assert format_address(MAX_ADDRESS) == "255.255.255.255"
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_address(MAX_ADDRESS + 1)
+        with pytest.raises(AddressError):
+            format_address(-1)
+
+    def test_roundtrip(self):
+        for text in ("1.2.3.4", "198.71.46.180", "109.105.98.10"):
+            assert format_address(parse_address(text)) == text
+
+
+class TestIsValid:
+    def test_valid(self):
+        assert is_valid_address("192.0.2.1")
+
+    def test_invalid(self):
+        assert not is_valid_address("192.0.2")
+        assert not is_valid_address("hello")

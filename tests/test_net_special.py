@@ -1,0 +1,68 @@
+"""Tests for the RFC 6890 special-purpose registry."""
+
+import pytest
+
+from repro.net.ipv4 import parse_address
+from repro.net.prefix import Prefix
+from repro.net.special import SpecialPurposeRegistry, default_special_registry
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+class TestDefaultRegistry:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "10.0.0.1",
+            "10.255.255.255",
+            "172.16.0.1",
+            "172.31.255.254",
+            "192.168.1.1",
+            "100.64.0.1",       # CGN shared space
+            "127.0.0.1",
+            "169.254.10.10",
+            "224.0.0.5",        # multicast
+            "255.255.255.255",
+            "192.0.2.55",       # TEST-NET-1
+            "198.18.0.1",       # benchmarking
+        ],
+    )
+    def test_special(self, text):
+        assert default_special_registry().is_special(addr(text))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "8.8.8.8",
+            "198.71.46.180",
+            "109.105.98.10",
+            "172.32.0.1",    # just past 172.16/12
+            "100.128.0.1",   # just past 100.64/10
+            "11.0.0.1",
+            "223.255.255.1",
+        ],
+    )
+    def test_public(self, text):
+        assert not default_special_registry().is_special(addr(text))
+
+    def test_name_for(self):
+        registry = default_special_registry()
+        assert registry.name_for(addr("10.1.2.3")) == "private-use"
+        assert registry.name_for(addr("8.8.8.8")) is None
+
+    def test_len(self):
+        assert len(default_special_registry()) == 16
+
+
+class TestCustomRegistry:
+    def test_add(self):
+        registry = SpecialPurposeRegistry()
+        assert not registry.is_special(addr("203.0.113.1"))
+        registry.add(Prefix.parse("203.0.113.0/24"), "docs")
+        assert registry.is_special(addr("203.0.113.1"))
+
+    def test_constructor_prefixes(self):
+        registry = SpecialPurposeRegistry([Prefix.parse("198.51.100.0/24")])
+        assert registry.is_special(addr("198.51.100.9"))

@@ -1,0 +1,64 @@
+"""Tests for sibling AS groups."""
+
+from repro.org.as2org import AS2Org
+
+
+class TestSiblings:
+    def test_unknown_as_is_own_sibling(self):
+        org = AS2Org()
+        assert org.canonical(64500) == 64500
+        assert org.are_siblings(64500, 64500)
+        assert not org.are_siblings(64500, 64501)
+
+    def test_pair(self):
+        org = AS2Org()
+        org.add_pair(3356, 3549, "Level 3")  # Level3 + Global Crossing
+        assert org.are_siblings(3356, 3549)
+        assert org.canonical(3356) == org.canonical(3549)
+
+    def test_group(self):
+        org = AS2Org()
+        org.add_siblings([1, 2, 3], "org")
+        assert org.are_siblings(1, 3)
+        assert org.siblings_of(2) == {1, 2, 3}
+
+    def test_transitive_merge(self):
+        org = AS2Org()
+        org.add_pair(1, 2)
+        org.add_pair(3, 4)
+        assert not org.are_siblings(1, 3)
+        org.add_pair(2, 3)
+        assert org.are_siblings(1, 4)
+        assert len({org.canonical(asn) for asn in (1, 2, 3, 4)}) == 1
+
+    def test_canonical_is_stable_minimum(self):
+        org = AS2Org()
+        org.add_siblings([30, 10, 20])
+        assert org.canonical(30) == 10
+
+    def test_org_name(self):
+        org = AS2Org()
+        org.add_siblings([5, 6], "acme")
+        assert org.org_name(5) == "acme"
+        assert org.org_name(6) == "acme"
+        assert org.org_name(7) == ""
+
+    def test_groups(self):
+        org = AS2Org()
+        org.add_siblings([1, 2])
+        org.add_siblings([5, 6, 7])
+        groups = sorted(sorted(group) for group in org.groups())
+        assert groups == [[1, 2], [5, 6, 7]]
+
+    def test_lines_roundtrip(self):
+        org = AS2Org()
+        org.add_siblings([1, 2], "alpha")
+        org.add_siblings([5, 6, 7], "beta")
+        parsed = AS2Org.from_lines(org.dump_lines())
+        assert parsed.are_siblings(1, 2)
+        assert parsed.are_siblings(5, 7)
+        assert parsed.org_name(5) == "beta"
+
+    def test_from_pairs(self):
+        org = AS2Org.from_pairs([(1, 2), (2, 3)])
+        assert org.are_siblings(1, 3)

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on core data structures and
+algorithm invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.neighbors import build_interface_graph
+from repro.graph.othersides import infer_other_sides
+from repro.net.ipv4 import MAX_ADDRESS, format_address, parse_address
+from repro.net.prefix import (
+    Prefix,
+    host_addresses,
+    is_reserved_in_30,
+    p2p_other_side_31,
+    prefix_of,
+)
+from repro.net.trie import PrefixTrie
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.parse import (
+    parse_json_traces,
+    parse_text_traces,
+    traces_to_json_lines,
+    traces_to_text_lines,
+)
+from repro.traceroute.sanitize import find_cycle, sanitize_traces, strip_buggy_hops
+
+addresses = st.integers(min_value=0, max_value=MAX_ADDRESS)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_format_parse_roundtrip(self, address):
+        assert parse_address(format_address(address)) == address
+
+
+class TestPrefixProperties:
+    @given(addresses, lengths)
+    def test_prefix_contains_own_range(self, address, length):
+        prefix = prefix_of(address, length)
+        assert prefix.contains(prefix.address)
+        assert prefix.contains(prefix.broadcast)
+        assert prefix.contains(address)
+
+    @given(addresses, lengths)
+    def test_parse_str_roundtrip(self, address, length):
+        prefix = prefix_of(address, length)
+        assert Prefix.parse(str(prefix)) == prefix
+
+    @given(addresses, st.integers(min_value=1, max_value=32))
+    def test_outside_neighbors_not_contained(self, address, length):
+        prefix = prefix_of(address, length)
+        if prefix.address > 0:
+            assert not prefix.contains(prefix.address - 1)
+        if prefix.broadcast < MAX_ADDRESS:
+            assert not prefix.contains(prefix.broadcast + 1)
+
+    @given(addresses, st.integers(min_value=24, max_value=31))
+    def test_host_addresses_inside(self, address, length):
+        prefix = prefix_of(address, length)
+        hosts = list(host_addresses(prefix))
+        assert hosts
+        assert all(prefix.contains(host) for host in hosts)
+        if length < 31:
+            assert prefix.address not in hosts
+            assert prefix.broadcast not in hosts
+
+    @given(addresses)
+    def test_p2p_31_involution(self, address):
+        assert p2p_other_side_31(p2p_other_side_31(address)) == address
+        assert prefix_of(address, 31) == prefix_of(p2p_other_side_31(address), 31)
+
+
+class TestTrieProperties:
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(min_value=1, max_value=32)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.lists(addresses, min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_lpm(self, entries, queries):
+        trie = PrefixTrie()
+        table = {}
+        for index, (address, length) in enumerate(entries):
+            prefix = prefix_of(address, length)
+            trie.insert(prefix, index)
+            table[prefix] = index
+        for query in queries:
+            best = None
+            for prefix, value in table.items():
+                if prefix.contains(query):
+                    if best is None or prefix.length > best[0].length:
+                        best = (prefix, value)
+            got = trie.lookup(query)
+            assert got == best
+
+    @given(st.lists(st.tuples(addresses, lengths), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_items_roundtrip(self, entries):
+        trie = PrefixTrie()
+        table = {}
+        for index, (address, length) in enumerate(entries):
+            prefix = prefix_of(address, length)
+            trie.insert(prefix, index)
+            table[prefix] = index
+        assert dict(trie.items()) == table
+        assert len(trie) == len(table)
+
+
+class TestOtherSideProperties:
+    @given(st.sets(addresses, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_complete_and_consistent(self, observed):
+        table = infer_other_sides(observed)
+        assert set(table.other_side) == observed
+        for address, other in table.other_side.items():
+            # Other side shares the /30; distinct from the address.
+            assert other != address
+            assert prefix_of(address, 30) == prefix_of(other, 30)
+            if address in table.from_31:
+                assert other == address ^ 1
+            else:
+                assert not is_reserved_in_30(address)
+                assert not is_reserved_in_30(other)
+
+    @given(st.sets(addresses, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_31_judgement_monotone_in_evidence(self, observed):
+        """Adding the /30-reserved sibling can only move an address
+        from /30 to /31, never the reverse."""
+        base = infer_other_sides(observed)
+        extra = set(observed)
+        for address in observed:
+            extra.add(address & ~3)
+        more = infer_other_sides(extra)
+        for address in observed:
+            if address in base.from_31:
+                assert address in more.from_31
+
+
+def traces_strategy():
+    hop = st.one_of(
+        st.none(),
+        st.integers(min_value=1 << 24, max_value=(99 << 24)),
+    )
+    return st.lists(
+        st.tuples(
+            st.lists(hop, min_size=1, max_size=12),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+
+
+def build_traces(raw):
+    traces = []
+    for hops, flow in raw:
+        traces.append(
+            Trace(
+                "mon",
+                parse_address("203.0.114.1"),
+                tuple(Hop(address) for address in hops),
+                flow,
+            )
+        )
+    return traces
+
+
+class TestSanitizeProperties:
+    @given(traces_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_retained_traces_are_cycle_free(self, raw):
+        report = sanitize_traces(build_traces(raw))
+        for trace in report.traces:
+            assert find_cycle(trace) is None
+
+    @given(traces_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_add_up(self, raw):
+        traces = build_traces(raw)
+        report = sanitize_traces(traces)
+        assert len(report.traces) + report.discarded == len(traces)
+        assert report.retained_addresses <= report.all_addresses
+
+    @given(traces_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_strip_buggy_never_adds_addresses(self, raw):
+        for trace in build_traces(raw):
+            cleaned = strip_buggy_hops(trace)
+            before = set(trace.addresses())
+            after = set(cleaned.addresses())
+            assert after <= before
+
+
+class TestParseProperties:
+    @given(traces_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_text_roundtrip(self, raw):
+        traces = build_traces(raw)
+        parsed = list(parse_text_traces(traces_to_text_lines(traces)))
+        assert len(parsed) == len(traces)
+        for original, back in zip(traces, parsed):
+            assert [h.address for h in original.hops] == [
+                h.address for h in back.hops
+            ]
+
+    @given(traces_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_json_roundtrip(self, raw):
+        traces = build_traces(raw)
+        parsed = list(parse_json_traces(traces_to_json_lines(traces)))
+        for original, back in zip(traces, parsed):
+            assert [h.address for h in original.hops] == [
+                h.address for h in back.hops
+            ]
+
+
+class TestNeighborSetProperties:
+    @given(traces_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_forward_backward_duality(self, raw):
+        """b in N_F(a) if and only if a in N_B(b)."""
+        graph = build_interface_graph(build_traces(raw))
+        for address in graph.addresses():
+            for successor in graph.n_forward(address):
+                assert address in graph.n_backward(successor)
+            for predecessor in graph.n_backward(address):
+                assert address in graph.n_forward(predecessor)

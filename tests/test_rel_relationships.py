@@ -1,0 +1,103 @@
+"""Tests for the AS relationship dataset."""
+
+import pytest
+
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import LinkType, P2C, P2P, RelationshipDataset
+
+
+def sample() -> RelationshipDataset:
+    dataset = RelationshipDataset()
+    dataset.add_p2c(100, 200)   # 100 transits 200
+    dataset.add_p2c(100, 300)
+    dataset.add_p2c(200, 400)   # 200 transits stub 400
+    dataset.add_p2p(200, 300)
+    return dataset
+
+
+class TestQueries:
+    def test_providers_customers(self):
+        dataset = sample()
+        assert dataset.providers(200) == {100}
+        assert dataset.customers(100) == {200, 300}
+        assert dataset.peers(200) == {300}
+
+    def test_relationship_direction(self):
+        dataset = sample()
+        assert dataset.relationship(100, 200) == P2C
+        assert dataset.relationship(200, 100) is None
+        assert dataset.relationship(200, 300) == P2P
+
+    def test_is_transit_pair(self):
+        dataset = sample()
+        assert dataset.is_transit_pair(100, 200)
+        assert dataset.is_transit_pair(200, 100)
+        assert not dataset.is_transit_pair(200, 300)
+
+    def test_provider_of(self):
+        dataset = sample()
+        assert dataset.provider_of(100, 200) == 100
+        assert dataset.provider_of(200, 100) == 100
+        assert dataset.provider_of(200, 300) is None
+
+    def test_knows(self):
+        dataset = sample()
+        assert dataset.knows(400)
+        assert not dataset.knows(999)
+
+
+class TestStubs:
+    def test_isp_has_customer(self):
+        dataset = sample()
+        assert dataset.is_isp(100)
+        assert dataset.is_isp(200)
+        assert dataset.is_stub(400)
+        assert dataset.is_stub(300) is False or dataset.is_isp(300) is False
+
+    def test_unknown_as_is_stub(self):
+        assert sample().is_stub(999)
+
+    def test_sibling_customers_do_not_make_isp(self):
+        """The paper's ISP definition needs a *non-sibling* customer."""
+        dataset = RelationshipDataset()
+        dataset.add_p2c(10, 11)
+        org = AS2Org.from_pairs([(10, 11)])
+        assert dataset.is_isp(10)              # without sibling info
+        assert not dataset.is_isp(10, org)     # with sibling info
+        assert dataset.is_stub(10, org)
+
+
+class TestClassifyLink:
+    def test_isp_transit(self):
+        assert sample().classify_link(100, 200) == LinkType.ISP_TRANSIT
+
+    def test_stub_transit(self):
+        assert sample().classify_link(200, 400) == LinkType.STUB_TRANSIT
+
+    def test_peer(self):
+        assert sample().classify_link(200, 300) == LinkType.PEER
+
+    def test_unknown_as_means_stub_transit(self):
+        """Section 5.4: ASes missing from the dataset count as stubs."""
+        assert sample().classify_link(100, 999) == LinkType.STUB_TRANSIT
+
+    def test_no_relation_known_ases_is_peer(self):
+        dataset = sample()
+        assert dataset.classify_link(100, 400) == LinkType.PEER
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        dataset = sample()
+        parsed = RelationshipDataset.from_lines(dataset.dump_lines())
+        assert parsed.customers(100) == {200, 300}
+        assert parsed.peers(300) == {200}
+        assert len(parsed) == len(dataset)
+
+    def test_bad_code(self):
+        with pytest.raises(ValueError):
+            RelationshipDataset.from_lines(["1|2|7"])
+
+    def test_comments_ignored(self):
+        parsed = RelationshipDataset.from_lines(["# header", "1|2|-1"])
+        assert parsed.customers(1) == {2}

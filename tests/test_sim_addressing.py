@@ -1,0 +1,115 @@
+"""Tests for address-space allocation."""
+
+import random
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.net.special import default_special_registry
+from repro.sim.addressing import (
+    ASAllocator,
+    AddressPoolExhausted,
+    build_address_plan,
+    number_p2p_link,
+)
+
+
+class TestASAllocator:
+    def allocator(self):
+        return ASAllocator(asn=1, prefixes=[Prefix.parse("20.0.0.0/24")])
+
+    def test_link_subnets_are_disjoint_and_aligned(self):
+        allocator = self.allocator()
+        seen = set()
+        for _ in range(20):
+            subnet = allocator.link_subnet(use_31=False)
+            assert subnet.length == 30
+            assert subnet.address % 4 == 0
+            for address in subnet:
+                assert address not in seen
+                seen.add(address)
+
+    def test_31_alignment(self):
+        allocator = self.allocator()
+        allocator.host()  # misalign the cursor
+        subnet = allocator.link_subnet(use_31=True)
+        assert subnet.length == 31
+        assert subnet.address % 2 == 0
+
+    def test_exhaustion(self):
+        allocator = ASAllocator(asn=1, prefixes=[Prefix.parse("20.0.0.0/30")])
+        allocator.link_subnet(use_31=False)
+        with pytest.raises(AddressPoolExhausted):
+            allocator.link_subnet(use_31=False)
+
+    def test_spills_to_second_prefix(self):
+        allocator = ASAllocator(
+            asn=1,
+            prefixes=[Prefix.parse("20.0.0.0/30"), Prefix.parse("30.0.0.0/24")],
+        )
+        first = allocator.link_subnet(use_31=False)
+        second = allocator.link_subnet(use_31=False)
+        assert Prefix.parse("20.0.0.0/30").contains(first.address)
+        assert Prefix.parse("30.0.0.0/24").contains(second.address)
+
+    def test_lan(self):
+        lan = self.allocator().lan(26)
+        assert lan.length == 26
+
+
+class TestBuildPlan:
+    def test_every_as_gets_space(self):
+        rng = random.Random(0)
+        plan = build_address_plan([10, 20, 30], rng)
+        for asn in (10, 20, 30):
+            assert plan.allocator(asn).prefixes
+            assert plan.announced[asn]
+
+    def test_prefixes_are_disjoint_and_public(self):
+        rng = random.Random(0)
+        plan = build_address_plan(list(range(1, 40)), rng)
+        registry = default_special_registry()
+        seen = []
+        for prefix, _ in plan.all_prefixes():
+            assert not registry.is_special(prefix.address)
+            assert not registry.is_special(prefix.broadcast)
+            for other in seen:
+                assert not other.contains_prefix(prefix)
+                assert not prefix.contains_prefix(other)
+            seen.append(prefix)
+
+    def test_unannounced_fraction(self):
+        rng = random.Random(0)
+        plan = build_address_plan(
+            list(range(1, 200)), rng, unannounced_fraction=0.5,
+            extra_prefix_probability=1.0,
+        )
+        unannounced = sum(len(prefixes) for prefixes in plan.unannounced.values())
+        assert unannounced > 0
+
+
+class TestNumberLink:
+    def test_30_assignment(self):
+        allocator = ASAllocator(asn=7, prefixes=[Prefix.parse("20.0.0.0/24")])
+        rng = random.Random(1)
+        link = number_p2p_link(allocator, rng, p31_fraction=0.0)
+        assert link.subnet.length == 30
+        assert link.owner_address == link.subnet.address + 1
+        assert link.other_address == link.subnet.address + 2
+        assert link.owner_as == 7
+
+    def test_31_assignment(self):
+        allocator = ASAllocator(asn=7, prefixes=[Prefix.parse("20.0.0.0/24")])
+        link = number_p2p_link(allocator, random.Random(1), p31_fraction=1.0)
+        assert link.subnet.length == 31
+        assert {link.owner_address, link.other_address} == set(link.subnet)
+
+    def test_fraction_respected(self):
+        allocator = ASAllocator(asn=7, prefixes=[Prefix.parse("20.0.0.0/16")])
+        rng = random.Random(42)
+        lengths = [
+            number_p2p_link(allocator, rng, p31_fraction=0.4).subnet.length
+            for _ in range(400)
+        ]
+        fraction = sum(1 for length in lengths if length == 31) / len(lengths)
+        assert 0.3 < fraction < 0.5

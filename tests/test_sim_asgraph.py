@@ -1,0 +1,97 @@
+"""Tests for AS-level topology generation."""
+
+from repro.sim.asgraph import ASGraph, ASGraphConfig, ASNode, Tier, generate_as_graph
+
+
+def small_graph(seed=1, **kwargs):
+    defaults = dict(
+        tier1_count=3,
+        tier2_count=5,
+        regional_count=6,
+        stub_count=15,
+        re_customer_count=4,
+        sibling_group_count=2,
+        ixp_count=1,
+        seed=seed,
+    )
+    defaults.update(kwargs)
+    return generate_as_graph(ASGraphConfig(**defaults))
+
+
+class TestGeneration:
+    def test_counts(self):
+        graph = small_graph()
+        assert len(graph.by_tier(Tier.TIER1)) == 3
+        assert len(graph.by_tier(Tier.TIER2)) == 5
+        assert len(graph.by_tier(Tier.REGIONAL)) == 6
+        assert len(graph.by_tier(Tier.RE_NETWORK)) == 1
+        # stubs + the R&E customer cone
+        assert len(graph.by_tier(Tier.STUB)) == 15 + 4
+
+    def test_tier1_clique(self):
+        graph = small_graph()
+        tier1s = [node.asn for node in graph.by_tier(Tier.TIER1)]
+        for i, first in enumerate(tier1s):
+            for second in tier1s[i + 1 :]:
+                assert second in graph.peers(first)
+
+    def test_every_nontier1_has_a_provider(self):
+        graph = small_graph()
+        for node in graph.nodes.values():
+            if node.tier == Tier.TIER1:
+                continue
+            assert graph.providers(node.asn), f"{node.name} has no provider"
+
+    def test_no_duplicate_edges(self):
+        graph = small_graph()
+        seen = set()
+        for edge in graph.edges:
+            key = frozenset((edge.a, edge.b))
+            assert key not in seen
+            seen.add(key)
+
+    def test_deterministic(self):
+        a, b = small_graph(seed=9), small_graph(seed=9)
+        assert sorted(a.nodes) == sorted(b.nodes)
+        assert [(e.a, e.b, e.kind) for e in a.edges] == [
+            (e.a, e.b, e.kind) for e in b.edges
+        ]
+
+    def test_seed_changes_topology(self):
+        a, b = small_graph(seed=1), small_graph(seed=2)
+        assert [(e.a, e.b) for e in a.edges] != [(e.a, e.b) for e in b.edges]
+
+    def test_re_network_prefers_customer_space(self):
+        graph = small_graph()
+        (re_node,) = graph.by_tier(Tier.RE_NETWORK)
+        assert re_node.customer_space_bias > 0.5
+
+    def test_sibling_groups(self):
+        graph = small_graph()
+        assert len(graph.sibling_groups) == 2
+        for group in graph.sibling_groups:
+            assert len(group) == 2
+
+    def test_ixps_have_sessions_between_members(self):
+        graph = small_graph()
+        for ixp in graph.ixps:
+            for a, b in ixp.sessions:
+                assert a in ixp.members
+                assert b in ixp.members
+
+    def test_nat_fraction_controls_nat_stubs(self):
+        graph = small_graph(nat_stub_fraction=0.0)
+        assert not any(node.natted for node in graph.nodes.values())
+
+
+class TestQueries:
+    def test_add_transit_and_peering(self):
+        graph = ASGraph()
+        graph.add_node(ASNode(1, Tier.TIER1, "a"))
+        graph.add_node(ASNode(2, Tier.TIER2, "b"))
+        graph.add_transit(1, 2)
+        graph.add_peering(1, 2)  # duplicate edge ignored
+        assert len(graph.edges) == 1
+        assert graph.customers(1) == [2]
+        assert graph.providers(2) == [1]
+        assert graph.neighbors(1) == [2]

@@ -1,0 +1,128 @@
+"""Tests for dataset exports (BGP dumps, relationships, AS2ORG, IXP,
+Cymru, the composite IP2AS build)."""
+
+import random
+
+from repro.bgp.ip2as import UNKNOWN_AS
+from repro.sim.asgraph import ASGraphConfig, Tier, generate_as_graph
+from repro.sim.exports import (
+    build_ip2as,
+    export_as2org,
+    export_bgp_dumps,
+    export_cymru,
+    export_ixp_dataset,
+    export_relationships,
+)
+from repro.sim.network import NetworkConfig, build_network
+from repro.sim.routing import ASRoutes
+
+
+def world(seed=3):
+    graph = generate_as_graph(
+        ASGraphConfig(
+            tier1_count=2, tier2_count=4, regional_count=5, stub_count=10,
+            re_customer_count=3, ixp_count=1, sibling_group_count=2, seed=seed,
+        )
+    )
+    network = build_network(graph, NetworkConfig(seed=seed))
+    return graph, network, ASRoutes(graph)
+
+
+class TestRelationships:
+    def test_edges_exported(self):
+        graph, _, _ = world()
+        rel = export_relationships(graph)
+        for edge in graph.edges:
+            if edge.kind == "transit":
+                assert edge.b in rel.customers(edge.a)
+            else:
+                assert edge.b in rel.peers(edge.a)
+
+    def test_ixp_sessions_are_peerings(self):
+        graph, _, _ = world()
+        rel = export_relationships(graph)
+        for ixp in graph.ixps:
+            for a, b in ixp.sessions:
+                assert b in rel.peers(a)
+
+
+class TestAS2Org:
+    def test_full_completeness(self):
+        graph, _, _ = world()
+        org = export_as2org(graph, random.Random(0), completeness=1.0)
+        for group in graph.sibling_groups:
+            members = sorted(group)
+            assert org.are_siblings(members[0], members[1])
+
+    def test_zero_completeness(self):
+        graph, _, _ = world()
+        org = export_as2org(graph, random.Random(0), completeness=0.0)
+        assert not list(org.groups())
+
+
+class TestBGPDumps:
+    def test_collectors_hold_announced_prefixes(self):
+        graph, network, routes = world()
+        tier1 = graph.by_tier(Tier.TIER1)[0].asn
+        (dump,) = export_bgp_dumps(network, routes, [tier1])
+        prefixes = dump.prefixes()
+        for asn, announced in network.plan.announced.items():
+            if not routes.knows(asn):
+                continue
+            for prefix in announced:
+                assert prefix in prefixes
+
+    def test_paths_end_at_origin(self):
+        graph, network, routes = world()
+        tier1 = graph.by_tier(Tier.TIER1)[0].asn
+        (dump,) = export_bgp_dumps(network, routes, [tier1])
+        owner = {}
+        for asn, announced in network.plan.announced.items():
+            for prefix in announced:
+                owner[prefix] = asn
+        for announcement in dump:
+            assert announcement.origin == owner[announcement.prefix]
+            assert announcement.as_path[0] == tier1
+
+    def test_unannounced_prefixes_absent(self):
+        graph, network, routes = world()
+        tier1 = graph.by_tier(Tier.TIER1)[0].asn
+        (dump,) = export_bgp_dumps(network, routes, [tier1])
+        prefixes = dump.prefixes()
+        for asn, unannounced in network.plan.unannounced.items():
+            for prefix in unannounced:
+                assert prefix not in prefixes
+
+
+class TestIP2ASBuild:
+    def test_interfaces_resolve_to_owner(self):
+        graph, network, routes = world()
+        collectors = [node.asn for node in graph.by_tier(Tier.TIER1)]
+        ip2as, _, _, _ = build_ip2as(network, routes, collectors, random.Random(0))
+        checked = 0
+        for link in network.links.values():
+            if link.kind != "external":
+                continue
+            asn = ip2as.asn(link.endpoints[0][1])
+            if asn > 0:
+                assert asn == link.owner_as
+                checked += 1
+        assert checked > 0
+
+    def test_cymru_covers_some_unannounced(self):
+        graph, network, routes = world()
+        cymru = export_cymru(network, random.Random(0), unannounced_coverage=1.0)
+        unannounced = [
+            prefix
+            for prefixes in network.plan.unannounced.values()
+            for prefix in prefixes
+        ]
+        if unannounced:
+            assert len(cymru) == len(unannounced)
+
+    def test_ixp_completeness(self):
+        graph, network, routes = world()
+        full = export_ixp_dataset(network, random.Random(0), completeness=1.0)
+        none = export_ixp_dataset(network, random.Random(0), completeness=0.0)
+        assert len(full) == len(network.ixp_links)
+        assert len(none) == 0

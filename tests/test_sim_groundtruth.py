@@ -1,0 +1,55 @@
+"""Tests for ground-truth extraction."""
+
+from repro.sim.groundtruth import GroundTruth
+from repro.sim.network import EXTERNAL
+
+
+class TestGroundTruth:
+    def test_border_interfaces_paired(self, scenario):
+        truth = scenario.ground_truth
+        for address, interface in truth.border.items():
+            other = truth.border[interface.other_address]
+            assert other.other_address == address
+            assert other.pair() == interface.pair()
+            assert other.router_as == interface.connected_as
+
+    def test_pair_matches_link_routers(self, scenario):
+        truth = scenario.ground_truth
+        network = scenario.network
+        for link in network.links.values():
+            if link.kind != EXTERNAL:
+                continue
+            for router_id, address in link.endpoints:
+                interface = truth.border[address]
+                assert interface.router_as == network.router_as(router_id)
+                assert interface.owner_as == link.owner_as
+
+    def test_internal_disjoint_from_border(self, scenario):
+        truth = scenario.ground_truth
+        assert not (set(truth.border) & truth.internal)
+        assert not (set(truth.border) & set(truth.ixp))
+
+    def test_monitor_lans_are_internal(self, scenario):
+        truth = scenario.ground_truth
+        for monitor in scenario.monitors:
+            link = scenario.network.links[monitor.lan_link]
+            for _, address in link.endpoints:
+                assert truth.is_internal(address)
+
+    def test_queries(self, scenario):
+        truth = scenario.ground_truth
+        some_border = next(iter(truth.border))
+        assert truth.is_inter_as(some_border)
+        assert truth.connected_pair(some_border) is not None
+        assert truth.connected_pair(0) is None
+
+    def test_interfaces_involving(self, scenario):
+        truth = scenario.ground_truth
+        asn = scenario.tier1_asns[0]
+        for interface in truth.interfaces_involving(asn):
+            assert asn in interface.pair()
+
+    def test_counts(self, scenario):
+        counts = scenario.ground_truth.counts()
+        assert counts["border_interfaces"] > 0
+        assert counts["internal_interfaces"] > 0

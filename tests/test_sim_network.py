@@ -1,0 +1,162 @@
+"""Tests for router-level topology synthesis."""
+
+import random
+
+from repro.net.special import default_special_registry
+from repro.sim.asgraph import ASGraphConfig, Tier, generate_as_graph
+from repro.sim.network import (
+    EXTERNAL,
+    INTERNAL,
+    IXP_LAN,
+    NetworkConfig,
+    build_network,
+)
+
+
+def make_network(seed=1, **net_kwargs):
+    graph = generate_as_graph(
+        ASGraphConfig(
+            tier1_count=2,
+            tier2_count=4,
+            regional_count=4,
+            stub_count=8,
+            re_customer_count=3,
+            ixp_count=1,
+            seed=seed,
+        )
+    )
+    return graph, build_network(graph, NetworkConfig(seed=seed, **net_kwargs))
+
+
+class TestBackbones:
+    def test_router_counts_match_nodes(self):
+        graph, network = make_network()
+        for asn, node in graph.nodes.items():
+            assert len(network.routers_by_as[asn]) == node.router_count
+
+    def test_backbone_is_connected(self):
+        """Every AS backbone must be internally connected (ring base)."""
+        graph, network = make_network()
+        for asn, routers in network.routers_by_as.items():
+            if len(routers) == 1:
+                continue
+            seen = {routers[0]}
+            frontier = [routers[0]]
+            while frontier:
+                current = frontier.pop()
+                for _, neighbor in network.internal_adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            assert seen == set(routers), f"AS{asn} backbone disconnected"
+
+    def test_internal_links_numbered_from_own_space(self):
+        graph, network = make_network()
+        for link in network.links.values():
+            if link.kind != INTERNAL:
+                continue
+            router_ases = {network.router_as(r) for r, _ in link.endpoints}
+            assert router_ases == {link.owner_as}
+
+
+class TestExternalLinks:
+    def test_every_as_edge_realized(self):
+        graph, network = make_network()
+        for edge in graph.edges:
+            assert network.external_link_ids(edge.a, edge.b)
+
+    def test_endpoints_are_the_right_ases(self):
+        graph, network = make_network()
+        for link in network.links.values():
+            if link.kind != EXTERNAL:
+                continue
+            router_ases = {network.router_as(r) for r, _ in link.endpoints}
+            assert len(link.endpoints) == 2
+            assert link.owner_as in router_ases
+
+    def test_addresses_unique_and_public(self):
+        graph, network = make_network()
+        registry = default_special_registry()
+        addresses = [address for address, _, _ in network.interfaces()]
+        assert len(addresses) == len(set(addresses))
+        assert not any(registry.is_special(address) for address in addresses)
+
+    def test_link_addresses_inside_subnet(self):
+        graph, network = make_network()
+        for link in network.links.values():
+            for _, address in link.endpoints:
+                if link.kind in (EXTERNAL, INTERNAL):
+                    assert link.subnet.contains(address)
+
+    def test_customer_space_violations_occur(self):
+        """With violation probability 1, every transit link is numbered
+        from the customer's space."""
+        graph, network = make_network(customer_space_violation=1.0)
+        for edge in graph.edges:
+            if edge.kind != "transit":
+                continue
+            for link_id in network.external_link_ids(edge.a, edge.b):
+                assert network.links[link_id].owner_as == edge.b
+
+    def test_convention_by_default(self):
+        """With violation probability 0 (and no R&E bias), transit
+        links are numbered from the provider."""
+        graph = generate_as_graph(
+            ASGraphConfig(
+                tier1_count=2, tier2_count=4, regional_count=4, stub_count=8,
+                include_re_network=False, seed=3,
+            )
+        )
+        network = build_network(graph, NetworkConfig(customer_space_violation=0.0, seed=3))
+        for edge in graph.edges:
+            if edge.kind != "transit":
+                continue
+            for link_id in network.external_link_ids(edge.a, edge.b):
+                assert network.links[link_id].owner_as == edge.a
+
+
+class TestIXP:
+    def test_lan_built_with_member_interfaces(self):
+        graph, network = make_network()
+        for ixp in graph.ixps:
+            if not ixp.sessions:
+                continue
+            link = network.links[network.ixp_links[ixp.name]]
+            assert link.kind == IXP_LAN
+            participants = {asn for session in ixp.sessions for asn in session}
+            attached = {network.router_as(r) for r, _ in link.endpoints}
+            assert attached == participants
+
+    def test_border_routers_via_ixp(self):
+        graph, network = make_network()
+        for ixp in graph.ixps:
+            for a, b in ixp.sessions:
+                assert network.border_routers(a, b)
+                assert network.border_routers(b, a)
+
+
+class TestArtifactsAssignment:
+    def test_fractions_zero_means_none(self):
+        graph, network = make_network(
+            per_packet_lb_fraction=0.0,
+            egress_reply_fraction=0.0,
+            silent_router_fraction=0.0,
+            buggy_ttl_fraction=0.0,
+        )
+        silent_border_ases = {
+            node.asn for node in graph.nodes.values() if node.silent_borders
+        }
+        for router in network.routers.values():
+            assert not router.per_packet_lb
+            assert not router.replies_with_egress
+            assert not router.buggy_ttl
+            if router.asn not in silent_border_ases:
+                assert not router.silent
+
+    def test_deterministic(self):
+        _, first = make_network(seed=5)
+        _, second = make_network(seed=5)
+        assert [r.per_packet_lb for r in first.routers.values()] == [
+            r.per_packet_lb for r in second.routers.values()
+        ]
+        assert sorted(first.address_owner) == sorted(second.address_owner)

@@ -1,0 +1,166 @@
+"""Tests for valley-free AS routing and the per-AS IGP."""
+
+from repro.sim.asgraph import ASGraph, ASGraphConfig, ASNode, Tier, generate_as_graph
+from repro.sim.network import NetworkConfig, build_network
+from repro.sim.routing import ASRoutes, CUSTOMER, IGP, PEER, PROVIDER, SELF
+
+
+def triangle_graph():
+    """p1 -- p2 tier-1 peers; c customer of p1; d customer of c."""
+    graph = ASGraph()
+    for asn, tier in ((1, Tier.TIER1), (2, Tier.TIER1), (3, Tier.TIER2), (4, Tier.STUB)):
+        graph.add_node(ASNode(asn, tier, f"as{asn}"))
+    graph.add_peering(1, 2)
+    graph.add_transit(1, 3)
+    graph.add_transit(3, 4)
+    return graph
+
+
+class TestASRoutes:
+    def test_self_route(self):
+        routes = ASRoutes(triangle_graph())
+        assert routes.next_hop(4, 4) == 4
+
+    def test_customer_route_preferred(self):
+        routes = ASRoutes(triangle_graph())
+        # AS1 reaches stub 4 down the customer chain via 3.
+        table = routes.table_for(4)
+        assert table[1][0] == CUSTOMER
+        assert table[1][2] == 3
+
+    def test_provider_route(self):
+        routes = ASRoutes(triangle_graph())
+        table = routes.table_for(2)
+        assert table[4][0] == PROVIDER
+        assert routes.as_path(4, 2) == [4, 3, 1, 2]
+
+    def test_peer_route(self):
+        routes = ASRoutes(triangle_graph())
+        # AS2 reaches 4 through its peer 1 (customer cone of 1).
+        table = routes.table_for(4)
+        assert table[2][0] == PEER
+        assert table[2][2] == 1
+
+    def test_valley_freeness(self):
+        """No AS path goes down (to a customer) and then up again."""
+        graph = generate_as_graph(ASGraphConfig(seed=2))
+        routes = ASRoutes(graph)
+        providers = {asn: set(graph.providers(asn)) for asn in graph.nodes}
+        asns = sorted(graph.nodes)
+        for dst in asns[:25]:
+            for src in asns[:25]:
+                path = routes.as_path(src, dst)
+                if path is None or len(path) < 3:
+                    continue
+                went_down = False
+                for previous, current in zip(path, path[1:]):
+                    going_down = previous in providers[current]
+                    if went_down and not going_down:
+                        raise AssertionError(f"valley in {path}")
+                    went_down = went_down or going_down
+
+    def test_all_pairs_reachable_in_connected_hierarchy(self):
+        graph = generate_as_graph(ASGraphConfig(seed=2))
+        routes = ASRoutes(graph)
+        asns = sorted(graph.nodes)
+        for dst in asns[:10]:
+            for src in asns:
+                assert routes.as_path(src, dst) is not None
+
+    def test_unknown_as(self):
+        routes = ASRoutes(triangle_graph())
+        assert not routes.knows(999)
+        assert routes.next_hop(1, 999) is None
+        assert routes.as_path(999, 1) is None
+
+    def test_alternate_next_hop_differs_from_best(self):
+        graph = triangle_graph()
+        graph.add_transit(2, 3)  # 3 is now multihomed to 1 and 2
+        routes = ASRoutes(graph)
+        best = routes.next_hop(3, 2)
+        alternate = routes.alternate_next_hop(3, 2)
+        assert alternate is not None
+        assert alternate != best
+
+    def test_alternate_is_valley_free(self):
+        """A peer without a customer route is never an alternate."""
+        graph = triangle_graph()
+        routes = ASRoutes(graph)
+        # AS2's only route to 4 is via peer 1; there is no alternate
+        # (no second valley-free option).
+        assert routes.alternate_next_hop(2, 4) is None
+
+
+class TestIGP:
+    def network(self):
+        graph = generate_as_graph(
+            ASGraphConfig(tier1_count=2, tier2_count=3, regional_count=3,
+                          stub_count=5, seed=4)
+        )
+        return build_network(graph, NetworkConfig(seed=4))
+
+    def test_distance_zero_to_self(self):
+        network = self.network()
+        igp = IGP(network)
+        router = next(iter(network.routers))
+        assert igp.distance(router, router) == 0
+
+    def test_distances_symmetric(self):
+        network = self.network()
+        igp = IGP(network)
+        for routers in network.routers_by_as.values():
+            if len(routers) < 2:
+                continue
+            a, b = routers[0], routers[1]
+            assert igp.distance(a, b) == igp.distance(b, a)
+
+    def test_next_hops_decrease_distance(self):
+        network = self.network()
+        igp = IGP(network)
+        for routers in network.routers_by_as.values():
+            if len(routers) < 3:
+                continue
+            src, dst = routers[0], routers[-1]
+            for _, neighbor in igp.next_hops(src, dst):
+                assert igp.distance(neighbor, dst) == igp.distance(src, dst) - 1
+
+    def test_cross_as_distance_is_none(self):
+        network = self.network()
+        igp = IGP(network)
+        as_list = sorted(network.routers_by_as)
+        a = network.routers_by_as[as_list[0]][0]
+        b = network.routers_by_as[as_list[1]][0]
+        assert igp.distance(a, b) is None
+
+
+class TestValleyFreeProperty:
+    """Hypothesis-driven: valley-freeness holds on random hierarchies."""
+
+    def test_random_graphs_are_valley_free(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=10, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=10_000))
+        def check(seed):
+            graph = generate_as_graph(
+                ASGraphConfig(
+                    tier1_count=2, tier2_count=4, regional_count=4,
+                    stub_count=8, seed=seed,
+                )
+            )
+            routes = ASRoutes(graph)
+            providers = {asn: set(graph.providers(asn)) for asn in graph.nodes}
+            asns = sorted(graph.nodes)
+            for dst in asns[:8]:
+                for src in asns[:12]:
+                    path = routes.as_path(src, dst)
+                    if path is None or len(path) < 3:
+                        continue
+                    went_down = False
+                    for previous, current in zip(path, path[1:]):
+                        going_down = previous in providers[current]
+                        assert not (went_down and not going_down), path
+                        went_down = went_down or going_down
+
+        check()

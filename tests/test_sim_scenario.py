@@ -1,0 +1,68 @@
+"""Tests for scenario assembly and the presets."""
+
+from repro.sim.presets import paper_config, small_config, small_scenario
+from repro.sim.scenario import ScenarioConfig, build_scenario
+
+
+class TestScenario:
+    def test_components_present(self, scenario):
+        assert scenario.traces
+        assert scenario.monitors
+        assert scenario.relationships.all_ases()
+        assert scenario.ground_truth.border
+
+    def test_monitor_count(self, scenario):
+        assert len(scenario.monitors) == scenario.config.monitor_count
+
+    def test_monitors_in_distinct_ases(self, scenario):
+        ases = [monitor.asn for monitor in scenario.monitors]
+        assert len(set(ases)) == len(ases)
+
+    def test_re_monitor_placed_first(self, scenario):
+        """The R&E network hosts a monitor (paper: one verification
+        network had one)."""
+        assert scenario.monitors[0].asn == scenario.re_asn
+
+    def test_traces_cover_all_monitors(self, scenario):
+        monitors = {trace.monitor for trace in scenario.traces}
+        assert monitors == {monitor.name for monitor in scenario.monitors}
+
+    def test_verification_asns(self, scenario):
+        targets = scenario.verification_asns()
+        assert len(targets) == 3
+        assert targets[0] == scenario.re_asn
+        assert set(targets[1:]) <= set(scenario.tier1_asns)
+
+    def test_deterministic(self):
+        first = small_scenario(seed=5)
+        second = small_scenario(seed=5)
+        assert len(first.traces) == len(second.traces)
+        for a, b in zip(first.traces[:200], second.traces[:200]):
+            assert [h.address for h in a.hops] == [h.address for h in b.hops]
+
+    def test_seed_matters(self):
+        first = small_scenario(seed=5)
+        second = small_scenario(seed=6)
+        assert [h.address for t in first.traces[:50] for h in t.hops] != [
+            h.address for t in second.traces[:50] for h in t.hops
+        ]
+
+    def test_reseeded_propagates(self):
+        config = small_config().reseeded(99)
+        assert config.seed == 99
+        assert config.as_graph.seed == 99
+        assert config.network.seed == 99
+        assert config.tracer.seed == 99
+
+    def test_ip2as_high_coverage(self, scenario):
+        addresses = set()
+        for trace in scenario.traces[:500]:
+            addresses.update(trace.addresses())
+        assert scenario.ip2as.coverage(addresses) > 0.9
+
+
+class TestPresets:
+    def test_paper_config_is_larger(self):
+        small, paper = small_config(), paper_config()
+        assert paper.as_graph.stub_count > small.as_graph.stub_count
+        assert paper.monitor_count > small.monitor_count

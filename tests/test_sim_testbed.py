@@ -1,0 +1,162 @@
+"""Tests for the testbed builder and the Internet2 neighborhood."""
+
+import pytest
+
+from repro import MapItConfig, run_mapit
+from repro.net.ipv4 import parse_address
+from repro.sim.internet2 import (
+    INTERNET2,
+    MAGPI,
+    MERIT,
+    MONTANA,
+    NORDUNET,
+    NYSERNET,
+    UPENN,
+    internet2_testbed,
+)
+from repro.sim.testbed import TestbedBuilder
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+class TestBuilder:
+    def minimal(self):
+        tb = TestbedBuilder()
+        tb.add_as(100, "a", "20.0.0.0/16")
+        tb.add_as(200, "b", "21.0.0.0/16")
+        tb.add_router("a1", 100)
+        tb.add_router("a2", 100)
+        tb.add_router("b1", 200)
+        tb.link("a1", "a2", "20.0.1.0/31")
+        tb.link("a2", "b1", "20.0.2.0/30")
+        tb.transit(100, 200)
+        tb.monitor("m", "a1")
+        return tb
+
+    def test_builds_and_traces(self):
+        testbed = self.minimal().build()
+        trace = testbed.trace("m", "21.0.0.55")
+        addresses = [hop.address for hop in trace.hops if hop.address]
+        # the path crosses a1 -> a2 -> b1
+        assert addr("20.0.1.1") in addresses or addr("20.0.2.2") in addresses
+
+    def test_link_owner_inferred_from_space(self):
+        testbed = self.minimal().build()
+        border = testbed.ground_truth.border[addr("20.0.2.1")]
+        assert border.owner_as == 100
+        assert border.pair() == (100, 200)
+
+    def test_internal_vs_external_detection(self):
+        testbed = self.minimal().build()
+        assert testbed.ground_truth.is_internal(addr("20.0.1.0"))
+        assert testbed.ground_truth.is_inter_as(addr("20.0.2.1"))
+
+    def test_duplicate_router_rejected(self):
+        tb = TestbedBuilder()
+        tb.add_as(1, "x", "20.0.0.0/16")
+        tb.add_router("r", 1)
+        with pytest.raises(ValueError):
+            tb.add_router("r", 1)
+
+    def test_link_needs_p2p_prefix(self):
+        tb = self.minimal()
+        with pytest.raises(ValueError):
+            tb.link("a1", "a2", "20.0.3.0/24")
+
+    def test_link_outside_declared_space_rejected(self):
+        tb = self.minimal()
+        tb.add_router("b2", 200)
+        tb.link("b1", "b2", "99.0.0.0/31")
+        with pytest.raises(ValueError):
+            tb.build()
+
+    def test_monitor_pinned_to_named_router(self):
+        testbed = self.minimal().build()
+        (monitor,) = testbed.monitors
+        gateway = testbed.network.routers[monitor.gateway_router]
+        assert gateway.name == "a1"
+
+
+class TestInternet2Neighborhood:
+    @pytest.fixture(scope="class")
+    def result(self):
+        testbed = internet2_testbed()
+        traces = testbed.trace_all(flows=2, targets_per_as=4)
+        result = run_mapit(
+            traces,
+            testbed.ip2as,
+            org=testbed.as2org,
+            rel=testbed.relationships,
+            config=MapItConfig(f=0.5),
+        )
+        return testbed, result
+
+    def pairs_on(self, result, address_text):
+        return {
+            inference.pair()
+            for inference in result.inferences
+            if inference.address == addr(address_text)
+        }
+
+    def test_nordunet_link_from_paper(self, result):
+        """The headline example: 109.105.98.10, NORDUnet-announced but
+        on the Internet2 New York router."""
+        _, inferences = result
+        assert self.pairs_on(inferences, "109.105.98.10") == {
+            tuple(sorted((NORDUNET, INTERNET2)))
+        }
+
+    def test_nysernet_customer_space_link(self, result):
+        _, inferences = result
+        assert self.pairs_on(inferences, "199.109.5.1") == {
+            tuple(sorted((INTERNET2, NYSERNET)))
+        }
+
+    def test_merit_link(self, result):
+        _, inferences = result
+        assert self.pairs_on(inferences, "216.249.136.197") == {
+            tuple(sorted((MERIT, INTERNET2)))
+        }
+
+    def test_montana_links(self, result):
+        """Fig 5: the parallel Internet2-numbered customer links."""
+        _, inferences = result
+        montana_pair = tuple(sorted((INTERNET2, MONTANA)))
+        found = self.pairs_on(inferences, "198.71.46.197") | self.pairs_on(
+            inferences, "198.71.46.217"
+        )
+        assert montana_pair in found
+
+    def test_no_inverse_mistake_inside_montana(self, result):
+        """192.73.48.120/121 is Montana-internal; the Fig 5 mistaken
+        backward inference must not survive."""
+        _, inferences = result
+        assert self.pairs_on(inferences, "192.73.48.120") == set()
+        assert self.pairs_on(inferences, "192.73.48.121") == set()
+
+    def test_backbone_interfaces_stay_internal(self, result):
+        _, inferences = result
+        for text in ("198.71.45.0", "198.71.45.1", "198.71.46.180", "198.71.46.181"):
+            assert self.pairs_on(inferences, text) == set(), text
+
+    def test_upenn_behind_magpi_not_linked_to_internet2(self, result):
+        """Fig 1's lesson: UPenn connects to MAGPI, not Internet2."""
+        _, inferences = result
+        upenn_pairs = {
+            inference.pair()
+            for inference in inferences.inferences
+            if UPENN in inference.pair()
+        }
+        assert tuple(sorted((UPENN, INTERNET2))) not in upenn_pairs
+
+    def test_precision_against_testbed_truth(self, result):
+        testbed, inferences = result
+        truth = testbed.ground_truth
+        observed = [i for i in inferences.inferences if i.kind != "indirect"]
+        correct = sum(
+            1 for i in observed if truth.connected_pair(i.address) == i.pair()
+        )
+        assert observed
+        assert correct / len(observed) == 1.0

@@ -1,0 +1,230 @@
+"""Tests for the traceroute engine and its artifact injection."""
+
+import random
+
+from dataclasses import replace
+
+from repro.sim.asgraph import ASGraphConfig, Tier, generate_as_graph
+from repro.sim.network import EXTERNAL, NetworkConfig, build_network
+from repro.sim.routing import ASRoutes, IGP
+from repro.sim.tracer import TracerConfig, TracerouteEngine
+from repro.traceroute.sanitize import find_cycle
+
+
+def make_engine(seed=1, net_kwargs=None, tracer_kwargs=None, graph_kwargs=None):
+    graph_defaults = dict(
+        tier1_count=2, tier2_count=4, regional_count=4, stub_count=10,
+        re_customer_count=3, ixp_count=1, seed=seed,
+    )
+    graph_defaults.update(graph_kwargs or {})
+    graph = generate_as_graph(ASGraphConfig(**graph_defaults))
+    network = build_network(graph, NetworkConfig(seed=seed, **(net_kwargs or {})))
+    engine = TracerouteEngine(
+        network,
+        ASRoutes(graph),
+        IGP(network),
+        TracerConfig(seed=seed, **(tracer_kwargs or {})),
+    )
+    return graph, network, engine
+
+
+def quiet_engine(seed=1, **tracer_kwargs):
+    """An engine with every artifact disabled."""
+    return make_engine(
+        seed=seed,
+        net_kwargs=dict(
+            per_packet_lb_fraction=0.0,
+            egress_reply_fraction=0.0,
+            silent_router_fraction=0.0,
+            buggy_ttl_fraction=0.0,
+        ),
+        tracer_kwargs=dict(
+            transient_change_probability=0.0,
+            destination_reply_probability=1.0,
+            **tracer_kwargs,
+        ),
+        graph_kwargs=dict(nat_stub_fraction=0.0, silent_border_fraction=0.0),
+    )
+
+
+class TestCleanTraces:
+    def test_trace_reaches_destination(self):
+        graph, network, engine = quiet_engine()
+        rng = random.Random(0)
+        monitor = engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        target_as = graph.by_tier(Tier.STUB)[-1].asn
+        target = network.plan.announced[target_as][0].address + 99
+        trace = engine.trace("m", target, flow_id=0)
+        assert trace.hops[-1].address == target
+        assert all(hop.responded for hop in trace.hops)
+
+    def test_hops_follow_actual_links(self):
+        """Consecutive responsive hops must be genuinely adjacent
+        (the addresses' routers share a link) in a clean world."""
+        graph, network, engine = quiet_engine()
+        rng = random.Random(0)
+        monitor = engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        target_as = graph.by_tier(Tier.TIER1)[0].asn
+        target = network.plan.announced[target_as][0].address + 50
+        trace = engine.trace("m", target, flow_id=1)
+        owners = network.address_owner
+        for before, after in zip(trace.hops, trace.hops[1:]):
+            if before.address is None or after.address is None:
+                continue
+            if after.address not in owners:
+                continue  # destination host reply
+            before_router = owners.get(before.address)
+            after_router = owners[after.address][0]
+            if before_router is None:
+                continue
+            shared = set(network.routers[before_router[0]].links) & set(
+                network.routers[after_router].links
+            )
+            assert shared, f"hops {before} -> {after} not adjacent"
+
+    def test_ingress_semantics(self):
+        """Each reported address belongs to the router that received
+        the probe, on the link it arrived over."""
+        graph, network, engine = quiet_engine()
+        rng = random.Random(0)
+        monitor = engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        target_as = graph.by_tier(Tier.TIER2)[0].asn
+        target = network.plan.announced[target_as][0].address + 11
+        trace = engine.trace("m", target, flow_id=2)
+        for hop in trace.hops[:-1]:
+            assert hop.address in network.address_owner
+
+    def test_deterministic(self):
+        graph, network, engine = quiet_engine()
+        rng = random.Random(0)
+        monitor = engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        target_as = graph.by_tier(Tier.TIER1)[0].asn
+        target = network.plan.announced[target_as][0].address + 50
+        first = engine.trace("m", target, flow_id=7)
+        second = engine.trace("m", target, flow_id=7)
+        assert [h.address for h in first.hops] == [h.address for h in second.hops]
+
+    def test_flow_id_stable_paths(self):
+        """Per-flow load balancing: same flow id, same path."""
+        graph, network, engine = quiet_engine()
+        rng = random.Random(0)
+        engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        target_as = graph.by_tier(Tier.TIER1)[0].asn
+        target = network.plan.announced[target_as][0].address + 50
+        paths = {
+            tuple(h.address for h in engine.trace("m", target, flow_id=i).hops)
+            for i in range(3)
+            for _ in range(2)
+        }
+        # each flow id maps to exactly one path
+        assert len(paths) <= 3
+
+
+class TestArtifacts:
+    def test_silent_routers_produce_gaps(self):
+        graph, network, engine = make_engine(
+            net_kwargs=dict(silent_router_fraction=0.5)
+        )
+        rng = random.Random(0)
+        engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        gaps = 0
+        for stub in graph.by_tier(Tier.TIER1):
+            target = network.plan.announced[stub.asn][0].address + 9
+            trace = engine.trace("m", target, flow_id=0)
+            gaps += sum(1 for hop in trace.hops if hop.address is None)
+        assert gaps > 0
+
+    def test_buggy_ttl_quotes_zero(self):
+        graph, network, engine = make_engine(
+            net_kwargs=dict(buggy_ttl_fraction=0.7)
+        )
+        rng = random.Random(0)
+        engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        quoted = []
+        for node in graph.by_tier(Tier.TIER1) + graph.by_tier(Tier.TIER2):
+            target = network.plan.announced[node.asn][0].address + 9
+            trace = engine.trace("m", target, flow_id=0)
+            quoted.extend(h.quoted_ttl for h in trace.hops if h.responded)
+        assert 0 in quoted
+
+    def test_transient_changes_cause_cycles_somewhere(self):
+        """Route flaps onto unequal-length fallback paths must yield
+        the interface cycles section 4.1 discards.  Needs a topology
+        rich enough for length-diverse alternates."""
+        graph, network, engine = make_engine(
+            tracer_kwargs=dict(transient_change_probability=1.0),
+            graph_kwargs=dict(
+                tier1_count=3, tier2_count=8, regional_count=10, stub_count=25
+            ),
+        )
+        rng = random.Random(0)
+        stubs = [node for node in graph.by_tier(Tier.STUB) if not node.natted]
+        for index in range(3):
+            engine.add_monitor(f"m{index}", stubs[index * 3].asn, rng)
+        cycles = 0
+        for node in graph.nodes.values():
+            for index in range(3):
+                for offset in range(3):
+                    target = network.plan.announced[node.asn][0].address + 40 + offset
+                    trace = engine.trace(f"m{index}", target, flow_id=offset)
+                    if find_cycle(trace) is not None:
+                        cycles += 1
+        assert cycles > 0
+
+    def test_nat_stub_exposes_single_address(self):
+        graph, network, engine = make_engine(
+            graph_kwargs=dict(nat_stub_fraction=1.0),
+            tracer_kwargs=dict(destination_reply_probability=1.0),
+        )
+        rng = random.Random(0)
+        monitor_as = graph.by_tier(Tier.TIER1)[0].asn
+        engine.add_monitor("m", monitor_as, rng)
+        stub = next(node for node in graph.by_tier(Tier.STUB) if node.natted)
+        nat = engine._nat_address[stub.asn]
+        seen = set()
+        for offset in range(6):
+            target = network.plan.announced[stub.asn][0].address + 1000 + offset
+            trace = engine.trace("m", target, flow_id=offset)
+            for hop in trace.hops:
+                if hop.address is not None and engine.owner_as(hop.address) == stub.asn:
+                    seen.add(hop.address)
+        # Only the NAT pool address and possibly the border's external
+        # ingress (often numbered from the provider) are visible.
+        assert seen <= {nat} | set(network.address_owner)
+        assert nat in seen
+        internal = {
+            address
+            for address in seen
+            if address != nat and network.links[
+                network.address_owner[address][1]
+            ].kind not in (EXTERNAL,)
+        }
+        assert not internal
+
+    def test_third_party_addresses_appear(self):
+        graph, network, engine = make_engine(
+            net_kwargs=dict(egress_reply_fraction=1.0)
+        )
+        rng = random.Random(0)
+        engine.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        off_ingress = 0
+        for node in graph.by_tier(Tier.TIER2):
+            target = network.plan.announced[node.asn][0].address + 21
+            trace = engine.trace("m", target, flow_id=0)
+            for hop in trace.hops:
+                if hop.address is None or hop.address not in network.address_owner:
+                    continue
+        # With every router replying via its reverse-path egress, at
+        # least some traces must differ from the clean equivalent.
+        _, _, clean = quiet_engine()
+        engine2 = clean
+        rng = random.Random(0)
+        engine2.add_monitor("m", graph.by_tier(Tier.STUB)[0].asn, rng)
+        diffs = 0
+        for node in graph.by_tier(Tier.TIER2):
+            target = network.plan.announced[node.asn][0].address + 21
+            noisy = [h.address for h in engine.trace("m", target, 0).hops]
+            quiet = [h.address for h in engine2.trace("m", target, 0).hops]
+            if noisy != quiet:
+                diffs += 1
+        assert diffs > 0

@@ -1,0 +1,116 @@
+"""Tests for RIPE Atlas result ingestion."""
+
+import json
+
+from repro.net.ipv4 import parse_address
+from repro.traceroute.atlas import parse_atlas, parse_atlas_measurement
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+def measurement(**overrides):
+    record = {
+        "af": 4,
+        "prb_id": 6012,
+        "dst_addr": "9.9.9.9",
+        "result": [
+            {"hop": 1, "result": [{"from": "9.0.0.1", "rtt": 1.2, "ittl": 1}]},
+            {"hop": 2, "result": [{"x": "*"}, {"from": "9.0.0.5", "rtt": 8.0}]},
+            {"hop": 3, "result": [{"x": "*"}, {"x": "*"}, {"x": "*"}]},
+            {"hop": 4, "result": [{"from": "9.9.9.9", "rtt": 20.1}]},
+        ],
+    }
+    record.update(overrides)
+    return record
+
+
+class TestParseMeasurement:
+    def test_basic(self):
+        trace = parse_atlas_measurement(measurement())
+        assert trace is not None
+        assert trace.monitor == "prb-6012"
+        assert trace.dst == addr("9.9.9.9")
+        assert [hop.address for hop in trace.hops] == [
+            addr("9.0.0.1"),
+            addr("9.0.0.5"),
+            None,
+            addr("9.9.9.9"),
+        ]
+
+    def test_first_responding_probe_wins(self):
+        trace = parse_atlas_measurement(measurement())
+        assert trace.hops[1].address == addr("9.0.0.5")
+        assert trace.hops[1].rtt_ms == 8.0
+
+    def test_missing_ttls_become_gaps(self):
+        record = measurement(
+            result=[
+                {"hop": 1, "result": [{"from": "9.0.0.1"}]},
+                {"hop": 4, "result": [{"from": "9.0.0.9"}]},
+            ]
+        )
+        trace = parse_atlas_measurement(record)
+        assert [hop.address for hop in trace.hops] == [
+            addr("9.0.0.1"),
+            None,
+            None,
+            addr("9.0.0.9"),
+        ]
+
+    def test_ipv6_skipped(self):
+        assert parse_atlas_measurement(measurement(af=6)) is None
+
+    def test_ipv6_hop_addresses_skipped(self):
+        record = measurement(
+            result=[{"hop": 1, "result": [{"from": "2001:db8::1"}, {"from": "9.0.0.1"}]}]
+        )
+        trace = parse_atlas_measurement(record)
+        assert trace.hops[0].address == addr("9.0.0.1")
+
+    def test_no_result_skipped(self):
+        assert parse_atlas_measurement({"af": 4, "dst_addr": "9.9.9.9"}) is None
+
+    def test_quoted_ttl_passthrough(self):
+        record = measurement(
+            result=[{"hop": 1, "result": [{"from": "9.0.0.1", "ittl": 0}]}]
+        )
+        trace = parse_atlas_measurement(record)
+        assert trace.hops[0].quoted_ttl == 0
+
+
+class TestParseAtlas:
+    def test_json_array(self):
+        text = json.dumps([measurement(), measurement(af=6)])
+        traces = list(parse_atlas(text))
+        assert len(traces) == 1
+
+    def test_json_lines(self):
+        lines = [json.dumps(measurement()), json.dumps(measurement(prb_id=7))]
+        traces = list(parse_atlas(lines))
+        assert len(traces) == 2
+        assert traces[1].monitor == "prb-7"
+
+    def test_feeds_the_pipeline(self):
+        """Atlas traces flow straight into MAP-IT."""
+        from repro import MapItConfig, run_mapit
+        from repro.bgp.ip2as import IP2AS
+
+        records = []
+        for suffix in range(1, 4):
+            records.append(
+                json.dumps(
+                    measurement(
+                        dst_addr="9.1.9.9",
+                        result=[
+                            {"hop": 1, "result": [{"from": "9.0.0.1"}]},
+                            {"hop": 2, "result": [{"from": f"9.1.0.{suffix}"}]},
+                        ],
+                    )
+                )
+            )
+        traces = list(parse_atlas(records))
+        ip2as = IP2AS.from_pairs([("9.0.0.0/16", 100), ("9.1.0.0/16", 200)])
+        result = run_mapit(traces, ip2as, config=MapItConfig(f=0.5))
+        assert any(i.address == addr("9.0.0.1") for i in result.inferences)

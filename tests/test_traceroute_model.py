@@ -1,0 +1,86 @@
+"""Tests for the trace/hop data model and serialization."""
+
+from repro.net.ipv4 import parse_address
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.parse import (
+    parse_json_traces,
+    parse_text_traces,
+    traces_to_json_lines,
+    traces_to_text_lines,
+)
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+def make_trace():
+    return Trace(
+        monitor="mon-1",
+        dst=addr("203.0.114.9"),
+        hops=(
+            Hop(addr("9.0.0.1")),
+            Hop(None),
+            Hop(addr("9.0.0.5"), quoted_ttl=0),
+            Hop(addr("203.0.114.9"), rtt_ms=12.5),
+        ),
+        flow_id=3,
+    )
+
+
+class TestModel:
+    def test_len_and_iter(self):
+        trace = make_trace()
+        assert len(trace) == 4
+        assert [hop.responded for hop in trace] == [True, False, True, True]
+
+    def test_addresses_skips_gaps(self):
+        assert len(list(make_trace().addresses())) == 3
+
+    def test_replace_hops(self):
+        trace = make_trace()
+        new = trace.replace_hops(trace.hops[:1])
+        assert len(new) == 1
+        assert new.monitor == trace.monitor
+        assert new.flow_id == trace.flow_id
+
+    def test_str_contains_star(self):
+        assert "*" in str(make_trace())
+
+
+class TestTextFormat:
+    def test_roundtrip(self):
+        trace = Trace("m", addr("203.0.114.9"), make_trace().hops)
+        (line,) = traces_to_text_lines([trace])
+        (parsed,) = parse_text_traces([line])
+        assert parsed.dst == trace.dst
+        assert [hop.address for hop in parsed] == [hop.address for hop in trace]
+        assert [hop.quoted_ttl for hop in parsed] == [hop.quoted_ttl for hop in trace]
+
+    def test_quoted_ttl_marker(self):
+        (line,) = traces_to_text_lines([make_trace()])
+        assert "@0" in line
+
+    def test_parse_skips_comments(self):
+        assert list(parse_text_traces(["# comment", ""])) == []
+
+
+class TestJsonFormat:
+    def test_roundtrip(self):
+        trace = make_trace()
+        (line,) = traces_to_json_lines([trace])
+        (parsed,) = parse_json_traces([line])
+        assert parsed.dst == trace.dst
+        assert [hop.address for hop in parsed] == [hop.address for hop in trace]
+
+    def test_gap_reconstruction(self):
+        """Unresponsive probes come back as * hops at the right TTLs."""
+        trace = make_trace()
+        (line,) = traces_to_json_lines([trace])
+        (parsed,) = parse_json_traces([line])
+        assert parsed.hops[1].address is None
+
+    def test_rtt_preserved(self):
+        (line,) = traces_to_json_lines([make_trace()])
+        (parsed,) = parse_json_traces([line])
+        assert parsed.hops[3].rtt_ms == 12.5

@@ -1,0 +1,107 @@
+"""Tests for bulk trace-dataset operations."""
+
+import pytest
+
+from repro.net.ipv4 import parse_address
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.ops import (
+    by_monitor,
+    dedupe_traces,
+    filter_traces,
+    merge_datasets,
+    path_signature,
+    sample_traces,
+)
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+def trace(monitor="m1", dst="9.9.9.9", hops=("9.0.0.1", "9.0.0.2"), flow=0):
+    return Trace(
+        monitor,
+        addr(dst),
+        tuple(Hop(addr(h)) if h else Hop(None) for h in hops),
+        flow,
+    )
+
+
+class TestDedupe:
+    def test_exact_duplicates_dropped(self):
+        traces = [trace(), trace(), trace(dst="9.9.9.8")]
+        assert len(list(dedupe_traces(traces))) == 2
+
+    def test_different_paths_kept(self):
+        traces = [trace(), trace(hops=("9.0.0.1", "9.0.0.5"))]
+        assert len(list(dedupe_traces(traces))) == 2
+
+    def test_different_monitors_kept(self):
+        traces = [trace(monitor="m1"), trace(monitor="m2")]
+        assert len(list(dedupe_traces(traces))) == 2
+
+    def test_order_preserved(self):
+        traces = [trace(dst="9.9.9.9"), trace(dst="9.9.9.8"), trace(dst="9.9.9.9")]
+        kept = list(dedupe_traces(traces))
+        assert [t.dst for t in kept] == [addr("9.9.9.9"), addr("9.9.9.8")]
+
+    def test_signature_includes_gaps(self):
+        with_gap = trace(hops=("9.0.0.1", None, "9.0.0.2"))
+        without = trace(hops=("9.0.0.1", "9.0.0.2"))
+        assert path_signature(with_gap) != path_signature(without)
+
+
+class TestSample:
+    def traces(self, count=400):
+        return [trace(dst=f"9.9.{i // 250}.{i % 250}", flow=i) for i in range(count)]
+
+    def test_fraction_respected(self):
+        kept = list(sample_traces(self.traces(), 0.5))
+        assert 120 <= len(kept) <= 280
+
+    def test_deterministic(self):
+        first = [t.dst for t in sample_traces(self.traces(), 0.3)]
+        second = [t.dst for t in sample_traces(self.traces(), 0.3)]
+        assert first == second
+
+    def test_monotone_in_fraction(self):
+        """A larger fraction keeps a superset (same hash threshold)."""
+        small = {(t.dst, t.flow_id) for t in sample_traces(self.traces(), 0.2)}
+        large = {(t.dst, t.flow_id) for t in sample_traces(self.traces(), 0.6)}
+        assert small <= large
+
+    def test_extremes(self):
+        assert list(sample_traces(self.traces(50), 0.0)) == []
+        assert len(list(sample_traces(self.traces(50), 1.0))) == 50
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            list(sample_traces([], 1.5))
+
+
+class TestGroupingFiltering:
+    def test_by_monitor(self):
+        grouped = by_monitor([trace(monitor="a"), trace(monitor="b"), trace(monitor="a")])
+        assert sorted(grouped) == ["a", "b"]
+        assert len(grouped["a"]) == 2
+
+    def test_filter_by_monitor(self):
+        kept = list(filter_traces([trace(monitor="a"), trace(monitor="b")], monitor="a"))
+        assert len(kept) == 1
+
+    def test_filter_by_involving(self):
+        traces = [trace(), trace(hops=("9.0.0.5", "9.0.0.6"))]
+        kept = list(filter_traces(traces, involving=addr("9.0.0.1")))
+        assert len(kept) == 1
+
+    def test_filter_by_min_hops(self):
+        traces = [trace(), trace(hops=("9.0.0.1",))]
+        assert len(list(filter_traces(traces, min_hops=2))) == 1
+
+
+class TestMerge:
+    def test_merge_dedupes_across_datasets(self):
+        first = [trace(), trace(dst="9.9.9.8")]
+        second = [trace(), trace(dst="9.9.9.7")]
+        merged = list(merge_datasets(first, second))
+        assert len(merged) == 3

@@ -1,0 +1,105 @@
+"""Tests for trace sanitization (paper section 4.1)."""
+
+from repro.net.ipv4 import parse_address
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.sanitize import (
+    find_cycle,
+    sanitize_traces,
+    strip_buggy_hops,
+)
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+def trace_of(*hops, monitor="m", dst="9.9.9.9"):
+    return Trace(monitor, addr(dst), tuple(hops))
+
+
+A, B, C, D = (addr(f"9.0.0.{i}") for i in (1, 2, 3, 4))
+
+
+class TestStripBuggyHops:
+    def test_quoted_ttl_zero_becomes_gap(self):
+        trace = trace_of(Hop(A), Hop(B, quoted_ttl=0), Hop(C))
+        cleaned = strip_buggy_hops(trace)
+        assert cleaned.hops[1].address is None
+        assert cleaned.hops[0].address == A
+        assert cleaned.hops[2].address == C
+
+    def test_clean_trace_untouched(self):
+        trace = trace_of(Hop(A), Hop(B))
+        assert strip_buggy_hops(trace) is trace
+
+    def test_gap_prevents_false_adjacency(self):
+        """The addresses around a removed buggy hop must not become
+        neighbors — that is the whole point of replacing, not deleting."""
+        from repro.graph.neighbors import build_interface_graph
+
+        trace = trace_of(Hop(A), Hop(B, quoted_ttl=0), Hop(C))
+        graph = build_interface_graph([strip_buggy_hops(trace)])
+        assert C not in graph.n_forward(A)
+
+
+class TestFindCycle:
+    def test_no_cycle(self):
+        assert find_cycle(trace_of(Hop(A), Hop(B), Hop(C))) is None
+
+    def test_cycle_detected(self):
+        assert find_cycle(trace_of(Hop(A), Hop(B), Hop(A))) == A
+
+    def test_adjacent_repeat_is_not_cycle(self):
+        """Viger et al.: repetition must be separated by another hop."""
+        assert find_cycle(trace_of(Hop(A), Hop(A), Hop(B))) is None
+
+    def test_gap_counts_as_separation(self):
+        assert find_cycle(trace_of(Hop(A), Hop(None), Hop(A))) == A
+
+    def test_longer_cycle(self):
+        assert find_cycle(trace_of(Hop(A), Hop(B), Hop(C), Hop(B))) == B
+
+
+class TestSanitizeTraces:
+    def test_discards_cycles(self):
+        good = trace_of(Hop(A), Hop(B))
+        bad = trace_of(Hop(C), Hop(D), Hop(C))
+        report = sanitize_traces([good, bad])
+        assert report.discarded == 1
+        assert len(report.traces) == 1
+        assert report.total == 2
+        assert abs(report.discard_fraction - 0.5) < 1e-9
+
+    def test_discarded_addresses_still_collected(self):
+        """Section 4.2 uses addresses from discarded traces too."""
+        bad = trace_of(Hop(C), Hop(D), Hop(C))
+        report = sanitize_traces([bad])
+        assert report.all_addresses == {C, D}
+        assert report.retained_addresses == set()
+        assert report.address_retention == 0.0
+
+    def test_buggy_hop_count(self):
+        trace = trace_of(Hop(A), Hop(B, quoted_ttl=0), Hop(C))
+        report = sanitize_traces([trace])
+        assert report.buggy_hops_removed == 1
+        assert len(report.traces) == 1
+
+    def test_buggy_then_cycle(self):
+        """A cycle formed only via the buggy hop's removal is fine; but a
+        real cycle after cleaning is still discarded."""
+        trace = trace_of(Hop(A), Hop(B, quoted_ttl=0), Hop(C), Hop(A))
+        report = sanitize_traces([trace])
+        assert report.discarded == 1
+
+    def test_empty_dataset(self):
+        report = sanitize_traces([])
+        assert report.total == 0
+        assert report.discard_fraction == 0.0
+        assert report.address_retention == 0.0
+
+
+class TestScenarioSanitization:
+    def test_scenario_discard_rate_is_small_but_nonzero(self, scenario):
+        report = sanitize_traces(scenario.traces)
+        assert 0.0 <= report.discard_fraction < 0.15
+        assert report.address_retention > 0.8

@@ -1,0 +1,42 @@
+"""Tests for dataset statistics."""
+
+from repro.net.ipv4 import parse_address
+from repro.traceroute.model import Hop, Trace
+from repro.traceroute.stats import dataset_stats
+
+
+def addr(text: str) -> int:
+    return parse_address(text)
+
+
+A, B, C = addr("9.0.0.1"), addr("9.0.0.2"), addr("9.0.0.3")
+
+
+class TestDatasetStats:
+    def test_counts(self):
+        traces = [
+            Trace("m", addr("9.9.9.9"), (Hop(A), Hop(B))),
+            Trace("m", addr("9.9.9.8"), (Hop(C),)),
+        ]
+        stats = dataset_stats(traces)
+        assert stats.traces == 2
+        assert stats.distinct_addresses == 3
+        # C never appears adjacent to another address.
+        assert stats.adjacent_addresses == 2
+        assert abs(stats.mean_hops - 1.5) < 1e-9
+
+    def test_gap_breaks_adjacency(self):
+        traces = [Trace("m", addr("9.9.9.9"), (Hop(A), Hop(None), Hop(B)))]
+        stats = dataset_stats(traces)
+        assert stats.adjacent_addresses == 0
+
+    def test_empty(self):
+        stats = dataset_stats([])
+        assert stats.traces == 0
+        assert stats.mean_hops == 0.0
+
+    def test_rows(self):
+        stats = dataset_stats([Trace("m", addr("9.9.9.9"), (Hop(A), Hop(B)))])
+        rows = stats.as_rows()
+        assert rows["traces"] == 1
+        assert rows["distinct_addresses"] == 2
