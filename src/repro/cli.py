@@ -23,10 +23,14 @@ from typing import Dict, Iterable, List, Optional
 
 from repro import MapItConfig
 from repro.io import load_bundle, save_scenario
+from repro.robust.errors import ErrorBudgetExceeded
 from repro.sim.presets import dense_config, paper_config, small_config
 from repro.sim.scenario import build_scenario
 
 _PRESETS = {"small": small_config, "paper": paper_config, "dense": dense_config}
+
+#: exit code for an ingest whose malformed fraction exceeded the budget
+EXIT_BUDGET_EXCEEDED = 3
 
 
 def _print_rows(rows: Iterable[Dict], stream=None) -> None:
@@ -59,6 +63,49 @@ def _mapit_config(args) -> MapItConfig:
     )
 
 
+def _add_robust_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error",
+        choices=("strict", "lenient", "quarantine"),
+        default="strict",
+        help=(
+            "malformed-record policy: strict aborts on the first bad record, "
+            "lenient skips and counts them, quarantine also writes rejects "
+            "to <dataset>/quarantine/"
+        ),
+    )
+    parser.add_argument(
+        "--max-error-rate",
+        type=float,
+        default=0.1,
+        metavar="FRACTION",
+        help=(
+            "abort when more than this fraction of records is malformed "
+            "(lenient/quarantine modes; default 0.1)"
+        ),
+    )
+
+
+def _load_bundle_checked(args):
+    """Load the dataset under the CLI's robustness flags.
+
+    Prints the ingest health summary to stderr; returns None (caller
+    exits with EXIT_BUDGET_EXCEEDED) when the error budget is blown.
+    """
+    try:
+        bundle = load_bundle(
+            args.dataset,
+            on_error=args.on_error,
+            max_error_rate=args.max_error_rate,
+        )
+    except ErrorBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    for line in bundle.health.summary_lines():
+        print(line, file=sys.stderr)
+    return bundle
+
+
 def _add_mapit_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--f", type=float, default=0.5, help="Alg 2 threshold f")
     parser.add_argument(
@@ -89,6 +136,23 @@ def cmd_simulate(args) -> int:
         )
     root = save_scenario(scenario, args.output, hostnames=hostnames)
     print(f"wrote {len(scenario.traces)} traces and datasets to {root}")
+    # Re-ingest what was just written under the selected policy: a
+    # cheap end-to-end check that the dataset is loadable, with the
+    # same health summary the run/evaluate commands print.
+    from repro.robust.errors import ErrorBudget
+    from repro.robust.ingest import ingest_trace_file
+
+    try:
+        _, report = ingest_trace_file(
+            root / "traces.txt",
+            mode=args.on_error,
+            budget=ErrorBudget(args.max_error_rate),
+        )
+    except ErrorBudgetExceeded as exc:  # pragma: no cover - fresh writes are clean
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
+    for line in report.summary_lines():
+        print(line, file=sys.stderr)
     if args.describe:
         from repro.sim.describe import describe_lines
 
@@ -98,7 +162,9 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_run(args) -> int:
-    bundle = load_bundle(args.dataset)
+    bundle = _load_bundle_checked(args)
+    if bundle is None:
+        return EXIT_BUDGET_EXCEEDED
     result = bundle.run_mapit(_mapit_config(args))
     out = open(args.output, "w") if args.output else sys.stdout
     try:
@@ -129,7 +195,9 @@ def cmd_evaluate(args) -> int:
     from repro.graph.neighbors import build_interface_graph
     from repro.traceroute.sanitize import sanitize_traces
 
-    bundle = load_bundle(args.dataset)
+    bundle = _load_bundle_checked(args)
+    if bundle is None:
+        return EXIT_BUDGET_EXCEEDED
     if bundle.ground_truth is None:
         print("dataset has no groundtruth.txt; nothing to evaluate", file=sys.stderr)
         return 2
@@ -164,7 +232,9 @@ def cmd_explain(args) -> int:
     from repro.net.ipv4 import parse_address
     from repro.traceroute.sanitize import sanitize_traces
 
-    bundle = load_bundle(args.dataset)
+    bundle = _load_bundle_checked(args)
+    if bundle is None:
+        return EXIT_BUDGET_EXCEEDED
     report = sanitize_traces(bundle.traces)
     graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
     mapit = MapIt(
@@ -184,7 +254,9 @@ def cmd_explain(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis.report import run_report
 
-    bundle = load_bundle(args.dataset)
+    bundle = _load_bundle_checked(args)
+    if bundle is None:
+        return EXIT_BUDGET_EXCEEDED
     result = bundle.run_mapit(_mapit_config(args))
     print(run_report(result, bundle.relationships, bundle.as2org))
     return 0
@@ -261,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--describe", action="store_true", help="print a topology summary"
     )
+    _add_robust_options(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     run = sub.add_parser("run", help="run MAP-IT over a dataset directory")
@@ -268,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", help="write inferences here instead of stdout")
     run.add_argument("--json", action="store_true", help="emit JSON instead of text")
     _add_mapit_options(run)
+    _add_robust_options(run)
     run.set_defaults(func=cmd_run)
 
     evaluate = sub.add_parser("evaluate", help="run and score against ground truth")
@@ -276,17 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--asn", type=int, action="append", help="verification network(s)"
     )
     _add_mapit_options(evaluate)
+    _add_robust_options(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     explain = sub.add_parser("explain", help="explain one interface's inference")
     explain.add_argument("dataset", help="dataset directory")
     explain.add_argument("address", nargs="+", help="interface address(es)")
     _add_mapit_options(explain)
+    _add_robust_options(explain)
     explain.set_defaults(func=cmd_explain)
 
     report = sub.add_parser("report", help="summarize a run over a dataset")
     report.add_argument("dataset", help="dataset directory")
     _add_mapit_options(report)
+    _add_robust_options(report)
     report.set_defaults(func=cmd_report)
 
     experiment = sub.add_parser(

@@ -1,24 +1,38 @@
-"""Reading a dataset directory into runnable inputs."""
+"""Reading a dataset directory into runnable inputs.
+
+Loading degrades gracefully: required inputs (traces and at least one
+IP2AS source) still hard-fail when absent or — in strict mode —
+malformed, but a missing or corrupt *optional* dataset (IXP, AS2Org,
+relationships, hostnames, ground truth, manifest) never aborts the
+load; it becomes an empty dataset plus a warning in the returned
+:class:`~repro.robust.health.BundleHealth` report.  Trace parsing runs
+under the strict / lenient / quarantine policies of
+:mod:`repro.robust.ingest`, and manifest checksums (written by
+:func:`repro.io.save.save_scenario`) are verified when present.
+"""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.bgp.cymru import CymruTable
 from repro.bgp.ip2as import IP2AS, IP2ASBuilder
 from repro.bgp.origins import merge_collectors
 from repro.bgp.table import CollectorDump
 from repro.dns.naming import HostnameDataset
+from repro.io.atomic import file_sha256
 from repro.io.truth import load_ground_truth
 from repro.ixp.dataset import IXPDataset
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
+from repro.robust.errors import ErrorBudget
+from repro.robust.health import BundleHealth
+from repro.robust.ingest import ingest_trace_file
 from repro.sim.groundtruth import GroundTruth
 from repro.traceroute.model import Trace
-from repro.traceroute.parse import parse_json_traces, parse_text_traces
 
 
 @dataclass
@@ -27,7 +41,8 @@ class InputBundle:
 
     ``traces``, ``ip2as``, ``as2org`` and ``relationships`` are exactly
     the arguments of :func:`repro.run_mapit`; ``ground_truth`` and
-    ``hostnames`` are optional evaluation extras.
+    ``hostnames`` are optional evaluation extras.  ``health`` reports
+    what loaded cleanly, what degraded, and what was rejected.
     """
 
     traces: List[Trace]
@@ -37,6 +52,7 @@ class InputBundle:
     ground_truth: Optional[GroundTruth] = None
     hostnames: Optional[HostnameDataset] = None
     manifest: Dict = field(default_factory=dict)
+    health: BundleHealth = field(default_factory=BundleHealth)
 
     def run_mapit(self, config=None):
         """Convenience: run MAP-IT over this bundle."""
@@ -52,70 +68,164 @@ class InputBundle:
 
 
 def _read_lines(path: Path):
-    with open(path) as handle:
+    with open(path, errors="replace") as handle:
         return handle.read().splitlines()
 
 
-def load_bundle(directory: Union[str, Path]) -> InputBundle:
+def _load_optional(
+    health: BundleHealth,
+    path: Path,
+    loader: Callable,
+    fallback: Callable,
+):
+    """Load an optional dataset file, degrading to *fallback* on error."""
+    if not path.exists():
+        health.record(path.name, "missing")
+        return fallback()
+    try:
+        value = loader(path)
+    except Exception as exc:  # noqa: BLE001 - optional data must never abort
+        health.record(path.name, "degraded", f"{type(exc).__name__}: {exc}")
+        return fallback()
+    health.record(path.name, "ok")
+    return value
+
+
+def _verify_checksums(root: Path, manifest: Dict, health: BundleHealth) -> None:
+    """Compare manifest checksums against the files on disk."""
+    checksums = manifest.get("checksums")
+    if not isinstance(checksums, dict):
+        return
+    for name, expected in sorted(checksums.items()):
+        if not isinstance(expected, str) or not expected.startswith("sha256:"):
+            continue
+        path = root / name
+        if not path.exists():
+            continue  # missing-ness is reported per dataset, not here
+        if file_sha256(path) != expected[len("sha256:"):]:
+            health.checksum_failures.append(name)
+
+
+def load_bundle(
+    directory: Union[str, Path],
+    *,
+    on_error: str = "strict",
+    max_error_rate: Optional[float] = None,
+    quarantine_dir: Optional[Union[str, Path]] = None,
+) -> InputBundle:
     """Load a dataset directory (see :mod:`repro.io` for the layout).
 
     Only ``traces.txt`` (or ``traces.jsonl``) and at least one IP2AS
     source (``bgp/`` or ``cymru.txt``) are required; everything else is
-    optional and defaults to empty datasets.
+    optional and defaults to empty datasets (recorded as warnings in
+    the returned bundle's ``health``).
+
+    *on_error* selects the trace-ingestion policy (``strict`` /
+    ``lenient`` / ``quarantine``); *max_error_rate* arms an
+    :class:`~repro.robust.errors.ErrorBudget` over the malformed
+    fraction in the non-strict modes; *quarantine_dir* overrides the
+    default ``<dataset>/quarantine/`` reject directory.
     """
     root = Path(directory)
+    health = BundleHealth()
+    budget = ErrorBudget(max_error_rate) if max_error_rate is not None else None
+
     traces_txt = root / "traces.txt"
     traces_jsonl = root / "traces.jsonl"
     if traces_txt.exists():
-        traces = list(parse_text_traces(_read_lines(traces_txt)))
+        traces_path = traces_txt
     elif traces_jsonl.exists():
-        traces = list(parse_json_traces(_read_lines(traces_jsonl)))
+        traces_path = traces_jsonl
     else:
         raise FileNotFoundError(f"no traces.txt or traces.jsonl in {root}")
+    if on_error == "quarantine" and quarantine_dir is None:
+        quarantine_dir = root / "quarantine"
+    traces, ingest_report = ingest_trace_file(
+        traces_path,
+        mode=on_error,
+        budget=budget,
+        quarantine_dir=quarantine_dir,
+    )
+    health.ingest = ingest_report
+    health.record(
+        traces_path.name,
+        "ok" if ingest_report.ok else "degraded",
+        ""
+        if ingest_report.ok
+        else f"{ingest_report.malformed} malformed record(s) rejected",
+    )
 
     builder = IP2ASBuilder()
     bgp_dir = root / "bgp"
     dumps: List[CollectorDump] = []
     if bgp_dir.is_dir():
         for path in sorted(bgp_dir.glob("*.txt")):
-            dumps.append(CollectorDump.from_lines(_read_lines(path)))
+            try:
+                dumps.append(CollectorDump.from_lines(_read_lines(path)))
+            except Exception as exc:  # noqa: BLE001
+                if on_error == "strict":
+                    raise
+                health.record(
+                    f"bgp/{path.name}", "corrupt", f"{type(exc).__name__}: {exc}"
+                )
     if dumps:
         builder.add_bgp(merge_collectors(dumps))
     cymru_path = root / "cymru.txt"
+    cymru_loaded = False
     if cymru_path.exists():
-        builder.add_cymru(CymruTable.from_lines(_read_lines(cymru_path)))
-    if not dumps and not cymru_path.exists():
-        raise FileNotFoundError(f"no IP2AS source (bgp/ or cymru.txt) in {root}")
-    ixp_path = root / "ixp.txt"
-    if ixp_path.exists():
-        builder.set_ixp(IXPDataset.from_lines(_read_lines(ixp_path)))
+        try:
+            builder.add_cymru(CymruTable.from_lines(_read_lines(cymru_path)))
+            cymru_loaded = True
+            health.record("cymru.txt", "ok")
+        except Exception as exc:  # noqa: BLE001
+            if on_error == "strict" or not dumps:
+                raise
+            health.record("cymru.txt", "corrupt", f"{type(exc).__name__}: {exc}")
+    if not dumps and not cymru_loaded:
+        if not bgp_dir.is_dir() and not cymru_path.exists():
+            raise FileNotFoundError(f"no IP2AS source (bgp/ or cymru.txt) in {root}")
+        raise ValueError(f"no usable IP2AS source (bgp/ or cymru.txt) in {root}")
+    ixp = _load_optional(
+        health,
+        root / "ixp.txt",
+        lambda path: IXPDataset.from_lines(_read_lines(path)),
+        IXPDataset,
+    )
+    if ixp is not None:
+        builder.set_ixp(ixp)
     ip2as = builder.build()
 
-    as2org_path = root / "as2org.txt"
-    as2org = (
-        AS2Org.from_lines(_read_lines(as2org_path))
-        if as2org_path.exists()
-        else AS2Org()
+    as2org = _load_optional(
+        health,
+        root / "as2org.txt",
+        lambda path: AS2Org.from_lines(_read_lines(path)),
+        AS2Org,
     )
-    rel_path = root / "relationships.txt"
-    relationships = (
-        RelationshipDataset.from_lines(_read_lines(rel_path))
-        if rel_path.exists()
-        else RelationshipDataset()
+    relationships = _load_optional(
+        health,
+        root / "relationships.txt",
+        lambda path: RelationshipDataset.from_lines(_read_lines(path)),
+        RelationshipDataset,
     )
-    truth_path = root / "groundtruth.txt"
-    ground_truth = load_ground_truth(truth_path) if truth_path.exists() else None
-    hostnames_path = root / "hostnames.txt"
-    hostnames = (
-        HostnameDataset.from_lines(_read_lines(hostnames_path))
-        if hostnames_path.exists()
-        else None
+    ground_truth = _load_optional(
+        health, root / "groundtruth.txt", load_ground_truth, lambda: None
     )
-    manifest_path = root / "manifest.json"
-    manifest = {}
-    if manifest_path.exists():
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
+    hostnames = _load_optional(
+        health,
+        root / "hostnames.txt",
+        lambda path: HostnameDataset.from_lines(_read_lines(path)),
+        lambda: None,
+    )
+    manifest = _load_optional(
+        health,
+        root / "manifest.json",
+        lambda path: json.loads(Path(path).read_text()),
+        dict,
+    )
+    if not isinstance(manifest, dict):
+        health.record("manifest.json", "degraded", "manifest is not a JSON object")
+        manifest = {}
+    _verify_checksums(root, manifest, health)
     return InputBundle(
         traces=traces,
         ip2as=ip2as,
@@ -124,4 +234,5 @@ def load_bundle(directory: Union[str, Path]) -> InputBundle:
         ground_truth=ground_truth,
         hostnames=hostnames,
         manifest=manifest,
+        health=health,
     )

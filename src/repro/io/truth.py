@@ -10,6 +10,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.io.atomic import atomic_write_lines
 from repro.net.ipv4 import format_address, parse_address
 from repro.sim.groundtruth import BorderInterface, GroundTruth
 
@@ -63,11 +64,9 @@ def parse_ground_truth(lines: Iterable[str]) -> GroundTruth:
     return truth
 
 
-def save_ground_truth(truth: GroundTruth, path: Path) -> None:
-    """Write *truth* to *path*."""
-    with open(path, "w") as handle:
-        for line in ground_truth_lines(truth):
-            handle.write(line + "\n")
+def save_ground_truth(truth: GroundTruth, path: Path) -> str:
+    """Write *truth* to *path* atomically; returns the content sha256."""
+    return atomic_write_lines(path, ground_truth_lines(truth))
 
 
 def load_ground_truth(path: Path) -> GroundTruth:

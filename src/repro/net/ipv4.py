@@ -29,7 +29,14 @@ def parse_address(text: str) -> int:
         raise AddressError(f"expected 4 octets, got {len(parts)}: {text!r}")
     value = 0
     for part in parts:
-        if not part or not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+        # isascii() matters: str.isdigit() accepts Unicode digits like
+        # '³', which int() then rejects (or worse, silently converts).
+        if (
+            not part
+            or not part.isascii()
+            or not part.isdigit()
+            or (len(part) > 1 and part[0] == "0")
+        ):
             raise AddressError(f"bad octet {part!r} in {text!r}")
         octet = int(part)
         if octet > 255:

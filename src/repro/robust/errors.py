@@ -1,0 +1,125 @@
+"""Structured ingestion errors and the error budget.
+
+MAP-IT's whole premise is extracting correct inferences from dirty
+traceroute data (section 4.1), so the pipeline treats input corruption
+as a first-class, *quantified* phenomenon: every rejected record
+becomes an :class:`IngestError` (source, line number, reason, raw
+snippet), and an :class:`ErrorBudget` turns "too many rejects" into a
+hard failure so silent mass-corruption can never masquerade as a clean
+load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: how much of a rejected raw line is preserved in the error record
+SNIPPET_LIMIT = 120
+
+#: detailed IngestError records retained per source; the malformed
+#: *count* stays exact beyond this, only per-line detail is dropped so
+#: a mass-corrupt multi-gigabyte file cannot balloon memory
+MAX_DETAILED_ERRORS = 1000
+
+
+@dataclass(frozen=True)
+class IngestError:
+    """One rejected input record."""
+
+    source: str
+    line_number: int
+    reason: str
+    snippet: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "source": self.source,
+            "line_number": self.line_number,
+            "reason": self.reason,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line_number}: {self.reason}"
+
+
+class ErrorBudgetExceeded(RuntimeError):
+    """The malformed fraction of an input exceeded the allowed budget."""
+
+    def __init__(self, source: str, malformed: int, total: int, limit: float) -> None:
+        self.source = source
+        self.malformed = malformed
+        self.total = total
+        self.limit = limit
+        rate = malformed / total if total else 0.0
+        super().__init__(
+            f"error budget exceeded for {source}: {malformed}/{total} records "
+            f"malformed ({rate:.1%} > {limit:.1%} allowed)"
+        )
+
+
+@dataclass
+class ErrorBudget:
+    """Abort ingestion when the malformed fraction crosses a threshold.
+
+    ``max_error_rate`` is the allowed malformed fraction, judged over
+    the whole source once ingestion finishes; ``min_records`` waives
+    enforcement for tiny inputs where a rate is not meaningful (one bad
+    line in a two-line file is not a 50% corruption signal).
+    """
+
+    max_error_rate: float = 0.1
+    min_records: int = 20
+
+    def check(self, source: str, malformed: int, total: int) -> None:
+        """Raise :class:`ErrorBudgetExceeded` when over budget."""
+        if total < self.min_records or total == 0:
+            return
+        if malformed / total > self.max_error_rate:
+            raise ErrorBudgetExceeded(source, malformed, total, self.max_error_rate)
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one resilient ingestion pass over a source."""
+
+    source: str
+    mode: str = "strict"
+    parsed: int = 0
+    malformed: int = 0
+    skipped: int = 0
+    errors: List[IngestError] = field(default_factory=list)
+    quarantine_path: Optional[str] = None
+
+    @property
+    def total(self) -> int:
+        """Records considered (parsed + malformed; blank lines excluded)."""
+        return self.parsed + self.malformed
+
+    @property
+    def error_rate(self) -> float:
+        return self.malformed / self.total if self.total else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.malformed == 0
+
+    def reasons(self) -> Dict[str, int]:
+        """Histogram of rejection reasons (first clause of each)."""
+        counts: Dict[str, int] = {}
+        for error in self.errors:
+            key = error.reason.split(":")[0]
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def summary_lines(self) -> Iterator[str]:
+        yield (
+            f"ingest {self.source} [{self.mode}]: {self.parsed} parsed, "
+            f"{self.malformed} malformed ({self.error_rate:.2%})"
+            + (f", {self.skipped} skipped" if self.skipped else "")
+        )
+        for reason, count in sorted(self.reasons().items()):
+            yield f"  {count} x {reason}"
+        if self.quarantine_path:
+            yield f"  rejects quarantined in {self.quarantine_path}"

@@ -1,0 +1,90 @@
+"""Bundle health: what loaded, what degraded, what was rejected.
+
+:func:`repro.io.bundle.load_bundle` used to be all-or-nothing — one
+corrupt optional file aborted the load.  It now produces a
+:class:`BundleHealth` report instead: every dataset file gets a
+:class:`DatasetStatus` (``ok`` / ``missing`` / ``degraded`` /
+``corrupt``), optional datasets degrade to empty with a warning, and
+the trace ingest report (parsed / malformed / quarantined counts) is
+attached so callers — the CLI prints this — can see exactly how clean
+their inputs were.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.robust.errors import IngestReport
+
+#: datasets whose absence or corruption must never abort a load
+OPTIONAL_DATASETS = (
+    "ixp.txt",
+    "as2org.txt",
+    "relationships.txt",
+    "hostnames.txt",
+    "groundtruth.txt",
+    "manifest.json",
+)
+
+
+@dataclass(frozen=True)
+class DatasetStatus:
+    """Load outcome for one dataset file."""
+
+    name: str
+    status: str  # "ok" | "missing" | "degraded" | "corrupt"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"{self.name}: {self.status}{tail}"
+
+
+@dataclass
+class BundleHealth:
+    """Aggregate health of one :func:`load_bundle` call."""
+
+    statuses: List[DatasetStatus] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    checksum_failures: List[str] = field(default_factory=list)
+    ingest: Optional[IngestReport] = None
+
+    def record(self, name: str, status: str, detail: str = "") -> None:
+        self.statuses.append(DatasetStatus(name, status, detail))
+        if status in ("degraded", "corrupt"):
+            self.warnings.append(f"{name} {status}: {detail}" if detail else f"{name} {status}")
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing degraded, failed a checksum, or was rejected."""
+        return (
+            not self.warnings
+            and not self.checksum_failures
+            and (self.ingest is None or self.ingest.ok)
+        )
+
+    def status_of(self, name: str) -> Optional[str]:
+        for status in self.statuses:
+            if status.name == name:
+                return status.status
+        return None
+
+    def summary_lines(self) -> Iterator[str]:
+        """Human-readable health summary (the CLI prints these)."""
+        if self.ingest is not None:
+            yield from self.ingest.summary_lines()
+        degraded = [s for s in self.statuses if s.status in ("degraded", "corrupt")]
+        for status in degraded:
+            yield f"warning: {status}"
+        for failure in self.checksum_failures:
+            yield f"warning: checksum mismatch: {failure}"
+        if self.ok:
+            yield "bundle health: ok"
+        else:
+            yield (
+                f"bundle health: degraded "
+                f"({len(degraded)} dataset(s) degraded, "
+                f"{len(self.checksum_failures)} checksum failure(s), "
+                f"{self.ingest.malformed if self.ingest else 0} record(s) rejected)"
+            )

@@ -21,15 +21,31 @@ from repro.traceroute.model import Hop, Trace
 
 def _hop_from_result(hop_record: dict) -> Hop:
     """Reduce one Atlas hop record (possibly 3 probe results) to a Hop."""
-    for probe in hop_record.get("result", ()):
+    probes = hop_record.get("result", ())
+    if not isinstance(probes, (list, tuple)):
+        return Hop(None)
+    for probe in probes:
+        if not isinstance(probe, dict):
+            continue
         address_text = probe.get("from")
-        if not address_text or "x" in probe:
+        if not address_text or not isinstance(address_text, str) or "x" in probe:
             continue  # timeout entries look like {"x": "*"}
         if not is_valid_address(address_text):
             continue  # IPv6 or malformed: out of scope
-        ttl = probe.get("ittl", 1)
-        rtt = float(probe.get("rtt", 0.0))
-        return Hop(parse_address(address_text), quoted_ttl=int(ttl), rtt_ms=rtt)
+        # Atlas emits explicit nulls ("rtt": null, "ittl": null) for
+        # fields it could not measure; treat them exactly like absent.
+        ttl = probe.get("ittl")
+        if ttl is None:
+            ttl = 1
+        rtt = probe.get("rtt")
+        if rtt is None:
+            rtt = 0.0
+        try:
+            return Hop(
+                parse_address(address_text), quoted_ttl=int(ttl), rtt_ms=float(rtt)
+            )
+        except (TypeError, ValueError):
+            continue  # non-numeric ttl/rtt: treat this probe as unusable
     return Hop(None)
 
 
@@ -44,10 +60,14 @@ def parse_atlas_measurement(record: dict) -> Optional[Trace]:
     if not dst_text or not is_valid_address(dst_text):
         return None
     hop_records = record.get("result")
-    if not hop_records:
+    if not hop_records or not isinstance(hop_records, (list, tuple)):
         return None
     ordered = sorted(
-        (entry for entry in hop_records if "hop" in entry),
+        (
+            entry
+            for entry in hop_records
+            if isinstance(entry, dict) and isinstance(entry.get("hop"), int)
+        ),
         key=lambda entry: entry["hop"],
     )
     if not ordered:

@@ -10,15 +10,42 @@ scamper/warts-style output closely enough to demonstrate ingesting real
 collections: one JSON object per line with ``src``, ``dst`` and a
 ``hops`` array of ``{"addr": ..., "probe_ttl": ..., "reply_ttl": ...,
 "rtt": ...}`` objects; missing probe TTLs are treated as gaps.
+
+Malformed records raise :class:`TraceParseError`, which carries the
+line number and the offending text so resilient ingestion
+(:mod:`repro.robust.ingest`) can skip, count, and quarantine bad lines
+instead of aborting the whole load.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional
 
-from repro.net.ipv4 import format_address, parse_address
+from repro.net.ipv4 import AddressError, format_address, parse_address
 from repro.traceroute.model import Hop, Trace
+
+
+class TraceParseError(ValueError):
+    """A trace record could not be parsed.
+
+    ``reason`` says what was wrong, ``line_number`` is the 1-based
+    position in the source (when known), and ``text`` is the offending
+    raw line, so error reports can point at the exact input.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        line_number: Optional[int] = None,
+        text: Optional[str] = None,
+    ) -> None:
+        self.reason = reason
+        self.line_number = line_number
+        self.text = text
+        where = f"line {line_number}: " if line_number is not None else ""
+        snippet = f" in {text[:80]!r}" if text else ""
+        super().__init__(f"{where}{reason}{snippet}")
 
 
 def traces_to_text_lines(traces: Iterable[Trace]) -> Iterator[str]:
@@ -35,22 +62,52 @@ def traces_to_text_lines(traces: Iterable[Trace]) -> Iterator[str]:
         yield f"{trace.monitor}|{format_address(trace.dst)}|{' '.join(hop_texts)}"
 
 
+def parse_text_trace(line: str, line_number: Optional[int] = None) -> Trace:
+    """Parse one non-blank line of the compact text format.
+
+    Raises :class:`TraceParseError` for malformed input: fewer than two
+    ``|`` separators, bad destination or hop addresses, or non-numeric
+    quoted TTLs.
+    """
+    parts = line.split("|", 2)
+    if len(parts) != 3:
+        raise TraceParseError(
+            f"expected monitor|dst|hops, got {len(parts)} field(s)",
+            line_number,
+            line,
+        )
+    monitor, dst_text, hops_text = parts
+    try:
+        dst = parse_address(dst_text)
+    except AddressError as exc:
+        raise TraceParseError(f"bad destination: {exc}", line_number, line) from exc
+    hops: List[Hop] = []
+    for token in hops_text.split():
+        if token == "*":
+            hops.append(Hop(None))
+            continue
+        addr_text, _, ttl_text = token.partition("@")
+        try:
+            quoted = int(ttl_text) if ttl_text else 1
+        except ValueError as exc:
+            raise TraceParseError(
+                f"bad quoted TTL {ttl_text!r}", line_number, line
+            ) from exc
+        try:
+            address = parse_address(addr_text)
+        except AddressError as exc:
+            raise TraceParseError(f"bad hop address: {exc}", line_number, line) from exc
+        hops.append(Hop(address, quoted))
+    return Trace(monitor, dst, tuple(hops))
+
+
 def parse_text_traces(lines: Iterable[str]) -> Iterator[Trace]:
-    """Parse the compact text format."""
-    for line in lines:
+    """Parse the compact text format (strict: first bad line raises)."""
+    for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        monitor, dst_text, hops_text = line.split("|", 2)
-        hops: List[Hop] = []
-        for token in hops_text.split():
-            if token == "*":
-                hops.append(Hop(None))
-                continue
-            addr_text, _, ttl_text = token.partition("@")
-            quoted = int(ttl_text) if ttl_text else 1
-            hops.append(Hop(parse_address(addr_text), quoted))
-        yield Trace(monitor, parse_address(dst_text), tuple(hops))
+        yield parse_text_trace(line, line_number)
 
 
 def traces_to_json_lines(traces: Iterable[Trace]) -> Iterator[str]:
@@ -79,30 +136,75 @@ def traces_to_json_lines(traces: Iterable[Trace]) -> Iterator[str]:
         )
 
 
+def parse_json_trace(line: str, line_number: Optional[int] = None) -> Trace:
+    """Parse one line of the scamper-like JSON-lines format.
+
+    Raises :class:`TraceParseError` for invalid JSON, missing or null
+    required fields, and malformed addresses.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceParseError(f"invalid JSON: {exc.msg}", line_number, line) from exc
+    if not isinstance(record, dict):
+        raise TraceParseError(
+            f"expected a JSON object, got {type(record).__name__}", line_number, line
+        )
+    dst_text = record.get("dst")
+    if not isinstance(dst_text, str):
+        raise TraceParseError("missing or null 'dst'", line_number, line)
+    try:
+        dst = parse_address(dst_text)
+    except AddressError as exc:
+        raise TraceParseError(f"bad destination: {exc}", line_number, line) from exc
+    replies = {}
+    raw_hops = record.get("hops") or ()
+    if not isinstance(raw_hops, (list, tuple)):
+        raise TraceParseError("'hops' is not an array", line_number, line)
+    for hop in raw_hops:
+        if not isinstance(hop, dict) or not isinstance(hop.get("probe_ttl"), int):
+            raise TraceParseError(
+                "hop record missing integer 'probe_ttl'", line_number, line
+            )
+        replies[hop["probe_ttl"]] = hop
+    count = record.get("hop_count") or (max(replies) if replies else 0)
+    if not isinstance(count, int) or count < 0:
+        raise TraceParseError(f"bad hop_count {count!r}", line_number, line)
+    hops: List[Hop] = []
+    for ttl in range(1, count + 1):
+        reply = replies.get(ttl)
+        if reply is None:
+            hops.append(Hop(None))
+            continue
+        addr_text = reply.get("addr")
+        if not isinstance(addr_text, str):
+            raise TraceParseError("hop missing or null 'addr'", line_number, line)
+        try:
+            address = parse_address(addr_text)
+        except AddressError as exc:
+            raise TraceParseError(f"bad hop address: {exc}", line_number, line) from exc
+        reply_ttl_raw = reply.get("reply_ttl")
+        rtt_raw = reply.get("rtt")
+        try:
+            reply_ttl = 1 if reply_ttl_raw is None else int(reply_ttl_raw)
+            rtt = 0.0 if rtt_raw is None else float(rtt_raw)
+        except (TypeError, ValueError) as exc:
+            raise TraceParseError(f"bad hop field: {exc}", line_number, line) from exc
+        hops.append(Hop(address, reply_ttl, rtt))
+    monitor = record.get("src") or ""
+    if not isinstance(monitor, str):
+        monitor = str(monitor)
+    return Trace(monitor, dst, tuple(hops))
+
+
 def parse_json_traces(lines: Iterable[str]) -> Iterator[Trace]:
-    """Parse the scamper-like JSON-lines format.
+    """Parse the scamper-like JSON-lines format (strict).
 
     Hops missing from the ``hops`` array (unresponsive probes) become
     ``*`` entries, reconstructed from the probe TTLs.
     """
-    for line in lines:
+    for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
-        replies = {hop["probe_ttl"]: hop for hop in record.get("hops", ())}
-        count = record.get("hop_count") or (max(replies) if replies else 0)
-        hops: List[Hop] = []
-        for ttl in range(1, count + 1):
-            reply = replies.get(ttl)
-            if reply is None:
-                hops.append(Hop(None))
-            else:
-                hops.append(
-                    Hop(
-                        parse_address(reply["addr"]),
-                        int(reply.get("reply_ttl", 1)),
-                        float(reply.get("rtt", 0.0)),
-                    )
-                )
-        yield Trace(record.get("src", ""), parse_address(record["dst"]), tuple(hops))
+        yield parse_json_trace(line, line_number)
