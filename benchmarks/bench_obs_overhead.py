@@ -1,0 +1,151 @@
+"""Observability overhead: the disabled path must cost <3% of a run.
+
+Two measurements over the same small scenario:
+
+* **Interleaved timing** — alternate full MAP-IT runs with
+  observability off (``NULL_OBS``), with tracing+metrics+profiling on,
+  and with only metrics on, and report the median wall time of each
+  mode.  Interleaving keeps cache/frequency drift from biasing one
+  mode; the medians are informational (small absolute times are noisy
+  in CI).
+
+* **Guard-cost model** — the deterministic bound the assertion uses.
+  Observability off costs exactly one guarded call per instrumented
+  site: an ``obs.enabled`` attribute read, a no-op ``event()``/``inc()``
+  call, or a shared null-span ``with`` block.  We count how many such
+  guards a real run executes (the enabled run's event + counter + span
+  traffic is an upper bound), measure the per-guard cost with a tight
+  loop over the actual null objects, and assert
+
+      guards x cost_per_guard  <  3% x median_disabled_runtime
+
+  which holds with a wide margin because a guard is ~100ns while a run
+  spends its time in neighbor-set and plurality computation.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from conftest import RESULTS_DIR, publish
+
+from repro import MapItConfig, run_mapit
+from repro.obs import NULL_OBS, Metrics, Observability, Tracer
+from repro.sim.presets import small_scenario
+
+SEED = 7
+ROUNDS = 7
+OVERHEAD_BUDGET = 0.03
+
+
+def _run(scenario, obs=None):
+    return run_mapit(
+        scenario.traces,
+        scenario.ip2as,
+        org=scenario.as2org,
+        rel=scenario.relationships,
+        config=MapItConfig(f=0.5),
+        obs=obs,
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _guard_cost_s() -> float:
+    """Median per-call cost of the disabled guards, from a tight loop."""
+    iterations = 200_000
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if NULL_OBS.enabled:  # the event/counter guard at every call site
+                pass
+            with NULL_OBS.span("x"):  # the shared null span
+                pass
+        samples.append((time.perf_counter() - start) / (2 * iterations))
+    return statistics.median(samples)
+
+
+def _measure():
+    scenario = small_scenario(seed=SEED)
+    _run(scenario)  # warm caches before timing
+
+    disabled, full, metrics_only = [], [], []
+    for _ in range(ROUNDS):
+        disabled.append(_timed(lambda: _run(scenario)))
+        full_obs = Observability(
+            tracer=Tracer(timestamps=False), metrics=Metrics(), profile=True
+        )
+        full.append(_timed(lambda: _run(scenario, obs=full_obs)))
+        metrics_only.append(
+            _timed(lambda: _run(scenario, obs=Observability(metrics=Metrics())))
+        )
+
+    # Count the guard traffic of a fully-observed run: every emitted
+    # event, counter bump, gauge, and span is one would-be guard on the
+    # disabled path (an over-count — plenty of guards never fire even
+    # when enabled — so the model is an upper bound).
+    probe = Observability(
+        tracer=Tracer(timestamps=False), metrics=Metrics(), profile=True
+    )
+    _run(scenario, obs=probe)
+    exported = probe.metrics.to_dict()
+    guards = probe.tracer.seq
+    guards += sum(exported["counters"].values())
+    guards += len(exported["gauges"])
+    guards += sum(stats["count"] for stats in exported["timers"].values())
+
+    disabled_median = statistics.median(disabled)
+    guard_cost = _guard_cost_s()
+    modeled_overhead = guards * guard_cost / disabled_median
+
+    rows = [
+        {
+            "mode": "observability off (NULL_OBS)",
+            "median_ms": round(disabled_median * 1000, 2),
+        },
+        {
+            "mode": "metrics only",
+            "median_ms": round(statistics.median(metrics_only) * 1000, 2),
+        },
+        {
+            "mode": "trace + metrics + profile",
+            "median_ms": round(statistics.median(full) * 1000, 2),
+        },
+    ]
+    model = {
+        "guards_per_run": guards,
+        "guard_cost_ns": round(guard_cost * 1e9, 1),
+        "disabled_median_ms": round(disabled_median * 1000, 3),
+        "modeled_overhead_fraction": round(modeled_overhead, 6),
+        "budget_fraction": OVERHEAD_BUDGET,
+    }
+    return rows, model
+
+
+def test_obs_overhead(benchmark):
+    rows, model = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    publish(
+        "obs_overhead",
+        "Observability overhead (small scenario, median of "
+        f"{ROUNDS} interleaved runs)",
+        rows
+        + [
+            {
+                "mode": "modeled disabled overhead "
+                f"({model['guards_per_run']} guards x "
+                f"{model['guard_cost_ns']}ns)",
+                "median_ms": f"{model['modeled_overhead_fraction'] * 100:.4f}%",
+            }
+        ],
+    )
+    (RESULTS_DIR / "obs_overhead.json").write_text(json.dumps(model, indent=2) + "\n")
+    assert model["modeled_overhead_fraction"] < OVERHEAD_BUDGET, (
+        "disabled observability costs more than "
+        f"{OVERHEAD_BUDGET:.0%} of a run: {model}"
+    )

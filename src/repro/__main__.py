@@ -1,0 +1,8 @@
+"""``python -m repro`` — the same CLI as the installed ``mapit`` command."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

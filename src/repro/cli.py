@@ -12,7 +12,13 @@ reproduction experiments:
   (``stats``, ``fig6``, ``fig7``, ``fig8``, ``table1``) on a preset
   scenario;
 * ``mapit explain`` — why was (or wasn't) an interface inferred;
-* ``mapit report`` — a human-readable summary of a run.
+* ``mapit report`` — a human-readable summary of a run;
+* ``mapit inspect-trace`` — summarize a ``--trace`` JSONL file
+  (per-pass deltas, convergence curve, slowest spans).
+
+``run``, ``evaluate``, and ``experiment`` accept the observability
+flags ``--trace FILE``, ``--metrics FILE``, and ``--profile`` (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -31,6 +37,27 @@ _PRESETS = {"small": small_config, "paper": paper_config, "dense": dense_config}
 
 #: exit code for an ingest whose malformed fraction exceeded the budget
 EXIT_BUDGET_EXCEEDED = 3
+
+_EPILOG = """\
+exit codes:
+  0  success
+  2  usage or data error (missing ground truth, no verification ASNs,
+     unreadable trace file)
+  3  ingest error budget exceeded: under --on-error lenient/quarantine,
+     more than --max-error-rate of the records were malformed (strict
+     mode exits 3 on the first malformed record)
+
+--on-error semantics (simulate/run/evaluate/explain/report):
+  strict      abort on the first malformed record (default)
+  lenient     skip malformed records, count them in the health summary
+  quarantine  like lenient, and write rejects to <dataset>/quarantine/
+
+observability (run/evaluate/experiment):
+  --trace FILE    stream JSONL events (deterministic: no wall-clock
+                  timestamps); summarize with `mapit inspect-trace FILE`
+  --metrics FILE  write the counters/gauges/timers registry as JSON
+  --profile       add span timing events (dur_ms) to the trace
+"""
 
 
 def _print_rows(rows: Iterable[Dict], stream=None) -> None:
@@ -86,17 +113,64 @@ def _add_robust_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _load_bundle_checked(args):
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream trace events to FILE as JSON lines (see inspect-trace)",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics registry (counters/gauges/timers) to FILE as JSON",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="record span timings into the metrics and the trace",
+    )
+
+
+def _build_obs(args):
+    """An Observability handle for the parsed flags, or None when unused.
+
+    CLI traces are written without wall-clock timestamps so the same
+    dataset and flags always produce a byte-identical file; ``--profile``
+    adds the (non-deterministic) ``dur_ms`` span events.
+    """
+    if not (args.trace or args.metrics or args.profile):
+        return None
+    from repro.obs import Metrics, Observability, Tracer
+
+    tracer = Tracer.to_file(args.trace, timestamps=False) if args.trace else None
+    metrics = Metrics() if (args.metrics or args.profile) else None
+    return Observability(tracer=tracer, metrics=metrics, profile=args.profile)
+
+
+def _finish_obs(obs, args) -> None:
+    """Write the metrics file (if requested) and close the trace sink."""
+    if obs is None:
+        return
+    if args.metrics and obs.metrics is not None:
+        obs.metrics.write(args.metrics)
+    obs.close()
+
+
+def _load_bundle_checked(args, obs=None):
     """Load the dataset under the CLI's robustness flags.
 
     Prints the ingest health summary to stderr; returns None (caller
     exits with EXIT_BUDGET_EXCEEDED) when the error budget is blown.
     """
+    from repro.obs import NULL_OBS
+
     try:
         bundle = load_bundle(
             args.dataset,
             on_error=args.on_error,
             max_error_rate=args.max_error_rate,
+            obs=obs if obs is not None else NULL_OBS,
         )
     except ErrorBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -162,10 +236,14 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_run(args) -> int:
-    bundle = _load_bundle_checked(args)
-    if bundle is None:
-        return EXIT_BUDGET_EXCEEDED
-    result = bundle.run_mapit(_mapit_config(args))
+    obs = _build_obs(args)
+    try:
+        bundle = _load_bundle_checked(args, obs=obs)
+        if bundle is None:
+            return EXIT_BUDGET_EXCEEDED
+        result = bundle.run_mapit(_mapit_config(args), obs=obs)
+    finally:
+        _finish_obs(obs, args)
     out = open(args.output, "w") if args.output else sys.stdout
     try:
         if args.json:
@@ -195,13 +273,19 @@ def cmd_evaluate(args) -> int:
     from repro.graph.neighbors import build_interface_graph
     from repro.traceroute.sanitize import sanitize_traces
 
-    bundle = _load_bundle_checked(args)
-    if bundle is None:
-        return EXIT_BUDGET_EXCEEDED
-    if bundle.ground_truth is None:
-        print("dataset has no groundtruth.txt; nothing to evaluate", file=sys.stderr)
-        return 2
-    result = bundle.run_mapit(_mapit_config(args))
+    obs = _build_obs(args)
+    try:
+        bundle = _load_bundle_checked(args, obs=obs)
+        if bundle is None:
+            return EXIT_BUDGET_EXCEEDED
+        if bundle.ground_truth is None:
+            print(
+                "dataset has no groundtruth.txt; nothing to evaluate", file=sys.stderr
+            )
+            return 2
+        result = bundle.run_mapit(_mapit_config(args), obs=obs)
+    finally:
+        _finish_obs(obs, args)
     report = sanitize_traces(bundle.traces)
     graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
     targets = args.asn or bundle.manifest.get("verification_asns") or []
@@ -267,54 +351,86 @@ def cmd_experiment(args) -> int:
 
     scenario = build_scenario(_PRESETS[args.scale](args.seed))
     experiment = prepare_experiment(scenario)
-    if args.which == "stats":
-        from repro.eval.stats import pipeline_stats
+    obs = _build_obs(args)
+    try:
+        if args.which == "stats":
+            from repro.eval.stats import pipeline_stats
 
-        rows = [
-            {"statistic": key, "value": value}
-            for key, value in pipeline_stats(experiment).rows().items()
-        ]
-        _print_rows(rows)
-    elif args.which == "fig6":
-        from repro.eval.fsweep import sweep_f
+            rows = [
+                {"statistic": key, "value": value}
+                for key, value in pipeline_stats(experiment).rows().items()
+            ]
+            _print_rows(rows)
+        elif args.which == "fig6":
+            from repro.eval.fsweep import sweep_f
 
-        _print_rows(sweep_f(experiment).rows())
-    elif args.which == "fig7":
-        from repro.eval.steps import step_impact
+            _print_rows(sweep_f(experiment, obs=obs).rows())
+        elif args.which == "fig7":
+            from repro.eval.steps import step_impact
 
-        _print_rows(step_impact(experiment, MapItConfig(f=args.f)).rows())
-    elif args.which == "fig8":
-        from repro.eval.compare import compare_methods
+            _print_rows(step_impact(experiment, MapItConfig(f=args.f), obs=obs).rows())
+        elif args.which == "fig8":
+            from repro.eval.compare import compare_methods
 
-        _print_rows(compare_methods(experiment).rows())
-    elif args.which == "aspath":
-        from repro.analysis.paths import path_accuracy
+            _print_rows(compare_methods(experiment, obs=obs).rows())
+        elif args.which == "aspath":
+            from repro.analysis.paths import path_accuracy
 
-        mapit = experiment.new_mapit(MapItConfig(f=args.f))
-        mapit.run()
-        truth = experiment.scenario.ground_truth.router_as
-        accuracy = path_accuracy(mapit, experiment.report.traces, truth)
-        _print_rows([accuracy.summary()])
-    elif args.which == "table1":
-        from repro.eval.breakdown import breakdown_by_relationship
+            mapit = experiment.new_mapit(MapItConfig(f=args.f), obs=obs)
+            mapit.run()
+            truth = experiment.scenario.ground_truth.router_as
+            accuracy = path_accuracy(mapit, experiment.report.traces, truth)
+            _print_rows([accuracy.summary()])
+        elif args.which == "table1":
+            from repro.eval.breakdown import breakdown_by_relationship
 
-        result = experiment.run_mapit(MapItConfig(f=args.f))
-        rows = []
-        for label, dataset in experiment.datasets.items():
-            breakdown = breakdown_by_relationship(
-                result.inferences,
-                dataset,
-                scenario.relationships,
-                scenario.as2org,
-                experiment.graph,
-            )
-            for row in breakdown.rows():
-                out = {"network": label}
-                out.update(row)
-                rows.append(out)
-        _print_rows(rows)
-    else:  # pragma: no cover - argparse restricts choices
+            result = experiment.run_mapit(MapItConfig(f=args.f), obs=obs)
+            rows = []
+            for label, dataset in experiment.datasets.items():
+                breakdown = breakdown_by_relationship(
+                    result.inferences,
+                    dataset,
+                    scenario.relationships,
+                    scenario.as2org,
+                    experiment.graph,
+                )
+                for row in breakdown.rows():
+                    out = {"network": label}
+                    out.update(row)
+                    rows.append(out)
+            _print_rows(rows)
+        else:  # pragma: no cover - argparse restricts choices
+            return 2
+    finally:
+        _finish_obs(obs, args)
+    return 0
+
+
+def cmd_inspect_trace(args) -> int:
+    from repro.obs import read_trace, summarize
+
+    try:
+        events = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
+    summary = summarize(events, top=args.top)
+    for line in summary.header_lines():
+        print(line)
+    print()
+    print("per-pass inference deltas:")
+    _print_rows(summary.passes)
+    print()
+    print("convergence (live inferences per outer iteration):")
+    _print_rows(summary.convergence)
+    if args.rules:
+        print()
+        print("rule census:")
+        _print_rows(summary.rules)
+    if summary.spans:
+        print()
+        print(f"slowest spans (top {args.top}, by total duration):")
+        _print_rows(summary.spans)
     return 0
 
 
@@ -322,6 +438,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mapit",
         description="MAP-IT: inferring inter-AS link interfaces from traceroute",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -342,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", help="emit JSON instead of text")
     _add_mapit_options(run)
     _add_robust_options(run)
+    _add_obs_options(run)
     run.set_defaults(func=cmd_run)
 
     evaluate = sub.add_parser("evaluate", help="run and score against ground truth")
@@ -351,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mapit_options(evaluate)
     _add_robust_options(evaluate)
+    _add_obs_options(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     explain = sub.add_parser("explain", help="explain one interface's inference")
@@ -375,7 +495,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=7)
     experiment.add_argument("--scale", choices=sorted(_PRESETS), default="paper")
     experiment.add_argument("--f", type=float, default=0.5)
+    _add_obs_options(experiment)
     experiment.set_defaults(func=cmd_experiment)
+
+    inspect_trace = sub.add_parser(
+        "inspect-trace", help="summarize a --trace JSONL file"
+    )
+    inspect_trace.add_argument("trace_file", help="JSON-lines trace file")
+    inspect_trace.add_argument(
+        "--top", type=int, default=10, help="how many slowest spans to show"
+    )
+    inspect_trace.add_argument(
+        "--rules", action="store_true", help="also print the per-rule event census"
+    )
+    inspect_trace.set_defaults(func=cmd_inspect_trace)
     return parser
 
 

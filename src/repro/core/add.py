@@ -21,7 +21,7 @@ from typing import Callable, List, Optional
 
 from repro.core.engine import Engine
 from repro.core.state import DirectInference, IndirectInference
-from repro.graph.halves import BACKWARD, FORWARD, Half
+from repro.graph.halves import BACKWARD, FORWARD, Half, half_fields
 
 #: Optional hook fired after named sub-stages (used for Fig 7).
 StageHook = Callable[[str], None]
@@ -29,7 +29,7 @@ StageHook = Callable[[str], None]
 
 @dataclass
 class AddStepReport:
-    """What one add step did."""
+    """What one add step (Alg 2 passes plus the §4.4.3–4.4.4 fixes) did."""
 
     passes: int = 0
     direct_added: int = 0
@@ -40,35 +40,68 @@ class AddStepReport:
 
 
 def add_step(engine: Engine, hook: Optional[StageHook] = None) -> AddStepReport:
-    """Run the full add step: repeat the four sub-steps to fixpoint."""
+    """Run the full add step (Alg 1 line 3, section 4.4): repeat the
+    four sub-steps — direct pass, indirect propagation, contradiction
+    fixes, inverse-inference removal — to fixpoint."""
     state = engine.state
+    obs = engine.obs
     state.inferred_this_step = set()
     report = AddStepReport()
-    candidates = engine.candidate_halves()
+    with obs.span("add/candidates"):
+        candidates = engine.candidate_halves()
     first_pass = True
     while True:
         report.passes += 1
-        new_directs = _direct_pass(engine, candidates)
+        if obs.enabled:
+            obs.event("add.pass.start", **{"pass": report.passes})
+        with obs.span("add/direct"):
+            new_directs = _direct_pass(engine, candidates)
         report.direct_added += len(new_directs)
         if first_pass and hook is not None:
             hook("direct")
-        report.indirect_added += _propagate_indirect(engine, new_directs)
-        if engine.config.fix_dual_inferences:
-            report.dual_resolved += _fix_dual_inferences(engine)
-        if engine.config.fix_divergent_other_sides:
-            _flag_divergent_other_sides(engine)
+        with obs.span("add/indirect"):
+            indirect_added = _propagate_indirect(engine, new_directs)
+        report.indirect_added += indirect_added
+        with obs.span("add/contradictions"):
+            if engine.config.fix_dual_inferences:
+                report.dual_resolved += _fix_dual_inferences(engine)
+            if engine.config.fix_divergent_other_sides:
+                _flag_divergent_other_sides(engine)
         if first_pass and hook is not None:
             hook("contradictions")
-        if engine.config.fix_inverse_inferences:
-            removed, uncertain = _fix_inverse_inferences(engine)
-            report.inverse_removed += removed
-            report.uncertain_marked += uncertain
+        with obs.span("add/inverse"):
+            if engine.config.fix_inverse_inferences:
+                removed, uncertain = _fix_inverse_inferences(engine)
+                report.inverse_removed += removed
+                report.uncertain_marked += uncertain
         if first_pass and hook is not None:
             hook("inverse")
         state.refresh_visible()
+        if obs.enabled:
+            obs.event(
+                "add.pass.end",
+                direct_added=len(new_directs),
+                indirect_added=indirect_added,
+                direct=len(state.direct),
+                indirect=len(state.indirect),
+                **{"pass": report.passes},
+            )
         if not new_directs:
             break
         first_pass = False
+    if obs.enabled:
+        obs.event(
+            "add.end",
+            passes=report.passes,
+            direct_added=report.direct_added,
+            indirect_added=report.indirect_added,
+            dual_resolved=report.dual_resolved,
+            inverse_removed=report.inverse_removed,
+            uncertain_marked=report.uncertain_marked,
+        )
+        obs.inc("mapit.add.passes", report.passes)
+        obs.inc("mapit.inference.direct_added", report.direct_added)
+        obs.inc("mapit.inference.indirect_added", report.indirect_added)
     return report
 
 
@@ -76,6 +109,7 @@ def _direct_pass(engine: Engine, candidates: List[Half]) -> List[DirectInference
     """Alg 2: one greedy pass over the interface halves."""
     state = engine.state
     f = engine.config.f
+    tracing = engine.obs.tracer.enabled
     added: List[DirectInference] = []
     for half in candidates:
         if half in state.direct or half in state.inferred_this_step:
@@ -93,6 +127,17 @@ def _direct_pass(engine: Engine, candidates: List[Half]) -> List[DirectInference
         )
         state.add_direct(inference)
         added.append(inference)
+        if tracing:
+            engine.obs.event(
+                "inference.added",
+                kind="direct",
+                rule="direct",
+                local_as=previous,
+                remote_as=plurality.member_as,
+                count=plurality.count,
+                total=plurality.total,
+                **half_fields(half),
+            )
     return added
 
 
@@ -103,6 +148,7 @@ def _propagate_indirect(engine: Engine, new_directs: List[DirectInference]) -> i
     /30-/31 other-side arithmetic does not apply to them.
     """
     state = engine.state
+    tracing = engine.obs.tracer.enabled
     added = 0
     for direct in new_directs:
         if engine.ip2as.is_ixp(direct.half[0]):
@@ -119,6 +165,16 @@ def _propagate_indirect(engine: Engine, new_directs: List[DirectInference]) -> i
             )
         )
         added += 1
+        if tracing:
+            engine.obs.event(
+                "inference.added",
+                kind="indirect",
+                rule="propagate",
+                local_as=direct.local_as,
+                remote_as=direct.remote_as,
+                source=half_fields(direct.half)["address"],
+                **half_fields(partner),
+            )
     return added
 
 
@@ -133,6 +189,7 @@ def _fix_dual_inferences(engine: Engine) -> int:
     declines to fix contradictions on unannounced addresses.
     """
     state = engine.state
+    tracing = engine.obs.tracer.enabled
     resolved = 0
     backward_halves = [half for half in state.direct if half[1] == BACKWARD]
     for half in backward_halves:
@@ -147,9 +204,18 @@ def _fix_dual_inferences(engine: Engine) -> int:
         if forward_remote == backward_remote:
             state.dual_same_as += 1
             continue
+        discarded = state.direct[half]
         state.remove_direct(half)
         state.dual_resolved += 1
         resolved += 1
+        if tracing:
+            engine.obs.event(
+                "inference.removed",
+                rule="dual",
+                local_as=discarded.local_as,
+                remote_as=discarded.remote_as,
+                **half_fields(half),
+            )
     return resolved
 
 
@@ -180,6 +246,13 @@ def _flag_divergent_other_sides(engine: Engine) -> None:
             if indirect is not None and indirect.source == source and not indirect.detached:
                 indirect.detached = True
                 newly_detached = True
+                if engine.obs.tracer.enabled:
+                    engine.obs.event(
+                        "inference.detached",
+                        rule="divergent_other_side",
+                        source=half_fields(source)["address"],
+                        **half_fields(indirect_half),
+                    )
         if newly_detached:
             state.divergent_other_sides += 1
 
@@ -222,13 +295,24 @@ def _fix_inverse_inferences(engine: Engine) -> tuple:
             ):
                 continue
             partner = engine.other_side_half(half)
+            tracing = engine.obs.tracer.enabled
             if partner is not None and partner in state.direct:
                 if not backward.uncertain:
                     backward.uncertain = True
                     uncertain += 1
+                    if tracing:
+                        engine.obs.event(
+                            "inference.uncertain", rule="inverse", **half_fields(half)
+                        )
                 if not forward.uncertain:
                     forward.uncertain = True
                     uncertain += 1
+                    if tracing:
+                        engine.obs.event(
+                            "inference.uncertain",
+                            rule="inverse",
+                            **half_fields(forward_half),
+                        )
                 state.uncertain_log.setdefault(half, backward)
                 state.uncertain_log.setdefault(forward_half, forward)
                 state.uncertain_pairs += 1
@@ -236,5 +320,13 @@ def _fix_inverse_inferences(engine: Engine) -> tuple:
                 state.remove_direct(half)
                 state.inverse_removed += 1
                 removed += 1
+                if tracing:
+                    engine.obs.event(
+                        "inference.removed",
+                        rule="inverse",
+                        local_as=backward.local_as,
+                        remote_as=backward.remote_as,
+                        **half_fields(half),
+                    )
             break
     return removed, uncertain

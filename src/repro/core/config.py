@@ -22,7 +22,13 @@ REMOVE_ADD_RULE = "add_rule"
 
 @dataclass(frozen=True)
 class MapItConfig:
-    """Tuning knobs for a MAP-IT run."""
+    """Tuning knobs for a MAP-IT run.
+
+    ``f`` and ``min_neighbors`` parameterize the Alg 2 direct-inference
+    test, ``remove_rule`` selects the §4.5 remove-step reading,
+    ``max_iterations`` caps the Alg 1 outer loop (§4.6), and
+    ``enable_stub_heuristic`` switches Alg 4 (§4.8).
+    """
 
     #: Fraction of a neighbor set that must map to the plurality AS
     #: (0 <= f <= 1).  The paper recommends 0.5.

@@ -28,13 +28,14 @@ from repro.core.config import MapItConfig
 from repro.core.state import MapItState
 from repro.graph.halves import BACKWARD, FORWARD, Half
 from repro.graph.neighbors import InterfaceGraph
+from repro.obs.observer import NULL_OBS, Observability
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
 
 
 @dataclass(frozen=True)
 class Plurality:
-    """Outcome of counting a neighbor set.
+    """Outcome of counting a neighbor set (the Alg 2 line 3–5 tally).
 
     ``canonical_as`` is the winning organization's representative;
     ``member_as`` the most frequent actual AS inside it; ``count`` its
@@ -56,7 +57,10 @@ class Plurality:
 
 
 class Engine:
-    """Bound context for one MAP-IT run."""
+    """Bound context for one MAP-IT run (the state Alg 1 threads
+    through its add/remove steps): the interface graph, the IP2AS /
+    sibling / relationship datasets, the config, and the mutable
+    :class:`~repro.core.state.MapItState`."""
 
     def __init__(
         self,
@@ -65,19 +69,21 @@ class Engine:
         org: Optional[AS2Org] = None,
         rel: Optional[RelationshipDataset] = None,
         config: Optional[MapItConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.graph = graph
         self.ip2as = ip2as
         self.org = org or AS2Org()
         self.rel = rel or RelationshipDataset()
         self.config = config or MapItConfig()
+        self.obs = obs if obs is not None else NULL_OBS
         self.state = MapItState()
         self._origin_cache: Dict[int, int] = {}
 
     # -- mappings -----------------------------------------------------------
 
     def original_asn(self, address: int) -> int:
-        """BGP-derived origin for *address* (cached)."""
+        """BGP-derived origin for *address* (cached; Alg 1 input IP2AS)."""
         asn = self._origin_cache.get(address)
         if asn is None:
             asn = self.ip2as.asn(address)
@@ -85,11 +91,13 @@ class Engine:
         return asn
 
     def half_asn(self, half: Half) -> int:
-        """Current (snapshot) mapping of *half*."""
+        """Current (snapshot) mapping of *half* (section 4.4.1's per-half
+        IP2AS view: direct inference, else indirect, else BGP origin)."""
         return self.state.visible_asn(half, self.original_asn(half[0]))
 
     def canonical(self, asn: int) -> int:
-        """Organization identity; sentinels map to themselves."""
+        """Organization identity (section 4.4.1 sibling merging);
+        sentinels map to themselves."""
         if asn <= 0:
             return asn
         return self.org.canonical(asn)
@@ -97,7 +105,8 @@ class Engine:
     # -- candidates -----------------------------------------------------------
 
     def candidate_halves(self) -> List[Half]:
-        """Halves eligible for direct inference: |N| >= min_neighbors.
+        """Halves eligible for direct inference: |N| >= min_neighbors
+        (Alg 2 line 1's iteration set; the paper requires at least 2).
 
         Sorted for determinism; the algorithm's results do not depend
         on the order (section 4.4.5) but reproducible diagnostics do.
@@ -116,7 +125,8 @@ class Engine:
     # -- counting -----------------------------------------------------------
 
     def count_groups(self, half: Half) -> Tuple[Dict[int, int], Dict[int, Dict[int, int]], int]:
-        """Tally the neighbor set of *half* by organization.
+        """Tally the neighbor set of *half* by organization (Alg 2
+        line 2's COUNT, with section 4.4.1 sibling merging).
 
         Returns ``(group_counts, member_counts, total)`` where group
         keys are canonical ASes (or non-positive sentinels) and
@@ -136,7 +146,9 @@ class Engine:
         return group_counts, member_counts, len(neighbors)
 
     def plurality(self, half: Half) -> Optional[Plurality]:
-        """The AS appearing strictly more than all others in N(half).
+        """The AS appearing strictly more than all others in N(half)
+        (Alg 2 line 2's AS_N; the f test of line 3 is applied by the
+        caller via :meth:`Plurality.satisfies_f`).
 
         Returns None when the set is empty, when no real AS (positive
         number) wins, or when the top count is tied.
@@ -161,7 +173,8 @@ class Engine:
         return Plurality(best_group, member_as, best_count, total)
 
     def dominance(self, half: Half, canonical_as: int) -> Plurality:
-        """Tally for a *specific* organization in N(half) (remove step)."""
+        """Tally for a *specific* organization in N(half) — the remove
+        step's section 4.5 dominance test (Alg 3 line 4)."""
         group_counts, member_counts, total = self.count_groups(half)
         count = group_counts.get(canonical_as, 0)
         members = member_counts.get(canonical_as, {})
@@ -171,7 +184,8 @@ class Engine:
     # -- other sides ---------------------------------------------------------
 
     def other_side_half(self, half: Half) -> Optional[Half]:
-        """The link partner of *half*: other address, opposite direction."""
+        """The link partner of *half*: other address, opposite direction
+        (section 4.2's /30-vs-/31 other-side judgement)."""
         other = self.graph.other_side(half[0])
         if other is None:
             return None

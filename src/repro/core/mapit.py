@@ -30,6 +30,7 @@ from repro.core.results import (
 from repro.core.state import MapItState
 from repro.core.stub import stub_step
 from repro.graph.neighbors import InterfaceGraph, build_interface_graph
+from repro.obs.observer import Observability
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
 from repro.traceroute.model import Trace
@@ -37,7 +38,7 @@ from repro.traceroute.sanitize import sanitize_traces
 
 
 class MapIt:
-    """One configured MAP-IT run over an interface graph."""
+    """One configured MAP-IT run over an interface graph (Alg 1)."""
 
     def __init__(
         self,
@@ -46,8 +47,9 @@ class MapIt:
         org: Optional[AS2Org] = None,
         rel: Optional[RelationshipDataset] = None,
         config: Optional[MapItConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
-        self.engine = Engine(graph, ip2as, org, rel, config)
+        self.engine = Engine(graph, ip2as, org, rel, config, obs=obs)
         self._checkpoints: List[Checkpoint] = []
 
     # -- checkpointing (Fig 7) ------------------------------------------------
@@ -57,37 +59,81 @@ class MapIt:
             return
         inferences, uncertain = self._collect()
         self._checkpoints.append(Checkpoint(label, inferences + uncertain))
+        if self.engine.obs.enabled:
+            self.engine.obs.event(
+                "checkpoint", label=label, inferences=len(inferences) + len(uncertain)
+            )
 
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> MapItResult:
-        """Execute Alg 1 and return the results."""
+        """Execute Alg 1 (add step, remove step, section 4.6 repeated-
+        state convergence, then the Alg 4 stub heuristic) and return
+        the results."""
         engine = self.engine
         config = engine.config
+        obs = engine.obs
+        if obs.enabled:
+            obs.event(
+                "run.start",
+                f=config.f,
+                min_neighbors=config.min_neighbors,
+                remove_rule=config.remove_rule,
+                max_iterations=config.max_iterations,
+                stub_heuristic=config.enable_stub_heuristic,
+            )
         engine.state.refresh_visible()
         seen_fingerprints = {engine.state.fingerprint()}
         iterations = 0
         converged = False
         while iterations < config.max_iterations:
             iterations += 1
+            if obs.enabled:
+                obs.event("iteration.start", iteration=iterations)
             first = iterations == 1 and config.record_checkpoints
             hook = (lambda stage: self._checkpoint(f"add 1: {stage}")) if first else None
-            add_step(engine, hook)
+            with obs.span("pass/add"):
+                add_step(engine, hook)
             if first:
                 self._checkpoint("add 1: all passes")
             if config.enable_remove_step:
-                remove_step(engine)
+                with obs.span("pass/remove"):
+                    remove_step(engine)
             self._checkpoint(f"iteration {iterations}")
             fingerprint = engine.state.fingerprint()
-            if fingerprint in seen_fingerprints:
+            repeated = fingerprint in seen_fingerprints
+            if obs.enabled:
+                obs.event(
+                    "iteration.end",
+                    iteration=iterations,
+                    direct=len(engine.state.direct),
+                    indirect=len(engine.state.indirect),
+                    repeated=repeated,
+                )
+            if repeated:
                 converged = True
                 break
             seen_fingerprints.add(fingerprint)
         if config.enable_stub_heuristic:
-            stub_step(engine)
+            with obs.span("pass/stub"):
+                stub_step(engine)
             self._checkpoint("stub heuristic")
-        inferences, uncertain = self._collect()
+        with obs.span("collect"):
+            inferences, uncertain = self._collect()
         state = engine.state
+        if obs.enabled:
+            obs.event(
+                "run.end",
+                iterations=iterations,
+                converged=converged,
+                direct=len(state.direct),
+                indirect=len(state.indirect),
+                uncertain=len(uncertain),
+            )
+            obs.inc("mapit.runs")
+            obs.inc("mapit.iterations", iterations)
+            obs.gauge("mapit.inferences", len(inferences))
+            obs.gauge("mapit.uncertain", len(uncertain))
         return MapItResult(
             inferences=inferences,
             uncertain=uncertain,
@@ -108,7 +154,8 @@ class MapIt:
     # -- output ---------------------------------------------------------------
 
     def _collect(self) -> Tuple[List[LinkInference], List[LinkInference]]:
-        """Materialize inference records from the live state.
+        """Materialize inference records from the live state (the two
+        output lists of section 4.4.4: confident and uncertain).
 
         When a half carries both a direct and an indirect inference the
         direct one wins.  Detached indirects (divergent other sides)
@@ -172,8 +219,21 @@ def run_mapit(
     org: Optional[AS2Org] = None,
     rel: Optional[RelationshipDataset] = None,
     config: Optional[MapItConfig] = None,
+    obs: Optional[Observability] = None,
 ) -> MapItResult:
-    """Sanitize *traces*, build the interface graph, and run MAP-IT."""
+    """Sanitize *traces* (section 4.1), build the interface graph
+    (sections 4.2–4.3), and run MAP-IT (Alg 1).
+
+    *obs*, when given, receives structured trace events, metrics, and
+    profiling spans for the whole pipeline (docs/OBSERVABILITY.md).
+    """
+    if obs is not None:
+        with obs.span("sanitize"):
+            report = sanitize_traces(traces)
+        graph = build_interface_graph(
+            report.traces, all_addresses=report.all_addresses, obs=obs
+        )
+        return MapIt(graph, ip2as, org=org, rel=rel, config=config, obs=obs).run()
     report = sanitize_traces(traces)
     graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
     return MapIt(graph, ip2as, org=org, rel=rel, config=config).run()

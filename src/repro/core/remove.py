@@ -23,12 +23,12 @@ from typing import Dict, List, Optional
 from repro.core.config import REMOVE_ADD_RULE
 from repro.core.engine import Engine
 from repro.core.state import DirectInference, IndirectInference
-from repro.graph.halves import Half
+from repro.graph.halves import Half, half_fields
 
 
 @dataclass
 class RemoveStepReport:
-    """What one remove step did."""
+    """What one remove step (Alg 3, §4.5) did."""
 
     passes: int = 0
     demoted: int = 0
@@ -36,7 +36,9 @@ class RemoveStepReport:
 
 
 def _still_holds(engine: Engine, direct: DirectInference) -> bool:
-    """Would this direct inference survive under current mappings?"""
+    """Would this direct inference survive under current mappings?
+    (Alg 3 line 4's test; section 4.5 prose vs literal readings are
+    selected by :attr:`~repro.core.config.MapItConfig.remove_rule`.)"""
     tally = engine.dominance(direct.half, engine.canonical(direct.remote_as))
     if engine.config.remove_rule == REMOVE_ADD_RULE:
         plurality = engine.plurality(direct.half)
@@ -49,7 +51,9 @@ def _still_holds(engine: Engine, direct: DirectInference) -> bool:
 
 
 def _supporter_for(engine: Engine, half: Half) -> Optional[Half]:
-    """A live direct inference whose link other-side is *half*.
+    """A live direct inference whose link other-side is *half*
+    (Alg 3 line 5: demotion to an indirect inference needs a live
+    supporting direct on the link's other side).
 
     Other-side assignment is usually symmetric, so the candidate is the
     direct inference on *half*'s own other side — but we verify that
@@ -65,16 +69,19 @@ def _supporter_for(engine: Engine, half: Half) -> Optional[Half]:
 
 
 def remove_step(engine: Engine) -> RemoveStepReport:
-    """Run the remove step to fixpoint."""
+    """Run the remove step (Alg 3, section 4.5) to fixpoint."""
     state = engine.state
+    obs = engine.obs
+    tracing = obs.tracer.enabled
     report = RemoveStepReport()
     while True:
         report.passes += 1
-        doomed: List[Half] = [
-            half
-            for half, direct in sorted(state.direct.items())
-            if not direct.via_stub and not _still_holds(engine, direct)
-        ]
+        with obs.span("remove/dominance"):
+            doomed: List[Half] = [
+                half
+                for half, direct in sorted(state.direct.items())
+                if not direct.via_stub and not _still_holds(engine, direct)
+            ]
         for half in doomed:
             direct = state.direct.pop(half)
             supporter = _supporter_for(engine, half)
@@ -87,10 +94,37 @@ def remove_step(engine: Engine) -> RemoveStepReport:
                         source=supporter,
                     )
                 )
+            if tracing:
+                obs.event(
+                    "inference.removed",
+                    rule="demoted" if supporter is not None else "removed",
+                    local_as=direct.local_as,
+                    remote_as=direct.remote_as,
+                    **half_fields(half),
+                )
         report.demoted += len(doomed)
         swept = state.sweep_unsupported_indirect()
         report.indirect_discarded += swept
         state.refresh_visible()
+        if obs.enabled:
+            obs.event(
+                "remove.pass.end",
+                demoted=len(doomed),
+                swept=swept,
+                direct=len(state.direct),
+                indirect=len(state.indirect),
+                **{"pass": report.passes},
+            )
         if not doomed and not swept:
             break
+    if obs.enabled:
+        obs.event(
+            "remove.end",
+            passes=report.passes,
+            demoted=report.demoted,
+            indirect_discarded=report.indirect_discarded,
+        )
+        obs.inc("mapit.remove.passes", report.passes)
+        obs.inc("mapit.inference.demoted", report.demoted)
+        obs.inc("mapit.inference.swept", report.indirect_discarded)
     return report

@@ -24,7 +24,12 @@ STUB = "stub"
 
 @dataclass(frozen=True)
 class LinkInference:
-    """One inferred inter-AS link interface."""
+    """One inferred inter-AS link interface half.
+
+    ``kind`` records the mechanism that produced it: ``direct``
+    (Alg 2), ``indirect`` (§4.4.2 other-side propagation), or their
+    stub-heuristic variants (Alg 4, §4.8).
+    """
 
     address: int
     forward: bool
@@ -36,6 +41,7 @@ class LinkInference:
 
     @property
     def half(self) -> Half:
+        """The interface half (§3.2) this inference is attached to."""
         return (self.address, self.forward)
 
     def pair(self) -> Tuple[int, int]:
@@ -103,7 +109,12 @@ class Checkpoint:
 
 @dataclass
 class MapItResult:
-    """Everything a MAP-IT run produced."""
+    """Everything a MAP-IT run produced.
+
+    Two inference lists, as the paper reports them: the
+    high-confidence ``inferences`` and the small ``uncertain`` list of
+    §4.4.4 conflicting pairs.
+    """
 
     inferences: List[LinkInference]
     uncertain: List[LinkInference]
@@ -132,6 +143,7 @@ class MapItResult:
         return [inference for inference in self.inferences if inference.involves(asn)]
 
     def summary(self) -> Dict[str, int]:
+        """Headline counts: inferences, interfaces, AS links, iterations."""
         return {
             "inferences": len(self.inferences),
             "uncertain": len(self.uncertain),

@@ -75,7 +75,14 @@ class IndirectInference:
 
 
 class MapItState:
-    """All mutable state of a MAP-IT run."""
+    """All mutable state of a MAP-IT run.
+
+    Live direct/indirect inference tables, the per-pass mapping
+    snapshot of §4.4.5 (``visible``, refreshed between passes so every
+    pass reads end-of-previous-pass state), the §4.4.4 uncertain log,
+    and the order-independent fingerprint the §4.6 convergence test
+    compares.
+    """
 
     def __init__(self) -> None:
         #: live direct inferences, keyed by half
@@ -104,10 +111,13 @@ class MapItState:
     # -- inference bookkeeping -------------------------------------------
 
     def add_direct(self, inference: DirectInference) -> None:
+        """Record an Alg 2 direct inference and mark its half used
+        for the rest of this add step (§4.4.5)."""
         self.direct[inference.half] = inference
         self.inferred_this_step.add(inference.half)
 
     def add_indirect(self, inference: IndirectInference) -> None:
+        """Record a §4.4.2 indirect (other-side) inference."""
         self.indirect[inference.half] = inference
 
     def remove_direct(self, half: Half) -> Optional[DirectInference]:
@@ -173,6 +183,7 @@ class MapItState:
     # -- introspection ------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
+        """Live table sizes plus the §4.4.3–4.4.4 diagnostic counters."""
         return {
             "direct": len(self.direct),
             "indirect": len(self.indirect),

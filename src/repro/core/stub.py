@@ -26,20 +26,23 @@ from dataclasses import dataclass
 
 from repro.core.engine import Engine
 from repro.core.state import DirectInference, IndirectInference
-from repro.graph.halves import BACKWARD, FORWARD
+from repro.graph.halves import BACKWARD, FORWARD, half_fields
 
 
 @dataclass
 class StubStepReport:
-    """What the stub heuristic did."""
+    """What the stub heuristic (Alg 4, §4.8) did."""
 
     examined: int = 0
     inferred: int = 0
 
 
 def stub_step(engine: Engine) -> StubStepReport:
-    """Run Alg 4 once over all single-neighbor forward halves."""
+    """Run Alg 4 (section 4.8) once over all single-neighbor forward
+    halves, after the main loop has converged."""
     state = engine.state
+    obs = engine.obs
+    tracing = obs.tracer.enabled
     report = StubStepReport()
     for address in sorted(engine.graph.forward):
         members = engine.graph.forward[address]
@@ -80,6 +83,17 @@ def stub_step(engine: Engine) -> StubStepReport:
             via_stub=True,
         )
         state.add_direct(direct)
+        if tracing:
+            obs.event(
+                "inference.added",
+                kind="direct",
+                rule="stub",
+                local_as=own_as,
+                remote_as=neighbor_as,
+                count=1,
+                total=1,
+                **half_fields(half),
+            )
         partner = engine.other_side_half(half)
         if partner is not None and not engine.ip2as.is_ixp(address):
             state.add_indirect(
@@ -90,6 +104,25 @@ def stub_step(engine: Engine) -> StubStepReport:
                     source=half,
                 )
             )
+            if tracing:
+                obs.event(
+                    "inference.added",
+                    kind="indirect",
+                    rule="stub_propagate",
+                    local_as=own_as,
+                    remote_as=neighbor_as,
+                    source=half_fields(half)["address"],
+                    **half_fields(partner),
+                )
         report.inferred += 1
     state.refresh_visible()
+    if obs.enabled:
+        obs.event(
+            "stub.end",
+            examined=report.examined,
+            inferred=report.inferred,
+            direct=len(state.direct),
+            indirect=len(state.indirect),
+        )
+        obs.inc("mapit.inference.stub_added", report.inferred)
     return report

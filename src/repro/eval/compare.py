@@ -60,15 +60,19 @@ def compare_methods(
     experiment: Experiment,
     methods: tuple = ALL_METHODS,
     mapit_config: Optional[MapItConfig] = None,
+    obs=None,
 ) -> ComparisonResult:
-    """Run every requested method over the experiment's dataset."""
+    """Run every requested method over the experiment's dataset.
+
+    *obs* observes the MAP-IT run (the baselines are not instrumented).
+    """
     scenario = experiment.scenario
     traces = experiment.report.traces
     result = ComparisonResult()
     for method in methods:
         if method == MAPIT:
             inferences = experiment.run_mapit(
-                mapit_config or MapItConfig(f=0.5)
+                mapit_config or MapItConfig(f=0.5), obs=obs
             ).inferences
         elif method == SIMPLE:
             inferences = simple_heuristic(traces, scenario.ip2as)

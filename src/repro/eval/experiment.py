@@ -21,6 +21,7 @@ from repro.eval.verify import (
     score_inferences,
 )
 from repro.graph.neighbors import InterfaceGraph, build_interface_graph
+from repro.obs.observer import Observability
 from repro.sim.scenario import Scenario
 from repro.traceroute.sanitize import SanitizeReport, sanitize_traces
 
@@ -38,7 +39,11 @@ class Experiment:
     def labels(self) -> List[str]:
         return list(self.datasets)
 
-    def new_mapit(self, config: Optional[MapItConfig] = None) -> MapIt:
+    def new_mapit(
+        self,
+        config: Optional[MapItConfig] = None,
+        obs: Optional[Observability] = None,
+    ) -> MapIt:
         """A MAP-IT instance over this experiment's interface graph."""
         scenario = self.scenario
         return MapIt(
@@ -47,10 +52,15 @@ class Experiment:
             org=scenario.as2org,
             rel=scenario.relationships,
             config=config,
+            obs=obs,
         )
 
-    def run_mapit(self, config: Optional[MapItConfig] = None) -> MapItResult:
-        return self.new_mapit(config).run()
+    def run_mapit(
+        self,
+        config: Optional[MapItConfig] = None,
+        obs: Optional[Observability] = None,
+    ) -> MapItResult:
+        return self.new_mapit(config, obs=obs).run()
 
     def score(self, inferences: List[LinkInference]) -> Dict[str, Score]:
         """Score one inference list against every verification network."""

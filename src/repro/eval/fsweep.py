@@ -58,11 +58,16 @@ def sweep_f(
     experiment: Experiment,
     f_values: Iterable[float] = DEFAULT_F_VALUES,
     base_config: Optional[MapItConfig] = None,
+    obs=None,
 ) -> FSweepResult:
-    """Run the full sweep."""
+    """Run the full sweep.
+
+    *obs* (an :class:`~repro.obs.observer.Observability`) observes every
+    run in the sweep; ``run.start`` events delimit the per-f segments.
+    """
     base = base_config or MapItConfig()
     result = FSweepResult()
     for f in f_values:
-        mapit_result = experiment.run_mapit(base.with_f(f))
+        mapit_result = experiment.run_mapit(base.with_f(f), obs=obs)
         result.scores[f] = experiment.score(mapit_result.inferences)
     return result

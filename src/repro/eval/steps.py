@@ -55,13 +55,15 @@ class StepImpact:
 
 
 def step_impact(
-    experiment: Experiment, config: Optional[MapItConfig] = None
+    experiment: Experiment,
+    config: Optional[MapItConfig] = None,
+    obs=None,
 ) -> StepImpact:
     """Run once with checkpoints and score every stage."""
     base = config or MapItConfig()
     from dataclasses import replace
 
-    result = experiment.run_mapit(replace(base, record_checkpoints=True))
+    result = experiment.run_mapit(replace(base, record_checkpoints=True), obs=obs)
     impact = StepImpact(result=result)
     for checkpoint in result.checkpoints:
         if checkpoint.label in impact.scores:

@@ -55,3 +55,12 @@ def half_str(half: Half) -> str:
     """Render like the paper: ``198.71.46.180_f``."""
     suffix = "f" if half[1] else "b"
     return f"{format_address(half[0])}_{suffix}"
+
+
+def half_fields(half: Half) -> dict:
+    """*half* as flat trace-event fields (docs/OBSERVABILITY.md).
+
+    Addresses are rendered dotted so trace files are greppable for the
+    same strings ``half_str`` and the inference output print.
+    """
+    return {"address": format_address(half[0]), "forward": half[1]}

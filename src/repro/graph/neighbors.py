@@ -19,6 +19,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
 
 from repro.graph.othersides import OtherSideTable, infer_other_sides
 from repro.net.special import SpecialPurposeRegistry, default_special_registry
+from repro.obs.observer import NULL_OBS, Observability
 from repro.traceroute.model import Trace
 
 _EMPTY: FrozenSet[int] = frozenset()
@@ -93,6 +94,7 @@ def build_interface_graph(
     traces: Iterable[Trace],
     all_addresses: Optional[Iterable[int]] = None,
     special: Optional[SpecialPurposeRegistry] = None,
+    obs: Observability = NULL_OBS,
 ) -> InterfaceGraph:
     """Build N_F/N_B from sanitized traces and assign other sides.
 
@@ -105,27 +107,40 @@ def build_interface_graph(
     graph = InterfaceGraph()
     forward, backward = graph.forward, graph.backward
     seen: Set[int] = set()
-    for trace in traces:
-        previous: Optional[int] = None
-        for hop in trace.hops:
-            address = hop.address
-            if address is None:
-                previous = None
-                continue
-            if is_special(address):
-                # Private/shared addresses neither own neighbor sets nor
-                # appear inside them, but they still break adjacency: the
-                # public addresses either side of one are not neighbors.
-                previous = None
-                continue
-            seen.add(address)
-            if previous is not None:
-                forward.setdefault(previous, set()).add(address)
-                backward.setdefault(address, set()).add(previous)
-            previous = address
+    with obs.span("neighbor_sets"):
+        for trace in traces:
+            previous: Optional[int] = None
+            for hop in trace.hops:
+                address = hop.address
+                if address is None:
+                    previous = None
+                    continue
+                if is_special(address):
+                    # Private/shared addresses neither own neighbor sets nor
+                    # appear inside them, but they still break adjacency: the
+                    # public addresses either side of one are not neighbors.
+                    previous = None
+                    continue
+                seen.add(address)
+                if previous is not None:
+                    forward.setdefault(previous, set()).add(address)
+                    backward.setdefault(address, set()).add(previous)
+                previous = address
     universe = set(all_addresses) if all_addresses is not None else seen
     universe.update(seen)
-    graph.other_sides = infer_other_sides(
-        address for address in universe if not is_special(address)
-    )
+    with obs.span("other_sides"):
+        graph.other_sides = infer_other_sides(
+            address for address in universe if not is_special(address)
+        )
+    if obs.enabled:
+        obs.event(
+            "graph.built",
+            addresses=len(seen),
+            forward_sets=len(forward),
+            backward_sets=len(backward),
+            universe=len(universe),
+        )
+        obs.gauge("graph.addresses", len(seen))
+        obs.gauge("graph.forward_sets", len(forward))
+        obs.gauge("graph.backward_sets", len(backward))
     return graph

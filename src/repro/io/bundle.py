@@ -26,6 +26,7 @@ from repro.dns.naming import HostnameDataset
 from repro.io.atomic import file_sha256
 from repro.io.truth import load_ground_truth
 from repro.ixp.dataset import IXPDataset
+from repro.obs.observer import NULL_OBS, Observability
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
 from repro.robust.errors import ErrorBudget
@@ -54,7 +55,7 @@ class InputBundle:
     manifest: Dict = field(default_factory=dict)
     health: BundleHealth = field(default_factory=BundleHealth)
 
-    def run_mapit(self, config=None):
+    def run_mapit(self, config=None, obs=None):
         """Convenience: run MAP-IT over this bundle."""
         from repro import run_mapit
 
@@ -64,6 +65,7 @@ class InputBundle:
             org=self.as2org,
             rel=self.relationships,
             config=config,
+            obs=obs,
         )
 
 
@@ -112,6 +114,7 @@ def load_bundle(
     on_error: str = "strict",
     max_error_rate: Optional[float] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
+    obs: Observability = NULL_OBS,
 ) -> InputBundle:
     """Load a dataset directory (see :mod:`repro.io` for the layout).
 
@@ -145,6 +148,7 @@ def load_bundle(
         mode=on_error,
         budget=budget,
         quarantine_dir=quarantine_dir,
+        obs=obs,
     )
     health.ingest = ingest_report
     health.record(

@@ -1,0 +1,44 @@
+"""Observability for the MAP-IT pipeline (docs/OBSERVABILITY.md).
+
+Three zero-dependency pieces:
+
+* :class:`~repro.obs.trace.Tracer` — structured event recording (pass
+  boundaries, every inference added/removed, rule names, evidence
+  counts) into an in-memory ring plus an optional JSON-lines sink;
+* :class:`~repro.obs.metrics.Metrics` — counters, gauges, and
+  monotonic-clock timer histograms, exported as JSON;
+* :class:`~repro.obs.observer.Observability` — the facade the engine,
+  passes, graph builder, ingest, and simulator are instrumented
+  against, with ``span()`` profiling hooks.
+
+Instrumented entry points default to :data:`~repro.obs.observer.NULL_OBS`,
+whose every operation short-circuits — observability off costs one
+guarded attribute read per call site (``benchmarks/bench_obs_overhead.py``
+bounds it below 3% of a run).
+"""
+
+from repro.obs.inspect import TraceSummary, summarize
+from repro.obs.metrics import Metrics, TimerStats
+from repro.obs.observer import NULL_OBS, NullObservability, Observability
+from repro.obs.trace import (
+    NullTracer,
+    Tracer,
+    canonical_event,
+    encode_event,
+    read_trace,
+)
+
+__all__ = [
+    "Metrics",
+    "NULL_OBS",
+    "NullObservability",
+    "NullTracer",
+    "Observability",
+    "TimerStats",
+    "TraceSummary",
+    "Tracer",
+    "canonical_event",
+    "encode_event",
+    "read_trace",
+    "summarize",
+]

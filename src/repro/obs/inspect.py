@@ -1,0 +1,190 @@
+"""Trace-file summarization behind ``mapit inspect-trace``.
+
+Turns a JSON-lines event stream (written by ``mapit run --trace``)
+back into the paper's per-step accounting: a per-pass inference delta
+table (the Fig 7 view of one real run), the convergence curve of
+section 4.6 (inference totals per outer iteration, ending at the
+repeated state), a per-rule event census, and — when the run was
+profiled — the slowest spans.
+
+All functions operate on plain event dicts so they work equally on
+:func:`repro.obs.trace.read_trace` output and on a live tracer's ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``inspect-trace`` reports, as printable row lists."""
+
+    run: Dict[str, object] = field(default_factory=dict)
+    passes: List[Dict[str, object]] = field(default_factory=list)
+    convergence: List[Dict[str, object]] = field(default_factory=list)
+    rules: List[Dict[str, object]] = field(default_factory=list)
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    events_total: int = 0
+
+    def header_lines(self) -> List[str]:
+        """The one-paragraph run summary."""
+        run = self.run
+        lines = [f"{self.events_total} events"]
+        if "f" in run:
+            lines.append(
+                "config: f={f} min_neighbors={min_neighbors} "
+                "remove_rule={remove_rule}".format(**run)
+            )
+        if "iterations" in run:
+            state = "converged" if run.get("converged") else "hit max_iterations"
+            lines.append(
+                f"{state} after {run['iterations']} iteration(s): "
+                f"{run.get('direct', '?')} direct + {run.get('indirect', '?')} "
+                f"indirect inferences, {run.get('uncertain', '?')} uncertain"
+            )
+        return lines
+
+
+def pass_table(events: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """One row per recorded pass: what it added, removed, and left live.
+
+    ``add i.p`` rows are the inner passes of the add step of outer
+    iteration ``i`` (Alg 2 + contradiction fixes), ``remove i.p`` the
+    remove-step passes (Alg 3), ``stub`` the single Alg 4 sweep.
+    """
+    rows: List[Dict[str, object]] = []
+    iteration = 0
+    removed = detached = uncertain = 0
+    for event in events:
+        name = event.get("event")
+        if name == "iteration.start":
+            iteration = event.get("iteration", iteration)
+        elif name == "inference.removed":
+            removed += 1
+        elif name == "inference.detached":
+            detached += 1
+        elif name == "inference.uncertain":
+            uncertain += 1
+        elif name in ("add.pass.end", "remove.pass.end", "stub.end"):
+            if name == "add.pass.end":
+                stage = f"add {iteration}.{event.get('pass', '?')}"
+                delta = {
+                    "direct_added": event.get("direct_added", 0),
+                    "indirect_added": event.get("indirect_added", 0),
+                    "demoted": 0,
+                }
+            elif name == "remove.pass.end":
+                stage = f"remove {iteration}.{event.get('pass', '?')}"
+                delta = {
+                    "direct_added": 0,
+                    "indirect_added": 0,
+                    "demoted": event.get("demoted", 0),
+                }
+            else:
+                stage = "stub"
+                delta = {
+                    "direct_added": event.get("inferred", 0),
+                    "indirect_added": 0,
+                    "demoted": 0,
+                }
+            row: Dict[str, object] = {"stage": stage}
+            row.update(delta)
+            row.update(
+                {
+                    "removed": removed,
+                    "detached": detached,
+                    "uncertain": uncertain,
+                    "direct": event.get("direct", ""),
+                    "indirect": event.get("indirect", ""),
+                }
+            )
+            rows.append(row)
+            removed = detached = uncertain = 0
+    return rows
+
+
+def convergence_rows(events: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """The section 4.6 curve: live inference totals per outer iteration."""
+    rows: List[Dict[str, object]] = []
+    for event in events:
+        if event.get("event") != "iteration.end":
+            continue
+        rows.append(
+            {
+                "iteration": event.get("iteration"),
+                "direct": event.get("direct"),
+                "indirect": event.get("indirect"),
+                "state_repeated": "yes" if event.get("repeated") else "no",
+            }
+        )
+    return rows
+
+
+def rule_rows(events: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """How often each inference rule fired, across the whole run."""
+    counts: Dict[tuple, int] = {}
+    for event in events:
+        name = event.get("event", "")
+        if not str(name).startswith("inference."):
+            continue
+        key = (str(name).split(".", 1)[1], str(event.get("rule", "?")))
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        {"action": action, "rule": rule, "events": count}
+        for (action, rule), count in sorted(counts.items())
+    ]
+
+
+def slowest_spans(
+    events: List[Dict[str, object]], top: int = 10
+) -> List[Dict[str, object]]:
+    """The *top* span names by total recorded duration (profiled runs)."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.get("event") != "span":
+            continue
+        name = str(event.get("name", "?"))
+        duration = float(event.get("dur_ms", 0.0))
+        stats = totals.setdefault(name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+        stats["count"] += 1
+        stats["total_ms"] += duration
+        stats["max_ms"] = max(stats["max_ms"], duration)
+    ranked = sorted(totals.items(), key=lambda item: item[1]["total_ms"], reverse=True)
+    return [
+        {
+            "span": name,
+            "count": int(stats["count"]),
+            "total_ms": round(stats["total_ms"], 3),
+            "max_ms": round(stats["max_ms"], 3),
+        }
+        for name, stats in ranked[:top]
+    ]
+
+
+def summarize(events: List[Dict[str, object]], top: int = 10) -> TraceSummary:
+    """Build the full :class:`TraceSummary` for an event stream."""
+    summary = TraceSummary(events_total=len(events))
+    for event in events:
+        if event.get("event") == "run.start":
+            summary.run.update(
+                {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("seq", "event", "ts")
+                }
+            )
+        elif event.get("event") == "run.end":
+            summary.run.update(
+                {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("seq", "event", "ts")
+                }
+            )
+    summary.passes = pass_table(events)
+    summary.convergence = convergence_rows(events)
+    summary.rules = rule_rows(events)
+    summary.spans = slowest_spans(events, top)
+    return summary

@@ -1,0 +1,126 @@
+"""Metrics registry: counters, gauges, and monotonic-clock timers.
+
+Names follow a dotted ``<subsystem>.<noun>[.<qualifier>]`` convention
+(``mapit.inference.direct_added``, ``ingest.records.malformed``,
+``span.pass/add`` — see docs/OBSERVABILITY.md).  Timers aggregate
+:func:`time.perf_counter` durations into streaming statistics plus a
+power-of-two-millisecond histogram, so a run's latency profile exports
+as plain JSON without keeping every observation.
+
+Everything here is plain stdlib; the registry is cheap enough to keep
+per run and serialize at the end (``mapit run --metrics m.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+
+class TimerStats:
+    """Streaming duration statistics for one named timer."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+        #: histogram: bucket upper bound in ms (power of two) -> count
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if self.min_s is None or seconds < self.min_s:
+            self.min_s = seconds
+        if self.max_s is None or seconds > self.max_s:
+            self.max_s = seconds
+        upper = 1
+        ms = seconds * 1000.0
+        while upper < ms and upper < 1 << 30:
+            upper <<= 1
+        self.buckets[upper] = self.buckets.get(upper, 0) + 1
+
+    def to_dict(self) -> Dict[str, object]:
+        mean = self.total_s / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_s * 1000.0, 3),
+            "mean_ms": round(mean * 1000.0, 3),
+            "min_ms": round((self.min_s or 0.0) * 1000.0, 3),
+            "max_ms": round((self.max_s or 0.0) * 1000.0, 3),
+            "buckets_ms": {
+                str(upper): count for upper, count in sorted(self.buckets.items())
+            },
+        }
+
+
+class Metrics:
+    """A named registry of counters, gauges, and timers."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, TimerStats] = {}
+
+    # -- writes --------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value* (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration into the timer *name*."""
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = TimerStats()
+        timer.observe(seconds)
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer(self, name: str) -> Optional[TimerStats]:
+        return self.timers.get(name)
+
+    def slowest(self, top: int = 10) -> List[Dict[str, object]]:
+        """The *top* timers by total time, descending."""
+        ranked = sorted(
+            self.timers.items(), key=lambda item: item[1].total_s, reverse=True
+        )
+        rows = []
+        for name, stats in ranked[:top]:
+            row: Dict[str, object] = {"timer": name}
+            row.update(stats.to_dict())
+            row.pop("buckets_ms")
+            rows.append(row)
+        return rows
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {
+                name: round(value, 6)
+                for name, value in sorted(self.gauges.items())
+            },
+            "timers": {
+                name: stats.to_dict() for name, stats in sorted(self.timers.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Serialize the registry to *path* as JSON."""
+        Path(path).write_text(self.to_json() + "\n")

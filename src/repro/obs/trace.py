@@ -1,0 +1,138 @@
+"""Structured event tracing for MAP-IT runs.
+
+A :class:`Tracer` records every algorithm event — pass boundaries,
+inferences added / removed / demoted, contradiction resolutions, the
+convergence decision — as a flat JSON-ready dict.  Events are kept in
+an in-memory ring (the last ``ring_size`` events survive for
+post-mortem inspection) and, optionally, streamed to a JSON-lines sink
+so arbitrarily long runs can be traced with constant memory.
+
+Determinism contract: with ``timestamps=False`` the event stream is a
+pure function of the inputs — the same bundle, seed, and config
+produce byte-identical JSONL files (``tests/test_obs.py`` enforces
+this).  With timestamps on, the only non-deterministic key is ``ts``;
+:func:`canonical_event` strips the volatile keys for comparison.
+
+The :class:`NullTracer` is the disabled counterpart: ``enabled`` is
+False and :meth:`~NullTracer.emit` does nothing, so guarded call sites
+(``if obs.enabled: ...``) cost one attribute read on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, IO, Iterable, Iterator, List, Optional, Union
+
+#: Event keys that vary run-to-run even on identical inputs.  Everything
+#: else must be deterministic (see docs/OBSERVABILITY.md).
+VOLATILE_KEYS = ("ts", "dur_ms")
+
+#: Default ring capacity; at pass granularity this holds a full run,
+#: at per-inference granularity the tail of a large one.
+DEFAULT_RING_SIZE = 65536
+
+
+def canonical_event(event: Dict[str, object]) -> Dict[str, object]:
+    """*event* without its volatile (timing) keys, for comparisons."""
+    return {key: value for key, value in event.items() if key not in VOLATILE_KEYS}
+
+
+def encode_event(event: Dict[str, object]) -> str:
+    """The canonical JSONL encoding: sorted keys, compact separators."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Records structured events to a ring buffer and an optional sink."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        ring_size: int = DEFAULT_RING_SIZE,
+        sink: Optional[IO[str]] = None,
+        timestamps: bool = True,
+    ) -> None:
+        self.events: Deque[Dict[str, object]] = deque(maxlen=ring_size)
+        self._sink = sink
+        self._owns_sink = False
+        self.timestamps = timestamps
+        self.seq = 0
+
+    @classmethod
+    def to_file(
+        cls,
+        path: Union[str, Path],
+        ring_size: int = DEFAULT_RING_SIZE,
+        timestamps: bool = True,
+    ) -> "Tracer":
+        """A tracer streaming JSON lines to *path* (caller must close)."""
+        tracer = cls(ring_size=ring_size, sink=open(path, "w"), timestamps=timestamps)
+        tracer._owns_sink = True
+        return tracer
+
+    def emit(self, name: str, /, **fields: object) -> None:
+        """Record one event.  ``seq`` orders events; ``ts`` is wall time."""
+        event: Dict[str, object] = {"seq": self.seq, "event": name}
+        event.update(fields)
+        if self.timestamps:
+            event["ts"] = round(time.time(), 6)
+        self.seq += 1
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(encode_event(event) + "\n")
+
+    def close(self) -> None:
+        """Flush and (when owned) close the sink."""
+        if self._sink is None:
+            return
+        self._sink.flush()
+        if self._owns_sink:
+            self._sink.close()
+        self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    events: Deque[Dict[str, object]] = deque(maxlen=0)
+
+    def emit(self, name: str, /, **fields: object) -> None:  # pragma: no cover - trivial
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a JSON-lines trace file back into event dicts."""
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not a JSON event: {exc.msg}"
+                ) from exc
+    return events
+
+
+def iter_events(
+    events: Iterable[Dict[str, object]], name: str
+) -> Iterator[Dict[str, object]]:
+    """The events called *name*, in stream order."""
+    return (event for event in events if event.get("event") == name)

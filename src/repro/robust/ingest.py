@@ -29,6 +29,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
 
+from repro.obs.observer import NULL_OBS, Observability
 from repro.robust.errors import (
     MAX_DETAILED_ERRORS,
     SNIPPET_LIMIT,
@@ -104,6 +105,7 @@ def ingest_traces(
     mode: str = "strict",
     budget: Optional[ErrorBudget] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
+    obs: Observability = NULL_OBS,
 ) -> Tuple[List[Trace], IngestReport]:
     """Parse *lines* under an ingestion policy.
 
@@ -117,35 +119,36 @@ def ingest_traces(
     report = IngestReport(source=source, mode=mode)
     traces: List[Trace] = []
     rejects: List[str] = []
-    for line_number, raw in enumerate(lines, start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if format == "text" and line.startswith("#"):
-            continue
-        try:
-            if format == "text":
-                trace = parse_text_trace(line, line_number)
-            elif format == "jsonl":
-                trace = parse_json_trace(line, line_number)
-            else:
-                trace = _parse_atlas_line(line, line_number)
-                if trace is None:
-                    report.skipped += 1
-                    continue
-        except TraceParseError as exc:
-            if mode == "strict":
-                raise
-            report.malformed += 1
-            if len(report.errors) < MAX_DETAILED_ERRORS:
-                report.errors.append(
-                    IngestError(source, line_number, exc.reason, _snippet(line))
-                )
-            if mode == "quarantine":
-                rejects.append(line)
-            continue
-        report.parsed += 1
-        traces.append(trace)
+    with obs.span("ingest"):
+        for line_number, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if format == "text" and line.startswith("#"):
+                continue
+            try:
+                if format == "text":
+                    trace = parse_text_trace(line, line_number)
+                elif format == "jsonl":
+                    trace = parse_json_trace(line, line_number)
+                else:
+                    trace = _parse_atlas_line(line, line_number)
+                    if trace is None:
+                        report.skipped += 1
+                        continue
+            except TraceParseError as exc:
+                if mode == "strict":
+                    raise
+                report.malformed += 1
+                if len(report.errors) < MAX_DETAILED_ERRORS:
+                    report.errors.append(
+                        IngestError(source, line_number, exc.reason, _snippet(line))
+                    )
+                if mode == "quarantine":
+                    rejects.append(line)
+                continue
+            report.parsed += 1
+            traces.append(trace)
     # The budget is judged over the whole source, not incrementally:
     # corruption clusters (a damaged block early in a long file) must
     # not abort a load whose overall malformed fraction is acceptable.
@@ -155,6 +158,18 @@ def ingest_traces(
         report.quarantine_path = _write_quarantine(
             quarantine_dir, source, rejects, report.errors
         )
+    if obs.enabled:
+        obs.event(
+            "ingest.end",
+            source=source,
+            mode=mode,
+            parsed=report.parsed,
+            malformed=report.malformed,
+            skipped=report.skipped,
+        )
+        obs.inc("ingest.records.parsed", report.parsed)
+        obs.inc("ingest.records.malformed", report.malformed)
+        obs.inc("ingest.records.skipped", report.skipped)
     return traces, report
 
 
@@ -165,6 +180,7 @@ def ingest_trace_file(
     mode: str = "strict",
     budget: Optional[ErrorBudget] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
+    obs: Observability = NULL_OBS,
 ) -> Tuple[List[Trace], IngestReport]:
     """Ingest a trace file, inferring the format from its suffix.
 
@@ -192,4 +208,5 @@ def ingest_trace_file(
             mode=mode,
             budget=budget,
             quarantine_dir=quarantine_dir,
+            obs=obs,
         )

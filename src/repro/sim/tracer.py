@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.prefix import Prefix
 from repro.net.trie import PrefixTrie
+from repro.obs.observer import NULL_OBS, Observability
 from repro.sim.asgraph import Tier
 from repro.sim.network import EXTERNAL, IXP_LAN, MONITOR_LAN, Link, Network
 from repro.sim.routing import ASRoutes, IGP
@@ -67,11 +68,13 @@ class TracerouteEngine:
         as_routes: ASRoutes,
         igp: IGP,
         config: TracerConfig = TracerConfig(),
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.network = network
         self.as_routes = as_routes
         self.igp = igp
         self.config = config
+        self.obs = obs
         self._owner_trie = PrefixTrie()
         for prefix, asn in network.plan.all_prefixes():
             self._owner_trie.insert(prefix, asn)
@@ -383,6 +386,9 @@ class TracerouteEngine:
                 break
         while hops and hops[-1].address is None:
             hops.pop()
+        if self.obs.enabled:
+            self.obs.inc("sim.traces")
+            self.obs.inc("sim.hops", len(hops))
         return Trace(monitor_name, dst_address, tuple(hops), flow_id)
 
     def _full_path(

@@ -1,0 +1,74 @@
+"""docs/CLI.md must document every subcommand and flag the parser accepts.
+
+The test walks the real argparse tree, so adding a flag without
+documenting it (or renaming one and leaving the doc stale) fails CI.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "CLI.md"
+
+
+def _subparsers(parser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    return {}
+
+
+def _option_strings(parser):
+    options = set()
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--"):
+                options.add(option)
+    options.discard("--help")
+    return options
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    assert DOC.exists(), "docs/CLI.md is missing"
+    return DOC.read_text()
+
+
+def test_every_subcommand_documented(doc_text):
+    for name in _subparsers(build_parser()):
+        assert re.search(rf"\bmapit {name}\b", doc_text), (
+            f"subcommand {name!r} is not documented in docs/CLI.md"
+        )
+
+
+def test_every_flag_documented(doc_text):
+    missing = []
+    for name, subparser in _subparsers(build_parser()).items():
+        for option in _option_strings(subparser):
+            if f"`{option}" not in doc_text and f"{option} " not in doc_text:
+                missing.append(f"{name} {option}")
+    assert not missing, f"flags undocumented in docs/CLI.md: {sorted(missing)}"
+
+
+def test_exit_codes_documented(doc_text):
+    for code in ("0", "2", "3"):
+        assert re.search(rf"^\|?\s*`?{code}`?\s*\|", doc_text, re.M) or (
+            f"exit code {code}" in doc_text.lower()
+        ), f"exit code {code} not documented"
+
+
+def test_on_error_modes_documented(doc_text):
+    for mode in ("strict", "lenient", "quarantine"):
+        assert mode in doc_text
+
+
+def test_epilog_covers_exit_codes_and_on_error():
+    epilog = build_parser().epilog or ""
+    assert "exit codes" in epilog
+    assert "--on-error" in epilog
+    for mode in ("strict", "lenient", "quarantine"):
+        assert mode in epilog

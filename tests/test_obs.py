@@ -1,0 +1,367 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro import MapItConfig, run_mapit
+from repro.cli import main
+from repro.obs import (
+    NULL_OBS,
+    Metrics,
+    NullObservability,
+    NullTracer,
+    Observability,
+    TimerStats,
+    Tracer,
+    canonical_event,
+    encode_event,
+    read_trace,
+    summarize,
+)
+from repro.obs.inspect import convergence_rows, pass_table, rule_rows, slowest_spans
+from repro.obs.trace import iter_events
+from repro.sim.presets import small_scenario
+
+
+def _observed_run(scenario, profile=False, timestamps=False, metrics=True):
+    sink = io.StringIO()
+    obs = Observability(
+        tracer=Tracer(sink=sink, timestamps=timestamps),
+        metrics=Metrics() if metrics else None,
+        profile=profile,
+    )
+    result = run_mapit(
+        scenario.traces,
+        scenario.ip2as,
+        org=scenario.as2org,
+        rel=scenario.relationships,
+        config=MapItConfig(f=0.5),
+        obs=obs,
+    )
+    return result, obs, sink.getvalue()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return small_scenario(seed=3)
+
+
+@pytest.fixture(scope="module")
+def observed(scenario):
+    return _observed_run(scenario, profile=True)
+
+
+class TestTracer:
+    def test_ring_keeps_only_last_events(self):
+        tracer = Tracer(ring_size=4)
+        for i in range(10):
+            tracer.emit("tick", i=i)
+        assert len(tracer.events) == 4
+        assert [event["i"] for event in tracer.events] == [6, 7, 8, 9]
+
+    def test_seq_is_monotonic_and_global(self):
+        tracer = Tracer(ring_size=2)
+        for _ in range(5):
+            tracer.emit("tick")
+        assert tracer.seq == 5
+        assert [event["seq"] for event in tracer.events] == [3, 4]
+
+    def test_sink_gets_jsonl(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink, timestamps=False)
+        tracer.emit("a", x=1)
+        tracer.emit("b", y="z")
+        lines = sink.getvalue().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_timestamps_flag(self):
+        tracer = Tracer(timestamps=True)
+        tracer.emit("a")
+        assert "ts" in tracer.events[0]
+        tracer = Tracer(timestamps=False)
+        tracer.emit("a")
+        assert "ts" not in tracer.events[0]
+
+    def test_to_file_round_trips(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer.to_file(path, timestamps=False) as tracer:
+            tracer.emit("hello", n=3)
+        events = read_trace(path)
+        assert events == [{"seq": 0, "event": "hello", "n": 3}]
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(path)
+
+    def test_canonical_event_strips_volatile_keys(self):
+        event = {"seq": 1, "event": "span", "ts": 123.4, "dur_ms": 0.5, "name": "x"}
+        assert canonical_event(event) == {"seq": 1, "event": "span", "name": "x"}
+
+    def test_encode_event_is_stable(self):
+        assert encode_event({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_null_tracer(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        tracer.emit("ignored", x=1)
+        assert len(tracer.events) == 0
+        tracer.close()
+
+    def test_iter_events(self):
+        events = [{"event": "a"}, {"event": "b"}, {"event": "a"}]
+        assert len(list(iter_events(events, "a"))) == 2
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        metrics = Metrics()
+        metrics.inc("x")
+        metrics.inc("x", 2)
+        metrics.set_gauge("g", 1.5)
+        exported = metrics.to_dict()
+        assert exported["counters"]["x"] == 3
+        assert exported["gauges"]["g"] == 1.5
+
+    def test_timer_stats(self):
+        stats = TimerStats()
+        stats.observe(0.001)
+        stats.observe(0.003)
+        exported = stats.to_dict()
+        assert exported["count"] == 2
+        assert exported["max_ms"] >= exported["min_ms"] > 0
+
+    def test_write(self, tmp_path):
+        metrics = Metrics()
+        metrics.inc("n", 7)
+        path = tmp_path / "m.json"
+        metrics.write(path)
+        assert json.loads(path.read_text())["counters"]["n"] == 7
+
+    def test_slowest(self):
+        metrics = Metrics()
+        metrics.observe("span.fast", 0.001)
+        metrics.observe("span.slow", 0.1)
+        rows = metrics.slowest(top=2)
+        assert rows[0]["timer"] == "span.slow"
+
+
+class TestObservability:
+    def test_null_obs_is_disabled(self):
+        assert not NULL_OBS.enabled
+        assert isinstance(NULL_OBS, NullObservability)
+        with NULL_OBS.span("anything"):
+            pass
+        NULL_OBS.event("ignored")
+        NULL_OBS.inc("ignored")
+        NULL_OBS.gauge("ignored", 1.0)
+
+    def test_disabled_span_is_shared_singleton(self):
+        obs = Observability()
+        assert obs.span("a") is obs.span("b")
+
+    def test_span_records_timer(self):
+        obs = Observability(metrics=Metrics())
+        with obs.span("work"):
+            pass
+        assert "span.work" in obs.metrics.to_dict()["timers"]
+
+    def test_profile_emits_span_events(self, observed):
+        _, obs, _ = observed
+        spans = list(iter_events(list(obs.tracer.events), "span"))
+        assert spans
+        assert all("dur_ms" in event for event in spans)
+
+
+class TestObservedRun:
+    """Trace/metrics content of a real MAP-IT run."""
+
+    def test_null_path_results_identical(self, scenario, observed):
+        observed_result, _, _ = observed
+        plain = run_mapit(
+            scenario.traces,
+            scenario.ip2as,
+            org=scenario.as2org,
+            rel=scenario.relationships,
+            config=MapItConfig(f=0.5),
+        )
+        assert observed_result.to_json() == plain.to_json()
+
+    def test_trace_is_deterministic(self, scenario):
+        _, _, first = _observed_run(scenario, profile=False, metrics=False)
+        _, _, second = _observed_run(scenario, profile=False, metrics=False)
+        assert first == second  # byte-identical JSONL
+
+    def test_run_events_present(self, observed):
+        _, obs, _ = observed
+        names = {event["event"] for event in obs.tracer.events}
+        assert {
+            "run.start",
+            "run.end",
+            "iteration.start",
+            "iteration.end",
+            "add.pass.end",
+            "remove.pass.end",
+            "stub.end",
+            "inference.added",
+            "graph.built",
+        } <= names
+
+    def test_inference_events_carry_rule_and_evidence(self, observed):
+        _, obs, _ = observed
+        added = list(iter_events(list(obs.tracer.events), "inference.added"))
+        assert added
+        for event in added:
+            assert event["rule"] in (
+                "direct",
+                "propagate",
+                "stub",
+                "stub_propagate",
+            )
+            assert "address" in event and "forward" in event
+        direct = [event for event in added if event["rule"] == "direct"]
+        assert all(event["count"] <= event["total"] for event in direct)
+
+    def test_counters_match_trace(self, observed):
+        _, obs, _ = observed
+        events = list(obs.tracer.events)
+        counters = obs.metrics.to_dict()["counters"]
+        direct_added = sum(
+            1
+            for event in iter_events(events, "inference.added")
+            if event["rule"] == "direct"
+        )
+        assert counters["mapit.inference.direct_added"] == direct_added
+        assert counters["mapit.runs"] == 1
+
+    def test_run_end_matches_result(self, observed):
+        result, obs, _ = observed
+        run_end = next(iter_events(list(obs.tracer.events), "run.end"))
+        assert run_end["iterations"] == result.iterations
+        assert run_end["converged"] is True
+        assert run_end["uncertain"] == len(result.uncertain)
+
+
+class TestInspect:
+    def test_summarize_shapes(self, observed):
+        _, obs, _ = observed
+        summary = summarize(list(obs.tracer.events))
+        assert summary.events_total == len(obs.tracer.events)
+        assert summary.passes and summary.convergence and summary.rules
+        assert summary.spans  # profiled run
+        assert any("converged" in line for line in summary.header_lines())
+
+    def test_pass_table_stage_labels(self, observed):
+        _, obs, _ = observed
+        stages = [row["stage"] for row in pass_table(list(obs.tracer.events))]
+        assert stages[0] == "add 1.1"
+        assert stages[-1] == "stub"
+        assert any(stage.startswith("remove") for stage in stages)
+
+    def test_convergence_ends_repeated(self, observed):
+        _, obs, _ = observed
+        rows = convergence_rows(list(obs.tracer.events))
+        assert rows[-1]["state_repeated"] == "yes"
+        assert all(rows[i]["iteration"] == i + 1 for i in range(len(rows)))
+
+    def test_rule_rows_counts(self, observed):
+        _, obs, _ = observed
+        rows = rule_rows(list(obs.tracer.events))
+        assert {"action": "added", "rule": "direct"} == {
+            key: rows[0][key] for key in ("action", "rule")
+        }
+
+    def test_slowest_spans_ranked(self, observed):
+        _, obs, _ = observed
+        rows = slowest_spans(list(obs.tracer.events), top=3)
+        totals = [row["total_ms"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert len(rows) <= 3
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("obs-dataset")
+    assert main(["simulate", str(directory), "--seed", "3", "--scale", "small"]) == 0
+    return directory
+
+
+class TestCliObservability:
+    def test_run_writes_trace_and_metrics(self, dataset_dir, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "run",
+                str(dataset_dir),
+                "--output",
+                str(tmp_path / "out.txt"),
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(metrics),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        events = read_trace(trace)
+        names = {event["event"] for event in events}
+        assert {"ingest.end", "run.start", "run.end", "span"} <= names
+        exported = json.loads(metrics.read_text())
+        assert exported["counters"]["mapit.runs"] == 1
+        assert any(name.startswith("span.") for name in exported["timers"])
+
+    def test_cli_trace_deterministic(self, dataset_dir, tmp_path, capsys):
+        first = tmp_path / "t1.jsonl"
+        second = tmp_path / "t2.jsonl"
+        for path in (first, second):
+            args = ["run", str(dataset_dir), "--output", str(tmp_path / "o.txt")]
+            assert main(args + ["--trace", str(path)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_inspect_trace_output(self, dataset_dir, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(
+            [
+                "run",
+                str(dataset_dir),
+                "--output",
+                str(tmp_path / "o.txt"),
+                "--trace",
+                str(trace),
+                "--profile",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["inspect-trace", str(trace), "--rules", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "per-pass inference deltas:" in out
+        assert "convergence (live inferences per outer iteration):" in out
+        assert "rule census:" in out
+        assert "slowest spans" in out
+        assert "add 1.1" in out
+
+    def test_inspect_trace_missing_file(self, tmp_path, capsys):
+        assert main(["inspect-trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "fig7.jsonl"
+        code = main(
+            [
+                "experiment",
+                "fig7",
+                "--scale",
+                "small",
+                "--seed",
+                "3",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        events = read_trace(trace)
+        assert any(event["event"] == "checkpoint" for event in events)

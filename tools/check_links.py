@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Walks every ``*.md`` file in the repository (skipping dot-directories
+and virtualenv-style trees), extracts inline links and ``[[wiki]]``
+style references are left alone, and verifies that every relative link
+target exists on disk. External links (``http://``, ``https://``,
+``mailto:``) and pure fragments (``#section``) are not fetched or
+resolved. Exits non-zero listing every broken link.
+
+Usage: ``python tools/check_links.py [ROOT]`` (default: repo root).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", ".venv", "venv", "node_modules", "__pycache__", ".pytest_cache"}
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS or part.startswith(".") for part in path.parts[len(root.parts):-1]):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list:
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    targets = LINK.findall(text) + IMAGE.findall(text)
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if resolved.startswith("/"):
+            candidate = root / resolved.lstrip("/")
+        else:
+            candidate = path.parent / resolved
+        if not candidate.exists():
+            broken.append((path.relative_to(root), target))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    broken = []
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        for source, target in broken:
+            print(f"BROKEN: {source}: {target}")
+        print(f"{len(broken)} broken link(s) across {count} markdown file(s)")
+        return 1
+    print(f"ok: {count} markdown file(s), no broken intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
