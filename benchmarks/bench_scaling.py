@@ -1,11 +1,16 @@
 """Runtime scaling of the pipeline's hot components.
 
 Not a paper table — engineering benchmarks for the substrate: LPM trie
-lookups, trace sanitization, neighbor-set extraction, and the full
-MAP-IT loop at two scenario scales.
+lookups, trace sanitization, neighbor-set extraction, the full MAP-IT
+loop, and the ``repro.perf`` execution layer (worker sharding across
+``--jobs`` and the parsed-bundle cache) on the dense preset.
 """
 
+import os
 import random
+import time
+
+from conftest import PAPER_SEED, publish
 
 from repro import MapIt, MapItConfig
 from repro.graph.neighbors import build_interface_graph
@@ -64,3 +69,65 @@ def test_mapit_full_run(benchmark, paper_experiment):
 
     result = benchmark.pedantic(run, rounds=2, iterations=1)
     assert result.inferences
+
+
+def test_parallel_jobs_and_cache_sweep(tmp_path_factory):
+    """End-to-end sweep of the perf layer on the dense preset: worker
+    counts 1/2/4/8 and cache cold/warm, asserting every configuration
+    reproduces the serial result byte-for-byte and publishing the
+    timings (with the host's CPU count — speedups are physically capped
+    by it) to ``benchmarks/results/scaling_parallel.txt``."""
+    from repro.io import load_bundle, save_scenario
+    from repro.sim.presets import dense_scenario
+
+    root = save_scenario(
+        dense_scenario(seed=PAPER_SEED),
+        tmp_path_factory.mktemp("scaling-parallel") / "ds",
+    )
+    config = MapItConfig(f=0.5)
+    rows = []
+    baseline = None
+    base_total = None
+    for jobs in (1, 2, 4, 8):
+        start = time.perf_counter()
+        bundle = load_bundle(root, jobs=jobs)
+        loaded = time.perf_counter()
+        result = bundle.run_mapit(config, jobs=jobs)
+        done = time.perf_counter()
+        output = result.to_json()
+        if baseline is None:
+            baseline, base_total = output, done - start
+        else:
+            assert output == baseline, f"jobs={jobs} diverged from serial"
+        rows.append(
+            {
+                "config": f"jobs={jobs}",
+                "load_s": f"{loaded - start:.3f}",
+                "mapit_s": f"{done - loaded:.3f}",
+                "total_s": f"{done - start:.3f}",
+                "speedup": f"{base_total / (done - start):.2f}x",
+            }
+        )
+    cache = root.parent / "cache"
+    for label in ("cache cold", "cache warm"):
+        start = time.perf_counter()
+        bundle = load_bundle(root, cache=cache)
+        loaded = time.perf_counter()
+        result = bundle.run_mapit(config)
+        done = time.perf_counter()
+        assert result.to_json() == baseline, f"{label} diverged from serial"
+        rows.append(
+            {
+                "config": label,
+                "load_s": f"{loaded - start:.3f}",
+                "mapit_s": f"{done - loaded:.3f}",
+                "total_s": f"{done - start:.3f}",
+                "speedup": f"{base_total / (done - start):.2f}x",
+            }
+        )
+    publish(
+        "scaling_parallel",
+        f"Perf layer: --jobs and cache sweep, dense preset seed {PAPER_SEED} "
+        f"({len(bundle.traces)} traces, {os.cpu_count()} CPU(s) available)",
+        rows,
+    )

@@ -24,6 +24,7 @@ docs/OBSERVABILITY.md).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, Iterable, List, Optional
 
@@ -57,6 +58,13 @@ observability (run/evaluate/experiment):
                   timestamps); summarize with `mapit inspect-trace FILE`
   --metrics FILE  write the counters/gauges/timers registry as JSON
   --profile       add span timing events (dur_ms) to the trace
+
+performance (run/evaluate/explain/report; see docs/PERFORMANCE.md):
+  --jobs N        shard parsing and graph construction across N worker
+                  processes (default $MAPIT_JOBS or 1); results identical
+  --cache DIR     reuse parsed traces from DIR when the source file's
+                  sha256 matches (default $MAPIT_CACHE or off)
+  --no-cache      always parse from source
 """
 
 
@@ -132,6 +140,44 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("performance")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard trace parsing and graph construction across N worker "
+            "processes (results are identical; default $MAPIT_JOBS or 1)"
+        ),
+    )
+    group.add_argument(
+        "--cache",
+        metavar="DIR",
+        help=(
+            "cache parsed traces in DIR keyed by the traces file's sha256; "
+            "a verified hit skips parsing (default $MAPIT_CACHE or off)"
+        ),
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache and $MAPIT_CACHE; always parse from source",
+    )
+
+
+def _perf_settings(args):
+    """Resolve (jobs, cache_dir) from flags and environment defaults."""
+    from repro.perf.pool import default_jobs
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = None
+    if not args.no_cache:
+        cache = args.cache or os.environ.get("MAPIT_CACHE") or None
+    return max(1, jobs), cache
+
+
 def _build_obs(args):
     """An Observability handle for the parsed flags, or None when unused.
 
@@ -158,19 +204,22 @@ def _finish_obs(obs, args) -> None:
 
 
 def _load_bundle_checked(args, obs=None):
-    """Load the dataset under the CLI's robustness flags.
+    """Load the dataset under the CLI's robustness and perf flags.
 
     Prints the ingest health summary to stderr; returns None (caller
     exits with EXIT_BUDGET_EXCEEDED) when the error budget is blown.
     """
     from repro.obs import NULL_OBS
 
+    jobs, cache = _perf_settings(args)
     try:
         bundle = load_bundle(
             args.dataset,
             on_error=args.on_error,
             max_error_rate=args.max_error_rate,
             obs=obs if obs is not None else NULL_OBS,
+            jobs=jobs,
+            cache=cache,
         )
     except ErrorBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -241,7 +290,8 @@ def cmd_run(args) -> int:
         bundle = _load_bundle_checked(args, obs=obs)
         if bundle is None:
             return EXIT_BUDGET_EXCEEDED
-        result = bundle.run_mapit(_mapit_config(args), obs=obs)
+        jobs, _ = _perf_settings(args)
+        result = bundle.run_mapit(_mapit_config(args), obs=obs, jobs=jobs)
     finally:
         _finish_obs(obs, args)
     out = open(args.output, "w") if args.output else sys.stdout
@@ -283,7 +333,8 @@ def cmd_evaluate(args) -> int:
                 "dataset has no groundtruth.txt; nothing to evaluate", file=sys.stderr
             )
             return 2
-        result = bundle.run_mapit(_mapit_config(args), obs=obs)
+        jobs, _ = _perf_settings(args)
+        result = bundle.run_mapit(_mapit_config(args), obs=obs, jobs=jobs)
     finally:
         _finish_obs(obs, args)
     report = sanitize_traces(bundle.traces)
@@ -341,7 +392,8 @@ def cmd_report(args) -> int:
     bundle = _load_bundle_checked(args)
     if bundle is None:
         return EXIT_BUDGET_EXCEEDED
-    result = bundle.run_mapit(_mapit_config(args))
+    jobs, _ = _perf_settings(args)
+    result = bundle.run_mapit(_mapit_config(args), jobs=jobs)
     print(run_report(result, bundle.relationships, bundle.as2org))
     return 0
 
@@ -461,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mapit_options(run)
     _add_robust_options(run)
     _add_obs_options(run)
+    _add_perf_options(run)
     run.set_defaults(func=cmd_run)
 
     evaluate = sub.add_parser("evaluate", help="run and score against ground truth")
@@ -471,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mapit_options(evaluate)
     _add_robust_options(evaluate)
     _add_obs_options(evaluate)
+    _add_perf_options(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     explain = sub.add_parser("explain", help="explain one interface's inference")
@@ -478,12 +532,14 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("address", nargs="+", help="interface address(es)")
     _add_mapit_options(explain)
     _add_robust_options(explain)
+    _add_perf_options(explain)
     explain.set_defaults(func=cmd_explain)
 
     report = sub.add_parser("report", help="summarize a run over a dataset")
     report.add_argument("dataset", help="dataset directory")
     _add_mapit_options(report)
     _add_robust_options(report)
+    _add_perf_options(report)
     report.set_defaults(func=cmd_report)
 
     experiment = sub.add_parser(

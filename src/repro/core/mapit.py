@@ -220,13 +220,27 @@ def run_mapit(
     rel: Optional[RelationshipDataset] = None,
     config: Optional[MapItConfig] = None,
     obs: Optional[Observability] = None,
+    jobs: int = 1,
 ) -> MapItResult:
     """Sanitize *traces* (section 4.1), build the interface graph
     (sections 4.2–4.3), and run MAP-IT (Alg 1).
 
     *obs*, when given, receives structured trace events, metrics, and
     profiling spans for the whole pipeline (docs/OBSERVABILITY.md).
+
+    *jobs > 1* shards sanitization and graph construction across worker
+    processes (:mod:`repro.perf.graph`); the inference passes themselves
+    are serial either way, and the result is identical
+    (docs/PERFORMANCE.md).
     """
+    if jobs > 1:
+        from repro.obs.observer import NULL_OBS
+        from repro.perf.graph import build_graph_parallel
+
+        graph = build_graph_parallel(
+            list(traces), jobs, obs=obs if obs is not None else NULL_OBS
+        )
+        return MapIt(graph, ip2as, org=org, rel=rel, config=config, obs=obs).run()
     if obs is not None:
         with obs.span("sanitize"):
             report = sanitize_traces(traces)

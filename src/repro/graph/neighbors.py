@@ -90,6 +90,41 @@ class InterfaceGraph:
         return overlapping / len(addresses)
 
 
+def accumulate_neighbors(
+    traces: Iterable[Trace],
+    forward: Dict[int, Set[int]],
+    backward: Dict[int, Set[int]],
+    seen: Set[int],
+    is_special: Callable[[int], bool],
+) -> None:
+    """Fold *traces* into partial N_F/N_B tables and the seen-set.
+
+    This is the single accumulation kernel behind both the serial
+    :func:`build_interface_graph` and the sharded workers of
+    :mod:`repro.perf.graph`: one adjacency contributes one member
+    regardless of multiplicity, so partial tables built over disjoint
+    trace shards merge into exactly the serial result by set union.
+    """
+    for trace in traces:
+        previous: Optional[int] = None
+        for hop in trace.hops:
+            address = hop.address
+            if address is None:
+                previous = None
+                continue
+            if is_special(address):
+                # Private/shared addresses neither own neighbor sets nor
+                # appear inside them, but they still break adjacency: the
+                # public addresses either side of one are not neighbors.
+                previous = None
+                continue
+            seen.add(address)
+            if previous is not None:
+                forward.setdefault(previous, set()).add(address)
+                backward.setdefault(address, set()).add(previous)
+            previous = address
+
+
 def build_interface_graph(
     traces: Iterable[Trace],
     all_addresses: Optional[Iterable[int]] = None,
@@ -108,26 +143,26 @@ def build_interface_graph(
     forward, backward = graph.forward, graph.backward
     seen: Set[int] = set()
     with obs.span("neighbor_sets"):
-        for trace in traces:
-            previous: Optional[int] = None
-            for hop in trace.hops:
-                address = hop.address
-                if address is None:
-                    previous = None
-                    continue
-                if is_special(address):
-                    # Private/shared addresses neither own neighbor sets nor
-                    # appear inside them, but they still break adjacency: the
-                    # public addresses either side of one are not neighbors.
-                    previous = None
-                    continue
-                seen.add(address)
-                if previous is not None:
-                    forward.setdefault(previous, set()).add(address)
-                    backward.setdefault(address, set()).add(previous)
-                previous = address
+        accumulate_neighbors(traces, forward, backward, seen, is_special)
     universe = set(all_addresses) if all_addresses is not None else seen
     universe.update(seen)
+    return finish_interface_graph(graph, seen, universe, is_special, obs)
+
+
+def finish_interface_graph(
+    graph: InterfaceGraph,
+    seen: Set[int],
+    universe: Set[int],
+    is_special: Callable[[int], bool],
+    obs: Observability = NULL_OBS,
+) -> InterfaceGraph:
+    """Assign other sides and emit the graph-built observability.
+
+    Shared tail of graph construction: the serial builder and the
+    sharded merge of :mod:`repro.perf.graph` both end here, so the
+    ``graph.built`` event and gauges are byte-identical however the
+    neighbor tables were produced.
+    """
     with obs.span("other_sides"):
         graph.other_sides = infer_other_sides(
             address for address in universe if not is_special(address)
@@ -136,11 +171,11 @@ def build_interface_graph(
         obs.event(
             "graph.built",
             addresses=len(seen),
-            forward_sets=len(forward),
-            backward_sets=len(backward),
+            forward_sets=len(graph.forward),
+            backward_sets=len(graph.backward),
             universe=len(universe),
         )
         obs.gauge("graph.addresses", len(seen))
-        obs.gauge("graph.forward_sets", len(forward))
-        obs.gauge("graph.backward_sets", len(backward))
+        obs.gauge("graph.forward_sets", len(graph.forward))
+        obs.gauge("graph.backward_sets", len(graph.backward))
     return graph

@@ -68,6 +68,28 @@ def atomic_write_lines(path: Union[str, Path], lines: Iterable[str]) -> str:
     return digest.hexdigest()
 
 
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> str:
+    """Atomically write raw *data* to *path*; returns the content's sha256.
+
+    Used by the bundle cache (:mod:`repro.perf.cache`) whose entries
+    carry a binary payload: a reader either sees a complete entry or no
+    entry, never a torn one, so a crash mid-store can only cost a cache
+    miss, not serve corrupt traces.
+    """
+    path = Path(path)
+    temp = _temp_path(path)
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    except BaseException:
+        temp.unlink(missing_ok=True)
+        raise
+    return hashlib.sha256(data).hexdigest()
+
+
 def atomic_write_json(path: Union[str, Path], obj, indent: int = 2) -> str:
     """Atomically write *obj* as JSON; returns the content's sha256."""
     return atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")

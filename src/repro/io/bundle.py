@@ -29,7 +29,7 @@ from repro.ixp.dataset import IXPDataset
 from repro.obs.observer import NULL_OBS, Observability
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
-from repro.robust.errors import ErrorBudget
+from repro.robust.errors import ErrorBudget, IngestReport
 from repro.robust.health import BundleHealth
 from repro.robust.ingest import ingest_trace_file
 from repro.sim.groundtruth import GroundTruth
@@ -55,8 +55,12 @@ class InputBundle:
     manifest: Dict = field(default_factory=dict)
     health: BundleHealth = field(default_factory=BundleHealth)
 
-    def run_mapit(self, config=None, obs=None):
-        """Convenience: run MAP-IT over this bundle."""
+    def run_mapit(self, config=None, obs=None, jobs=1):
+        """Convenience: run MAP-IT over this bundle.
+
+        ``jobs > 1`` shards sanitization and graph construction across
+        worker processes (:mod:`repro.perf`); the result is identical.
+        """
         from repro import run_mapit
 
         return run_mapit(
@@ -66,6 +70,7 @@ class InputBundle:
             rel=self.relationships,
             config=config,
             obs=obs,
+            jobs=jobs,
         )
 
 
@@ -108,6 +113,69 @@ def _verify_checksums(root: Path, manifest: Dict, health: BundleHealth) -> None:
             health.checksum_failures.append(name)
 
 
+def _ingest_traces_cached(
+    traces_path: Path,
+    *,
+    mode: str,
+    budget,
+    quarantine_dir,
+    obs: Observability,
+    jobs: int,
+    cache: Optional[Union[str, Path]],
+):
+    """Ingest the traces file, via the cache and/or worker shards.
+
+    The cache key is the file's content sha256 (the digest the manifest
+    records), so a hit is provably the same bytes; only clean parses
+    are stored, so the mode-dependent error machinery always runs for
+    dirty files.  A hit emits the same ``ingest.end`` event and
+    ``ingest.records.*`` counters a clean parse would — cold and warm
+    runs produce byte-identical ``--trace`` output.
+    """
+    from repro.robust.ingest import finalize_ingest
+    from repro.traceroute.parse import trace_format_for_path
+
+    bundle_cache = None
+    source_sha = None
+    format = trace_format_for_path(traces_path.name)
+    if cache is not None:
+        from repro.perf.cache import BundleCache
+
+        bundle_cache = BundleCache(cache, obs=obs)
+        source_sha = file_sha256(traces_path)
+        hit = bundle_cache.load(source_sha, format)
+        if hit is not None:
+            traces, parsed, skipped = hit
+            report = IngestReport(
+                source=traces_path.name, mode=mode, parsed=parsed, skipped=skipped
+            )
+            with obs.span("ingest"):
+                pass
+            return traces, finalize_ingest(report, [], obs=obs)
+    if jobs > 1:
+        from repro.perf.ingest import ingest_trace_file_parallel
+
+        traces, report = ingest_trace_file_parallel(
+            traces_path,
+            jobs,
+            mode=mode,
+            budget=budget,
+            quarantine_dir=quarantine_dir,
+            obs=obs,
+        )
+    else:
+        traces, report = ingest_trace_file(
+            traces_path,
+            mode=mode,
+            budget=budget,
+            quarantine_dir=quarantine_dir,
+            obs=obs,
+        )
+    if bundle_cache is not None:
+        bundle_cache.store(source_sha, format, traces, report)
+    return traces, report
+
+
 def load_bundle(
     directory: Union[str, Path],
     *,
@@ -115,6 +183,8 @@ def load_bundle(
     max_error_rate: Optional[float] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
     obs: Observability = NULL_OBS,
+    jobs: int = 1,
+    cache: Optional[Union[str, Path]] = None,
 ) -> InputBundle:
     """Load a dataset directory (see :mod:`repro.io` for the layout).
 
@@ -128,6 +198,12 @@ def load_bundle(
     :class:`~repro.robust.errors.ErrorBudget` over the malformed
     fraction in the non-strict modes; *quarantine_dir* overrides the
     default ``<dataset>/quarantine/`` reject directory.
+
+    *jobs > 1* shards trace parsing across worker processes; *cache*
+    names a :class:`~repro.perf.cache.BundleCache` directory keyed by
+    the traces file's sha256 — a verified hit skips parsing entirely
+    (docs/PERFORMANCE.md).  Both are optimizations only: traces,
+    report, and observability events are identical either way.
     """
     root = Path(directory)
     health = BundleHealth()
@@ -143,12 +219,14 @@ def load_bundle(
         raise FileNotFoundError(f"no traces.txt or traces.jsonl in {root}")
     if on_error == "quarantine" and quarantine_dir is None:
         quarantine_dir = root / "quarantine"
-    traces, ingest_report = ingest_trace_file(
+    traces, ingest_report = _ingest_traces_cached(
         traces_path,
         mode=on_error,
         budget=budget,
         quarantine_dir=quarantine_dir,
         obs=obs,
+        jobs=jobs,
+        cache=cache,
     )
     health.ingest = ingest_report
     health.record(

@@ -1,0 +1,36 @@
+"""Parallel/sharded execution layer and the parsed-bundle cache.
+
+Everything in this package is an *optimization*, never a semantic
+change: the sharded ingester and graph builder produce byte-identical
+results to their serial twins (``tests/test_parallel_equivalence.py``
+holds them to it), and the cache only short-circuits parses it can
+prove — by checksum — would reproduce what is stored.  The serial path
+(``jobs=1``, no cache) never imports this package.
+
+Entry points:
+
+* :func:`repro.perf.pool.fork_map` / :func:`~repro.perf.pool.default_jobs`
+  — the fork-pool substrate (``MAPIT_JOBS`` sets the default);
+* :func:`repro.perf.ingest.ingest_trace_file_parallel` — sharded trace
+  parsing under the strict/lenient/quarantine policies;
+* :func:`repro.perf.graph.build_graph_parallel` — fused sharded
+  sanitize + neighbor-set construction;
+* :class:`repro.perf.cache.BundleCache` — the checksummed on-disk
+  parsed-trace cache.
+"""
+
+from repro.perf.cache import BundleCache, cache_key
+from repro.perf.graph import build_graph_parallel
+from repro.perf.ingest import ingest_trace_file_parallel, ingest_traces_parallel
+from repro.perf.pool import default_jobs, fork_map, shard_ranges
+
+__all__ = [
+    "BundleCache",
+    "cache_key",
+    "build_graph_parallel",
+    "ingest_trace_file_parallel",
+    "ingest_traces_parallel",
+    "default_jobs",
+    "fork_map",
+    "shard_ranges",
+]

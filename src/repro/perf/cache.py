@@ -1,0 +1,171 @@
+"""On-disk parsed-trace cache keyed by source-file checksums.
+
+Parsing dominates bundle load time, yet the traces file rarely changes
+between runs over the same dataset.  :class:`BundleCache` memoizes the
+*parsed* trace list on disk, keyed by the sha256 of the source file —
+the same digest :func:`repro.io.atomic.file_sha256` produces and the
+dataset manifest records as ``sha256:`` checksums — so a warm load
+skips parsing entirely and any edit to the traces file changes the key
+and misses.
+
+Entry layout (one file per source, named by the key digest)::
+
+    {"magic": ..., "version": 1, "format": ..., "source_sha256": ...,
+     "payload_sha256": ..., "parsed": N, "skipped": M}\\n
+    <pickle of compact trace tuples>
+
+Traces are stored as plain tuples ``(monitor, dst, hops, flow_id)``
+with ``hops`` a tuple of ``(address, quoted_ttl, rtt_ms)`` — pickling
+builtin containers is several times faster (and ~40% smaller) than
+pickling the frozen dataclasses, and it decouples the entry format
+from dataclass internals (a field reorder bumps CACHE_VERSION, not
+silently corrupts old entries).
+
+The JSON header line makes entries self-describing and carries the
+payload's own sha256; :meth:`BundleCache.load` verifies every header
+field *and* the payload digest before unpickling, so a truncated,
+corrupted, or stale entry is detected and treated as a miss (counted
+separately as ``perf.cache.invalid``) — never served.  Entries are
+written atomically, and only for *clean* parses (zero malformed
+records): a dirty source must re-parse every load so its policy side
+effects (error reports, quarantine files, budget checks) still happen.
+
+The payload is a pickle, so treat the cache directory with the same
+trust as the dataset itself — don't point ``--cache`` at a directory
+other users can write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.io.atomic import atomic_write_bytes
+from repro.obs.observer import NULL_OBS, Observability
+from repro.robust.errors import IngestReport
+from repro.traceroute.model import Hop, Trace
+
+MAGIC = "mapit-bundle-cache"
+
+#: bump when the entry layout or the compact tuple shape changes; old
+#: entries then key differently and simply miss
+CACHE_VERSION = 1
+
+
+def _pack(traces: List[Trace]) -> List[tuple]:
+    return [
+        (
+            trace.monitor,
+            trace.dst,
+            tuple((hop.address, hop.quoted_ttl, hop.rtt_ms) for hop in trace.hops),
+            trace.flow_id,
+        )
+        for trace in traces
+    ]
+
+
+def _unpack(packed: List[tuple]) -> List[Trace]:
+    return [
+        Trace(
+            monitor,
+            dst,
+            tuple(Hop(address, quoted, rtt) for address, quoted, rtt in hops),
+            flow_id,
+        )
+        for monitor, dst, hops, flow_id in packed
+    ]
+
+
+def cache_key(source_sha256: str, format: str) -> str:
+    """The entry digest for a source file's content hash and format."""
+    material = f"{MAGIC}\n{CACHE_VERSION}\n{format}\n{source_sha256}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class BundleCache:
+    """A directory of checksummed parsed-trace entries."""
+
+    def __init__(
+        self, directory: Union[str, Path], obs: Observability = NULL_OBS
+    ) -> None:
+        self.directory = Path(directory)
+        self.obs = obs
+
+    def entry_path(self, source_sha256: str, format: str) -> Path:
+        return self.directory / f"{cache_key(source_sha256, format)}.mapitc"
+
+    def load(
+        self, source_sha256: str, format: str
+    ) -> Optional[Tuple[List[Trace], int, int]]:
+        """Return ``(traces, parsed, skipped)`` on a verified hit.
+
+        Returns ``None`` on a miss *or* on an entry that fails
+        verification — the caller re-parses either way, and a corrupt
+        entry is overwritten by the subsequent store.
+        """
+        path = self.entry_path(source_sha256, format)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.obs.inc("perf.cache.misses")
+            return None
+        try:
+            split = data.index(b"\n")
+            header = json.loads(data[:split])
+            payload = data[split + 1 :]
+            if (
+                header.get("magic") != MAGIC
+                or header.get("version") != CACHE_VERSION
+                or header.get("format") != format
+                or header.get("source_sha256") != source_sha256
+                or header.get("payload_sha256")
+                != hashlib.sha256(payload).hexdigest()
+            ):
+                raise ValueError("cache entry failed verification")
+            packed = pickle.loads(payload)
+            parsed = header["parsed"]
+            skipped = header["skipped"]
+            if not isinstance(packed, list) or len(packed) != parsed:
+                raise ValueError("cache payload does not match its header")
+            traces = _unpack(packed)
+        except Exception:  # noqa: BLE001 - any damage is just a miss
+            self.obs.inc("perf.cache.invalid")
+            return None
+        self.obs.inc("perf.cache.hits")
+        return traces, parsed, skipped
+
+    def store(
+        self,
+        source_sha256: str,
+        format: str,
+        traces: List[Trace],
+        report: IngestReport,
+    ) -> bool:
+        """Write an entry for a *clean* parse; returns whether it stored.
+
+        Parses with malformed records are never cached: their traces
+        depend on the ingestion mode, and serving them from cache would
+        silently skip the error-budget and quarantine machinery.
+        """
+        if not report.ok:
+            return False
+        payload = pickle.dumps(_pack(traces), protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "magic": MAGIC,
+            "version": CACHE_VERSION,
+            "format": format,
+            "source_sha256": source_sha256,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "parsed": report.parsed,
+            "skipped": report.skipped,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            self.entry_path(source_sha256, format),
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + payload,
+        )
+        self.obs.inc("perf.cache.stores")
+        return True

@@ -1,0 +1,114 @@
+"""Sharded sanitize + neighbor-set construction.
+
+Trace shards are independent under both pipeline stages: sanitization
+(section 4.1) is per-trace, and the neighbor-set fold (section 4.3)
+records *membership*, not multiplicity — so a worker can fuse both
+stages over its shard and return partial N_F/N_B tables, and the parent
+merges them by set union.  Fusing matters: returning sanitized traces
+from workers would pickle the whole dataset back through the pool; the
+partial tables are far smaller.
+
+Determinism: set-union is commutative and associative, so the merged
+tables contain exactly the serial members for every address regardless
+of shard count; the merged dicts are rebuilt with sorted keys so even
+their iteration order is a pure function of the input.  (The inference
+engine is insensitive to neighbor-table iteration order — every
+result-affecting traversal sorts — but canonical order makes the
+parallel graph reproducible byte-for-byte on its own terms.)  The
+shared tail :func:`repro.graph.neighbors.finish_interface_graph`
+computes other-sides and emits the same ``graph.built`` observability
+as the serial builder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.neighbors import (
+    InterfaceGraph,
+    accumulate_neighbors,
+    finish_interface_graph,
+)
+from repro.net.special import default_special_registry
+from repro.obs.observer import NULL_OBS, Observability
+from repro.perf.pool import Shard, fork_map, shared_payload
+from repro.traceroute.model import Trace
+from repro.traceroute.sanitize import sanitize_traces
+
+#: what one worker returns: partial forward/backward tables, the seen
+#: (retained, non-special) set, the pre-sanitize address universe, and
+#: the shard's (retained, discarded, buggy_hops_removed) counts
+_ShardGraph = Tuple[
+    Dict[int, Set[int]],
+    Dict[int, Set[int]],
+    Set[int],
+    Set[int],
+    Tuple[int, int, int],
+]
+
+
+def _graph_shard(shard: Shard) -> _ShardGraph:
+    """Sanitize one trace shard and fold it into partial neighbor tables
+    (runs in a worker process)."""
+    traces: Sequence[Trace] = shared_payload()
+    start, end = shard
+    report = sanitize_traces(traces[start:end])
+    is_special = default_special_registry().is_special
+    forward: Dict[int, Set[int]] = {}
+    backward: Dict[int, Set[int]] = {}
+    seen: Set[int] = set()
+    accumulate_neighbors(report.traces, forward, backward, seen, is_special)
+    counts = (len(report.traces), report.discarded, report.buggy_hops_removed)
+    return forward, backward, seen, report.all_addresses, counts
+
+
+def _merge_tables(partials: List[Dict[int, Set[int]]]) -> Dict[int, Set[int]]:
+    """Union partial neighbor tables into one, with sorted-key order."""
+    merged: Dict[int, Set[int]] = {}
+    for partial in partials:
+        for address, members in partial.items():
+            existing = merged.get(address)
+            if existing is None:
+                merged[address] = members
+            else:
+                existing.update(members)
+    return {address: merged[address] for address in sorted(merged)}
+
+
+def build_graph_parallel(
+    traces: Sequence[Trace],
+    jobs: int,
+    obs: Observability = NULL_OBS,
+) -> InterfaceGraph:
+    """Sanitize *traces* and build the interface graph across *jobs*
+    workers.
+
+    Equivalent to ``sanitize_traces`` + ``build_interface_graph`` with
+    ``all_addresses=report.all_addresses``: same neighbor sets, same
+    other-side table, same ``graph.built`` event — the sharding is
+    invisible downstream.
+    """
+    traces = traces if isinstance(traces, (list, tuple)) else list(traces)
+    with obs.span("sanitize+neighbor_sets"):
+        results = fork_map(_graph_shard, traces, len(traces), jobs)
+    graph = InterfaceGraph(
+        forward=_merge_tables([r[0] for r in results]),
+        backward=_merge_tables([r[1] for r in results]),
+    )
+    seen: Set[int] = set()
+    universe: Set[int] = set()
+    retained = discarded = buggy = 0
+    for _, _, shard_seen, shard_all, counts in results:
+        seen.update(shard_seen)
+        universe.update(shard_all)
+        retained += counts[0]
+        discarded += counts[1]
+        buggy += counts[2]
+    universe.update(seen)
+    if obs.enabled:
+        obs.gauge("sanitize.retained", retained)
+        obs.gauge("sanitize.discarded", discarded)
+        obs.gauge("sanitize.buggy_hops_removed", buggy)
+    return finish_interface_graph(
+        graph, seen, universe, default_special_registry().is_special, obs
+    )

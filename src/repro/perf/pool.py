@@ -1,0 +1,93 @@
+"""Fork-pool substrate for the sharded execution layer.
+
+The hot inputs (the raw trace lines, the parsed trace list) are large;
+pickling them to every worker would eat the parallel win.  Instead the
+parent stashes the shared payload in a module global immediately before
+creating a ``fork`` pool — forked children inherit the parent's address
+space copy-on-write, so workers receive only ``(start, end)`` index
+ranges and read the payload for free via :func:`shared_payload`.  Only
+the (much smaller) per-shard results are pickled back.
+
+When jobs <= 1, the item list is empty, or the platform has no ``fork``
+start method, :func:`fork_map` degrades to running the worker inline in
+the parent — the degraded path is bit-for-bit the parallel path minus
+the processes, so callers never branch on platform.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: shard index range: [start, end) over the shared payload's items
+Shard = Tuple[int, int]
+
+_PAYLOAD: Any = None
+
+
+def shared_payload() -> Any:
+    """The parent's payload, as inherited by a forked worker."""
+    return _PAYLOAD
+
+
+def default_jobs() -> int:
+    """The worker count used when a caller does not pass one.
+
+    Reads ``MAPIT_JOBS`` (the CI matrix and batch jobs set it) and
+    falls back to 1 — the serial path stays the default everywhere.
+    """
+    try:
+        return max(1, int(os.environ.get("MAPIT_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def shard_ranges(count: int, shards: int) -> List[Shard]:
+    """Split ``range(count)`` into at most *shards* contiguous ranges.
+
+    Ranges are returned in order and cover every index exactly once, so
+    an order-preserving concatenation of per-shard results equals the
+    serial result.  Sizes differ by at most one.
+    """
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    ranges: List[Shard] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fork_map(
+    worker: Callable[[Shard], Any],
+    payload: Any,
+    count: int,
+    jobs: int,
+    shards: Optional[Sequence[Shard]] = None,
+) -> List[Any]:
+    """Run *worker* over index shards of *payload*, in processes.
+
+    *worker* must be a module-level function (pickled by reference)
+    that reads the payload through :func:`shared_payload`.  Results
+    come back in shard order.  With ``jobs <= 1`` — or without fork
+    support — the shards run inline in the parent.
+    """
+    global _PAYLOAD
+    ranges = list(shards) if shards is not None else shard_ranges(count, jobs)
+    _PAYLOAD = payload
+    try:
+        if jobs <= 1 or count == 0 or len(ranges) <= 1 or not fork_available():
+            return [worker(shard) for shard in ranges]
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(jobs, len(ranges))) as pool:
+            return pool.map(worker, ranges)
+    finally:
+        _PAYLOAD = None

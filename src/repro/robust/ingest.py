@@ -43,6 +43,7 @@ from repro.traceroute.parse import (
     TraceParseError,
     parse_json_trace,
     parse_text_trace,
+    trace_format_for_path,
 )
 
 MODES = ("strict", "lenient", "quarantine")
@@ -97,6 +98,58 @@ def _parse_atlas_line(line: str, line_number: int) -> Optional[Trace]:
     return parse_atlas_measurement(record)
 
 
+def parse_record(line: str, line_number: int, format: str) -> Optional[Trace]:
+    """Parse one stripped, non-blank record of any supported format.
+
+    Returns ``None`` for records the format says to skip silently
+    (Atlas IPv6 / no-result measurements); raises
+    :class:`~repro.traceroute.parse.TraceParseError` for malformed
+    input.  This is the single per-record entry point shared by the
+    serial ingester and the sharded parallel workers, so both reject
+    exactly the same lines for exactly the same reasons.
+    """
+    if format == "text":
+        return parse_text_trace(line, line_number)
+    if format == "jsonl":
+        return parse_json_trace(line, line_number)
+    return _parse_atlas_line(line, line_number)
+
+
+def finalize_ingest(
+    report: IngestReport,
+    rejects: List[str],
+    *,
+    budget: Optional[ErrorBudget] = None,
+    quarantine_dir: Optional[Union[str, Path]] = None,
+    obs: Observability = NULL_OBS,
+) -> IngestReport:
+    """Post-parse policy shared by the serial and parallel ingesters:
+    judge the error budget over the whole source, write the quarantine
+    files, and emit the ingest observability events/counters."""
+    # The budget is judged over the whole source, not incrementally:
+    # corruption clusters (a damaged block early in a long file) must
+    # not abort a load whose overall malformed fraction is acceptable.
+    if budget is not None and report.mode != "strict":
+        budget.check(report.source, report.malformed, report.total)
+    if report.mode == "quarantine" and rejects:
+        report.quarantine_path = _write_quarantine(
+            quarantine_dir, report.source, rejects, report.errors
+        )
+    if obs.enabled:
+        obs.event(
+            "ingest.end",
+            source=report.source,
+            mode=report.mode,
+            parsed=report.parsed,
+            malformed=report.malformed,
+            skipped=report.skipped,
+        )
+        obs.inc("ingest.records.parsed", report.parsed)
+        obs.inc("ingest.records.malformed", report.malformed)
+        obs.inc("ingest.records.skipped", report.skipped)
+    return report
+
+
 def ingest_traces(
     lines: Iterable[str],
     *,
@@ -127,15 +180,10 @@ def ingest_traces(
             if format == "text" and line.startswith("#"):
                 continue
             try:
-                if format == "text":
-                    trace = parse_text_trace(line, line_number)
-                elif format == "jsonl":
-                    trace = parse_json_trace(line, line_number)
-                else:
-                    trace = _parse_atlas_line(line, line_number)
-                    if trace is None:
-                        report.skipped += 1
-                        continue
+                trace = parse_record(line, line_number, format)
+                if trace is None:
+                    report.skipped += 1
+                    continue
             except TraceParseError as exc:
                 if mode == "strict":
                     raise
@@ -149,27 +197,9 @@ def ingest_traces(
                 continue
             report.parsed += 1
             traces.append(trace)
-    # The budget is judged over the whole source, not incrementally:
-    # corruption clusters (a damaged block early in a long file) must
-    # not abort a load whose overall malformed fraction is acceptable.
-    if budget is not None and mode != "strict":
-        budget.check(source, report.malformed, report.total)
-    if mode == "quarantine" and rejects:
-        report.quarantine_path = _write_quarantine(
-            quarantine_dir, source, rejects, report.errors
-        )
-    if obs.enabled:
-        obs.event(
-            "ingest.end",
-            source=source,
-            mode=mode,
-            parsed=report.parsed,
-            malformed=report.malformed,
-            skipped=report.skipped,
-        )
-        obs.inc("ingest.records.parsed", report.parsed)
-        obs.inc("ingest.records.malformed", report.malformed)
-        obs.inc("ingest.records.skipped", report.skipped)
+    finalize_ingest(
+        report, rejects, budget=budget, quarantine_dir=quarantine_dir, obs=obs
+    )
     return traces, report
 
 
@@ -191,13 +221,7 @@ def ingest_trace_file(
     """
     path = Path(path)
     if format is None:
-        name = path.name
-        if name.endswith(".jsonl"):
-            format = "jsonl"
-        elif ".atlas" in name:
-            format = "atlas"
-        else:
-            format = "text"
+        format = trace_format_for_path(path.name)
     if mode == "quarantine" and quarantine_dir is None:
         quarantine_dir = path.parent / "quarantine"
     with open(path, errors="replace") as handle:

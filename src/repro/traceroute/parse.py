@@ -208,3 +208,18 @@ def parse_json_traces(lines: Iterable[str]) -> Iterator[Trace]:
         if not line:
             continue
         yield parse_json_trace(line, line_number)
+
+
+def trace_format_for_path(name: str) -> str:
+    """Infer the trace format from a file name.
+
+    ``*.jsonl`` is the scamper-like JSON-lines format, ``*.atlas`` /
+    ``*.atlas.json`` the RIPE Atlas format, anything else the compact
+    text format.  Shared by the serial ingester, the sharded parallel
+    ingester, and the bundle cache so all three agree on the key.
+    """
+    if name.endswith(".jsonl"):
+        return "jsonl"
+    if ".atlas" in name:
+        return "atlas"
+    return "text"

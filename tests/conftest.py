@@ -1,21 +1,62 @@
-"""Shared fixtures: a small deterministic scenario and the paper's
-worked examples (Fig 2/3 neighborhood of Internet2)."""
+"""Shared fixtures: a small deterministic scenario, an on-disk bundle
+factory, and the paper's worked examples (Fig 2/3 neighborhood of
+Internet2)."""
 
 from __future__ import annotations
+
+import shutil
 
 import pytest
 
 from repro.bgp.ip2as import IP2AS
 from repro.eval.experiment import Experiment, prepare_experiment
-from repro.sim.presets import small_scenario
-from repro.sim.scenario import Scenario
+from repro.sim.presets import dense_config, paper_config, small_config, small_scenario
+from repro.sim.scenario import Scenario, build_scenario
 from repro.traceroute.parse import parse_text_traces
+
+_PRESET_CONFIGS = {"small": small_config, "paper": paper_config, "dense": dense_config}
 
 
 @pytest.fixture(scope="session")
 def scenario() -> Scenario:
     """One small synthetic world shared by integration-style tests."""
     return small_scenario(seed=42)
+
+
+@pytest.fixture(scope="session")
+def tmp_bundle(tmp_path_factory):
+    """Factory for on-disk dataset bundles: ``tmp_bundle(seed=3)``.
+
+    Builds what ``mapit simulate`` would write (scenario + hostnames +
+    manifest) and memoizes it per ``(seed, scale, hostnames)`` for the
+    whole session — simulation dominates the cost, so tests needing the
+    same dataset share one build.  Tests that *mutate* the dataset must
+    pass ``copy=True`` to get a private copy of the cached original.
+    """
+    built = {}
+
+    def factory(seed=3, scale="small", hostnames=True, copy=False):
+        key = (seed, scale, hostnames)
+        if key not in built:
+            from repro.io import save_scenario
+
+            scn = build_scenario(_PRESET_CONFIGS[scale](seed))
+            names = None
+            if hostnames:
+                from repro.dns.naming import generate_hostnames
+
+                names = generate_hostnames(
+                    scn.network, scn.ground_truth, scn.tier1_asns[:2], seed=seed
+                )
+            root = tmp_path_factory.mktemp(f"bundle-{scale}-{seed}") / "ds"
+            built[key] = save_scenario(scn, root, hostnames=names)
+        if copy:
+            dest = tmp_path_factory.mktemp("bundle-copy") / "ds"
+            shutil.copytree(built[key], dest)
+            return dest
+        return built[key]
+
+    return factory
 
 
 @pytest.fixture(scope="session")

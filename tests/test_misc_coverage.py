@@ -88,12 +88,10 @@ class TestAtlasDefaults:
 
 
 class TestCliRemoveRule:
-    def test_add_rule_flag(self, tmp_path, capsys):
+    def test_add_rule_flag(self, tmp_bundle, capsys):
         from repro.cli import main
 
-        directory = tmp_path / "ds"
-        assert main(["simulate", str(directory), "--seed", "4", "--no-hostnames"]) == 0
-        capsys.readouterr()
+        directory = tmp_bundle(seed=4, hostnames=False)
         assert main(["run", str(directory), "--remove-rule", "add_rule"]) == 0
         captured = capsys.readouterr()
         assert "<->" in captured.out

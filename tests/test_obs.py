@@ -282,11 +282,9 @@ class TestInspect:
         assert len(rows) <= 3
 
 
-@pytest.fixture(scope="module")
-def dataset_dir(tmp_path_factory):
-    directory = tmp_path_factory.mktemp("obs-dataset")
-    assert main(["simulate", str(directory), "--seed", "3", "--scale", "small"]) == 0
-    return directory
+@pytest.fixture()
+def dataset_dir(tmp_bundle):
+    return tmp_bundle(seed=3)
 
 
 class TestCliObservability:

@@ -1,0 +1,245 @@
+"""Differential tests for the parallel/cached execution layer.
+
+The contract of :mod:`repro.perf` is *byte-identity*: any worker count
+and any cache state must produce exactly the serial pipeline's outputs
+— inference files, trace JSONL, reports, and exceptions.  These tests
+hold it to that, and prove a corrupted cache entry is detected and
+rebuilt rather than served.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.cache import BundleCache
+from repro.perf.ingest import ingest_traces_parallel
+from repro.perf.pool import shard_ranges
+from repro.robust.errors import MAX_DETAILED_ERRORS, ErrorBudget, ErrorBudgetExceeded
+from repro.robust.ingest import ingest_traces
+from repro.traceroute.parse import TraceParseError
+
+GOOD = [
+    "m1|9.1.0.9|9.0.0.1 9.1.0.1",
+    "m1|9.1.0.9|9.0.0.1 * 9.1.0.2@0",
+    "m2|9.1.0.9|9.0.0.2 9.1.0.1",
+]
+
+
+class TestShardRanges:
+    def test_covers_every_index_once(self):
+        for count in (0, 1, 5, 16, 97):
+            for shards in (1, 2, 3, 8, 200):
+                ranges = shard_ranges(count, shards)
+                flat = [i for start, end in ranges for i in range(start, end)]
+                assert flat == list(range(count))
+
+    def test_balanced(self):
+        sizes = [end - start for start, end in shard_ranges(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestIngestEquivalence:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["lenient", "quarantine"])
+    def test_modes_match_serial(self, jobs, mode, tmp_path):
+        lines = (GOOD + ["garbage", "", "# note", "m|300.0.0.1|x"]) * 7
+        kwargs = dict(format="text", source="traces.txt")
+        serial_traces, serial_report = ingest_traces(
+            lines, mode=mode, quarantine_dir=tmp_path / "qs", **kwargs
+        )
+        traces, report = ingest_traces_parallel(
+            lines, jobs, mode=mode, quarantine_dir=tmp_path / "qp", **kwargs
+        )
+        assert traces == serial_traces
+        assert report.parsed == serial_report.parsed
+        assert report.malformed == serial_report.malformed
+        assert report.skipped == serial_report.skipped
+        assert report.errors == serial_report.errors
+        if mode == "quarantine":
+            serial_rejects = (tmp_path / "qs" / "traces.txt.rejects.txt").read_bytes()
+            rejects = (tmp_path / "qp" / "traces.txt.rejects.txt").read_bytes()
+            assert rejects == serial_rejects
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_strict_raises_earliest_line(self, jobs):
+        lines = GOOD + ["bad one"] + GOOD + ["bad two"]
+        with pytest.raises(TraceParseError) as serial:
+            ingest_traces(lines, mode="strict")
+        with pytest.raises(TraceParseError) as parallel:
+            ingest_traces_parallel(lines, jobs, mode="strict")
+        assert parallel.value.line_number == serial.value.line_number == 4
+        assert parallel.value.reason == serial.value.reason
+
+    def test_error_budget_applies(self):
+        lines = (GOOD * 10) + ["junk"] * 10
+        with pytest.raises(ErrorBudgetExceeded):
+            ingest_traces_parallel(lines, 4, mode="lenient", budget=ErrorBudget(0.1))
+
+    def test_detailed_error_cap_matches_serial(self):
+        lines = ["junk %d" % i for i in range(MAX_DETAILED_ERRORS + 50)]
+        _, serial_report = ingest_traces(lines, mode="lenient")
+        _, report = ingest_traces_parallel(lines, 4, mode="lenient")
+        assert report.malformed == serial_report.malformed
+        assert report.errors == serial_report.errors
+        assert len(report.errors) == MAX_DETAILED_ERRORS
+
+
+@pytest.fixture()
+def dataset(tmp_bundle):
+    return tmp_bundle(seed=3)
+
+
+def _run(dataset, out, trace, *extra):
+    args = ["run", str(dataset), "--json", "--output", str(out), "--trace", str(trace)]
+    assert main(list(args) + list(extra)) == 0
+
+
+class TestCliJobsEquivalence:
+    def test_jobs_byte_identical(self, dataset, tmp_path, capsys):
+        outputs = {}
+        for jobs in (1, 2, 4):
+            out = tmp_path / f"out{jobs}.json"
+            trace = tmp_path / f"trace{jobs}.jsonl"
+            _run(dataset, out, trace, "--jobs", str(jobs))
+            outputs[jobs] = (out.read_bytes(), trace.read_bytes())
+        assert outputs[2] == outputs[1]
+        assert outputs[4] == outputs[1]
+
+
+class TestCacheEquivalence:
+    def test_cold_then_warm_byte_identical(self, dataset, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cold_out, cold_trace = tmp_path / "c.json", tmp_path / "c.jsonl"
+        warm_out, warm_trace = tmp_path / "w.json", tmp_path / "w.jsonl"
+        plain_out, plain_trace = tmp_path / "p.json", tmp_path / "p.jsonl"
+        _run(dataset, plain_out, plain_trace, "--no-cache")
+        _run(dataset, cold_out, cold_trace, "--cache", str(cache))
+        metrics = tmp_path / "m.json"
+        _run(dataset, warm_out, warm_trace, "--cache", str(cache), "--metrics", str(metrics))
+        assert cold_out.read_bytes() == plain_out.read_bytes()
+        assert warm_out.read_bytes() == plain_out.read_bytes()
+        # the trace JSONL is part of the contract: a cache hit emits the
+        # same ingest events/counters a clean parse does
+        assert cold_trace.read_bytes() == plain_trace.read_bytes()
+        assert warm_trace.read_bytes() == plain_trace.read_bytes()
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["perf.cache.hits"] == 1
+        assert counters["ingest.records.parsed"] > 0
+
+    def test_corrupt_entry_detected_and_rebuilt(self, dataset, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        _run(dataset, tmp_path / "cold.json", tmp_path / "cold.jsonl", "--cache", str(cache))
+        entries = list(cache.glob("*.mapitc"))
+        assert len(entries) == 1
+        # flip one payload byte
+        data = bytearray(entries[0].read_bytes())
+        data[-1] ^= 0xFF
+        entries[0].write_bytes(bytes(data))
+        metrics = tmp_path / "m1.json"
+        _run(
+            dataset,
+            tmp_path / "re.json",
+            tmp_path / "re.jsonl",
+            "--cache",
+            str(cache),
+            "--metrics",
+            str(metrics),
+        )
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["perf.cache.invalid"] == 1
+        assert "perf.cache.hits" not in counters
+        assert (tmp_path / "re.json").read_bytes() == (
+            tmp_path / "cold.json"
+        ).read_bytes()
+        # the corrupt entry was overwritten by a good one: next run hits
+        metrics2 = tmp_path / "m2.json"
+        _run(
+            dataset,
+            tmp_path / "hit.json",
+            tmp_path / "hit.jsonl",
+            "--cache",
+            str(cache),
+            "--metrics",
+            str(metrics2),
+        )
+        assert json.loads(metrics2.read_text())["counters"]["perf.cache.hits"] == 1
+
+    def test_changed_source_misses(self, tmp_bundle, tmp_path, capsys):
+        dataset = tmp_bundle(seed=3, copy=True)
+        cache = tmp_path / "cache"
+        _run(dataset, tmp_path / "a.json", tmp_path / "a.jsonl", "--cache", str(cache))
+        with open(dataset / "traces.txt", "a") as handle:
+            handle.write("m9|9.1.0.9|9.0.0.1 9.1.0.1\n")
+        metrics = tmp_path / "m.json"
+        _run(
+            dataset,
+            tmp_path / "b.json",
+            tmp_path / "b.jsonl",
+            "--cache",
+            str(cache),
+            "--metrics",
+            str(metrics),
+        )
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["perf.cache.misses"] == 1
+        assert len(list(cache.glob("*.mapitc"))) == 2
+
+    def test_dirty_parse_not_cached(self, tmp_bundle, tmp_path, capsys):
+        dataset = tmp_bundle(seed=3, copy=True)
+        with open(dataset / "traces.txt", "a") as handle:
+            handle.write("garbage line\n")
+        cache = tmp_path / "cache"
+        args = [
+            "run",
+            str(dataset),
+            "--json",
+            "--output",
+            str(tmp_path / "o.json"),
+            "--on-error",
+            "lenient",
+            "--cache",
+            str(cache),
+        ]
+        assert main(args) == 0
+        assert list(cache.glob("*.mapitc")) == []
+
+
+class TestBundleCacheUnit:
+    def test_load_missing_is_miss(self, tmp_path):
+        assert BundleCache(tmp_path).load("0" * 64, "text") is None
+
+    def test_round_trip(self, tmp_path):
+        from repro.robust.errors import IngestReport
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        report = IngestReport(source="traces.txt", parsed=len(traces))
+        cache = BundleCache(tmp_path)
+        assert cache.store("a" * 64, "text", traces, report)
+        assert cache.load("a" * 64, "text") == (traces, len(traces), 0)
+        assert cache.load("b" * 64, "text") is None  # different source
+        assert cache.load("a" * 64, "jsonl") is None  # different format
+
+    def test_dirty_report_refused(self, tmp_path):
+        from repro.robust.errors import IngestReport
+
+        report = IngestReport(source="traces.txt", parsed=1, malformed=2)
+        assert not BundleCache(tmp_path).store("a" * 64, "text", [], report)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_header_tamper_is_invalid(self, tmp_path):
+        from repro.robust.errors import IngestReport
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        report = IngestReport(source="traces.txt", parsed=len(traces))
+        cache = BundleCache(tmp_path)
+        cache.store("a" * 64, "text", traces, report)
+        path = cache.entry_path("a" * 64, "text")
+        raw = path.read_bytes()
+        header, _, payload = raw.partition(b"\n")
+        doctored = json.loads(header)
+        doctored["parsed"] = 999
+        path.write_bytes(json.dumps(doctored).encode() + b"\n" + payload)
+        assert cache.load("a" * 64, "text") is None

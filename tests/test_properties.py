@@ -1,14 +1,24 @@
-"""Property-based tests (hypothesis) on core data structures and
-algorithm invariants."""
+"""Property-based tests on core data structures and algorithm
+invariants: hypothesis strategies for the structured generators, plus
+seeded stdlib-``random`` fuzzers for the raw string parsers (no extra
+dependency, fully reproducible from the hard-coded seeds)."""
 
 import random
+import string
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph.neighbors import build_interface_graph
 from repro.graph.othersides import infer_other_sides
-from repro.net.ipv4 import MAX_ADDRESS, format_address, parse_address
+from repro.net.ipv4 import (
+    MAX_ADDRESS,
+    AddressError,
+    format_address,
+    is_valid_address,
+    parse_address,
+)
 from repro.net.prefix import (
     Prefix,
     host_addresses,
@@ -19,7 +29,10 @@ from repro.net.prefix import (
 from repro.net.trie import PrefixTrie
 from repro.traceroute.model import Hop, Trace
 from repro.traceroute.parse import (
+    TraceParseError,
+    parse_json_trace,
     parse_json_traces,
+    parse_text_trace,
     parse_text_traces,
     traces_to_json_lines,
     traces_to_text_lines,
@@ -219,6 +232,142 @@ class TestParseProperties:
             assert [h.address for h in original.hops] == [
                 h.address for h in back.hops
             ]
+
+
+def _mutate_line(rng, line):
+    """One random edit: delete, insert, replace, splice, or truncate."""
+    kind = rng.randrange(5)
+    if not line or kind == 4:
+        return line[: rng.randrange(len(line) + 1)]
+    position = rng.randrange(len(line))
+    junk = rng.choice(string.printable.strip() + "|@*. ")
+    if kind == 0:
+        return line[:position] + line[position + 1 :]
+    if kind == 1:
+        return line[:position] + junk + line[position:]
+    if kind == 2:
+        return line[:position] + junk + line[position + 1 :]
+    return line[:position] + line[: rng.randrange(len(line) + 1)]
+
+
+class TestSeededAddressFuzz:
+    """Stdlib-``random`` fuzzers for the dotted-quad parser: any string
+    either parses (and then round-trips) or raises AddressError —
+    nothing else escapes, under fixed seeds."""
+
+    def test_octet_shaped_garbage(self):
+        rng = random.Random(0xA11C)
+        pieces = ["0", "1", "9", "10", "99", "255", "256", "999", "00", "01",
+                  "-1", "+1", "1e1", " 1", "1 ", "", "x", "³", "0x10"]
+        for _ in range(3000):
+            text = ".".join(rng.choice(pieces) for _ in range(rng.randrange(1, 6)))
+            try:
+                value = parse_address(text)
+            except AddressError:
+                assert not is_valid_address(text)
+                continue
+            assert 0 <= value <= MAX_ADDRESS
+            canonical = format_address(value)
+            assert parse_address(canonical) == value
+
+    def test_printable_garbage_only_raises_address_error(self):
+        rng = random.Random(0xF00D)
+        alphabet = string.printable
+        for _ in range(2000):
+            text = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 24))
+            )
+            if is_valid_address(text):
+                assert format_address(parse_address(text)).count(".") == 3
+            else:
+                with pytest.raises(AddressError):
+                    parse_address(text)
+
+    def test_mutated_valid_addresses(self):
+        rng = random.Random(0xCAFE)
+        for _ in range(2000):
+            address = rng.randrange(MAX_ADDRESS + 1)
+            text = _mutate_line(rng, format_address(address))
+            try:
+                parse_address(text)
+            except AddressError:
+                pass  # the only acceptable failure mode
+
+
+class TestSeededTraceLineFuzz:
+    """Mutation fuzzers for the trace-record parsers: a damaged line
+    either still parses or raises TraceParseError (a ValueError) with
+    the caller's line number attached — never any other exception."""
+
+    def _valid_text_lines(self, rng, count):
+        lines = []
+        for _ in range(count):
+            hops = []
+            for _ in range(rng.randrange(1, 6)):
+                if rng.random() < 0.2:
+                    hops.append("*")
+                else:
+                    addr = format_address(rng.randrange(1 << 24, 99 << 24))
+                    if rng.random() < 0.3:
+                        addr += f"@{rng.randrange(0, 4)}"
+                    hops.append(addr)
+            dst = format_address(rng.randrange(1 << 24, 99 << 24))
+            lines.append(f"m{rng.randrange(4)}|{dst}|{' '.join(hops)}")
+        return lines
+
+    def test_mutated_text_lines(self):
+        rng = random.Random(0xBEEF)
+        for line in self._valid_text_lines(rng, 600):
+            damaged = _mutate_line(rng, line)
+            if not damaged.strip() or damaged.lstrip().startswith("#"):
+                continue
+            try:
+                trace = parse_text_trace(damaged, line_number=11)
+            except TraceParseError as exc:
+                assert exc.line_number == 11
+                assert isinstance(exc, ValueError)
+            else:
+                assert trace.hops is not None
+
+    def test_mutated_json_lines(self):
+        rng = random.Random(0xD00D)
+        source = list(
+            traces_to_json_lines(
+                parse_text_traces(self._valid_text_lines(rng, 300))
+            )
+        )
+        for line in source:
+            damaged = _mutate_line(rng, line)
+            if not damaged.strip():
+                continue
+            try:
+                parse_json_trace(damaged, line_number=7)
+            except TraceParseError as exc:
+                assert exc.line_number == 7
+
+    def test_lenient_ingest_accounts_for_every_record(self):
+        """Over a fuzzed corpus, lenient ingest never raises and its
+        counts partition the non-blank, non-comment lines exactly —
+        under the serial and the sharded ingester alike."""
+        from repro.perf.ingest import ingest_traces_parallel
+        from repro.robust.ingest import ingest_traces
+
+        rng = random.Random(0x5EED)
+        lines = []
+        for line in self._valid_text_lines(rng, 400):
+            lines.append(_mutate_line(rng, line) if rng.random() < 0.5 else line)
+        records = sum(
+            1 for line in lines if line.strip() and not line.strip().startswith("#")
+        )
+        traces, report = ingest_traces(lines, mode="lenient")
+        assert report.parsed + report.malformed == records
+        assert report.parsed == len(traces)
+        par_traces, par_report = ingest_traces_parallel(lines, 4, mode="lenient")
+        assert par_traces == traces
+        assert (par_report.parsed, par_report.malformed) == (
+            report.parsed,
+            report.malformed,
+        )
 
 
 class TestNeighborSetProperties:

@@ -353,8 +353,8 @@ class TestAtomicWrites:
         assert not (dataset / "manifest.json").exists()
         assert not list(dataset.glob("*.tmp.*"))
 
-    def test_checksums_recorded_and_verified(self, tmp_path, scenario):
-        root = save_scenario(scenario, tmp_path / "ds")
+    def test_checksums_recorded_and_verified(self, tmp_bundle):
+        root = tmp_bundle(seed=42, hostnames=False, copy=True)
         manifest = json.loads((root / "manifest.json").read_text())
         checksums = manifest["checksums"]
         assert checksums["traces.txt"] == "sha256:" + file_sha256(root / "traces.txt")
@@ -370,8 +370,8 @@ class TestAtomicWrites:
 
 class TestBundleDegradation:
     @pytest.fixture()
-    def dataset(self, tmp_path, scenario):
-        return save_scenario(scenario, tmp_path / "ds")
+    def dataset(self, tmp_bundle):
+        return tmp_bundle(seed=42, hostnames=False, copy=True)
 
     def test_corrupt_optional_degrades(self, dataset):
         (dataset / "relationships.txt").write_text("total garbage | | |\n")
@@ -409,13 +409,11 @@ class TestBundleDegradation:
 
 
 class TestCliRobustness:
-    @pytest.fixture(scope="class")
-    def clean_dataset(self, tmp_path_factory):
-        directory = tmp_path_factory.mktemp("robust-cli") / "ds"
-        assert main(["simulate", str(directory), "--seed", "3"]) == 0
-        return directory
+    @pytest.fixture()
+    def clean_dataset(self, tmp_bundle):
+        return tmp_bundle(seed=3)
 
-    @pytest.fixture(scope="class")
+    @pytest.fixture()
     def corrupted(self, clean_dataset, tmp_path_factory):
         """The dataset corrupted at a 5% line rate, plus its clean
         subset (the same dataset minus exactly the damaged lines)."""
