@@ -26,7 +26,6 @@ Two measurements over the same small scenario:
 import json
 import statistics
 import time
-from pathlib import Path
 
 from conftest import RESULTS_DIR, publish
 

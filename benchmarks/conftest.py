@@ -9,7 +9,7 @@ run (stdout is captured by pytest unless ``-s`` is passed).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 import pytest
 

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.results import LinkInference, MapItResult
-from repro.net.ipv4 import format_address
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import LinkType, RelationshipDataset
 

@@ -21,7 +21,7 @@ well-corroborated core links.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.mapit import MapIt
 from repro.core.results import INDIRECT, LinkInference

@@ -10,7 +10,7 @@ carries, and its point-to-point other side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.mapit import MapIt
 from repro.graph.halves import BACKWARD, FORWARD, half_str

@@ -15,7 +15,7 @@ hop-level improvement over raw BGP origin mapping against ground truth
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.core.mapit import MapIt
 from repro.graph.halves import FORWARD

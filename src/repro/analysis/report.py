@@ -8,7 +8,7 @@ from typing import List, Optional
 from repro.analysis.asgraph import ASLinkGraph
 from repro.core.results import MapItResult
 from repro.org.as2org import AS2Org
-from repro.rel.relationships import LinkType, RelationshipDataset
+from repro.rel.relationships import RelationshipDataset
 
 
 def run_report(

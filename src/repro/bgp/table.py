@@ -10,7 +10,7 @@ relationship inference in the :mod:`repro.rel` substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.net.prefix import Prefix
 

@@ -12,7 +12,7 @@ i.e. the full add rule).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: Remove-step test: the section 4.5 prose rule.
 REMOVE_MAJORITY = "majority"

@@ -21,7 +21,7 @@ Counting rules, from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.bgp.ip2as import IP2AS
 from repro.core.config import MapItConfig

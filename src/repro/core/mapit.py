@@ -12,7 +12,7 @@ added and removed forever.  The stub heuristic runs once afterwards.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.bgp.ip2as import IP2AS
 from repro.core.add import add_step
@@ -27,7 +27,6 @@ from repro.core.results import (
     MapItResult,
     STUB,
 )
-from repro.core.state import MapItState
 from repro.core.stub import stub_step
 from repro.graph.neighbors import InterfaceGraph, build_interface_graph
 from repro.obs.observer import Observability

@@ -18,7 +18,7 @@ one, defaulting to the prose rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.config import REMOVE_ADD_RULE
 from repro.core.engine import Engine

@@ -23,7 +23,7 @@ Key design decisions, each anchored in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.graph.halves import Half, half_str
 

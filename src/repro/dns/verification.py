@@ -93,7 +93,9 @@ def build_dns_verification(
     # Recall qualification: the link or its other side must be seen,
     # and the connected AS must be visible next to it (or own the
     # link prefix).
-    for record in set(dataset.link_by_address.values()):
+    # dict.fromkeys dedups in first-seen order (a set would iterate in
+    # arbitrary order and leak it into the eligible dict's ordering)
+    for record in dict.fromkeys(dataset.link_by_address.values()):
         if _dns_eligible(record, target_as, graph, seen_addresses, address_as):
             dataset.eligible[record.key] = record
         else:

@@ -9,10 +9,10 @@ evidence behind EXPERIMENTS.md's claims.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import MapItConfig
-from repro.eval.experiment import Experiment, prepare_experiment
+from repro.eval.experiment import prepare_experiment
 from repro.eval.metrics import Score
 
 

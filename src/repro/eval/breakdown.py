@@ -11,7 +11,7 @@ inferred AS pair.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.results import LinkInference
 from repro.eval.metrics import Score

@@ -22,7 +22,7 @@ of link inferences against it:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.results import LinkInference
 from repro.eval.metrics import Score

@@ -14,7 +14,7 @@ All functions operate on plain event dicts so they work equally on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass

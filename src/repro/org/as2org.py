@@ -14,7 +14,7 @@ used wherever the algorithm compares "the same AS".
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, Set, Tuple
 
 
 class AS2Org:

@@ -82,6 +82,7 @@ def fork_map(
     """
     global _PAYLOAD
     ranges = list(shards) if shards is not None else shard_ranges(count, jobs)
+    # mapitlint: disable=FORK001 -- parent-side CoW stash, set pre-fork
     _PAYLOAD = payload
     try:
         if jobs <= 1 or count == 0 or len(ranges) <= 1 or not fork_available():
@@ -90,4 +91,5 @@ def fork_map(
         with context.Pool(processes=min(jobs, len(ranges))) as pool:
             return pool.map(worker, ranges)
     finally:
+        # mapitlint: disable=FORK001 -- parent-side cleanup post-join
         _PAYLOAD = None

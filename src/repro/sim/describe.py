@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List
 
-from repro.sim.asgraph import ASGraph, Tier
+from repro.sim.asgraph import ASGraph
 from repro.sim.network import EXTERNAL, INTERNAL, IXP_LAN, MONITOR_LAN, Network
 
 

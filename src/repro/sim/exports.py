@@ -14,7 +14,7 @@ import random
 from typing import List
 
 from repro.bgp.cymru import CymruTable
-from repro.bgp.ip2as import IP2AS, IP2ASBuilder
+from repro.bgp.ip2as import IP2ASBuilder
 from repro.bgp.origins import merge_collectors
 from repro.bgp.table import CollectorDump
 from repro.ixp.dataset import IXPDataset, IXPRecord

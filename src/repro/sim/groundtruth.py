@@ -10,7 +10,7 @@ baselines against this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.sim.network import EXTERNAL, INTERNAL, IXP_LAN, MONITOR_LAN, Network
 

@@ -13,9 +13,7 @@
 from __future__ import annotations
 
 from repro.sim.asgraph import ASGraphConfig
-from repro.sim.network import NetworkConfig
 from repro.sim.scenario import Scenario, ScenarioConfig, build_scenario
-from repro.sim.tracer import TracerConfig
 
 
 def small_config(seed: int = 0) -> ScenarioConfig:

@@ -18,7 +18,7 @@ in the traceroute engine.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.sim.asgraph import ASGraph
 from repro.sim.network import Network

@@ -12,13 +12,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.bgp.cymru import CymruTable
 from repro.bgp.ip2as import IP2AS
 from repro.bgp.table import CollectorDump
 from repro.ixp.dataset import IXPDataset
-from repro.net.prefix import Prefix
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
 from repro.sim.asgraph import ASGraph, ASGraphConfig, Tier, generate_as_graph

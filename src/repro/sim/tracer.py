@@ -25,13 +25,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.net.prefix import Prefix
 from repro.net.trie import PrefixTrie
 from repro.obs.observer import NULL_OBS, Observability
-from repro.sim.asgraph import Tier
-from repro.sim.network import EXTERNAL, IXP_LAN, MONITOR_LAN, Link, Network
+from repro.sim.network import EXTERNAL, IXP_LAN, MONITOR_LAN, Network
 from repro.sim.routing import ASRoutes, IGP
 from repro.traceroute.model import Hop, Trace
 

@@ -8,7 +8,7 @@ collections.  All helpers are lazy where possible and deterministic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.traceroute.model import Trace
 

@@ -1,0 +1,22 @@
+"""DET001 clean fixture: every unordered source is sorted or seeded."""
+
+import os
+import random
+
+
+def ordered_members(items):
+    return [item for item in sorted(set(items))]
+
+
+def ordered_listing(path):
+    return sorted(os.listdir(path))
+
+
+def ordered_union(left, right):
+    for member in sorted(left.union(right)):
+        yield member
+
+
+def seeded_pick(items, seed):
+    rng = random.Random(seed)
+    return rng.choice(sorted(items))

@@ -1,0 +1,22 @@
+"""DET001 violating fixture: four distinct unordered-iteration hazards."""
+
+import glob
+import os
+import random
+
+
+def arbitrary_members(items):
+    return [item for item in set(items)]
+
+
+def arbitrary_listing(path):
+    return os.listdir(path)
+
+
+def arbitrary_matches(pattern):
+    for name in glob.glob(pattern):
+        yield name
+
+
+def unseeded_pick(items):
+    return random.choice(items)

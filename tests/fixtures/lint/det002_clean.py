@@ -1,0 +1,14 @@
+"""DET002 clean fixture: timing via perf_counter, time passed in."""
+
+import time
+
+
+def measure(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def stamp_record(record, timestamp):
+    record["ts"] = timestamp
+    return record

@@ -1,0 +1,19 @@
+"""DET002 violating fixture: wall-clock and entropy reads."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_record(record):
+    record["ts"] = time.time()
+    return record
+
+
+def label_run():
+    return f"{datetime.now()}-{uuid.uuid4()}"
+
+
+def salt():
+    return os.urandom(8)

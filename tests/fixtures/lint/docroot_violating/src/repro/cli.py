@@ -1,0 +1,13 @@
+"""CLI001 clean fixture: every subcommand and flag is documented."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="mapit")
+    sub = parser.add_subparsers(dest="command")
+    frobnicate = sub.add_parser("frobnicate", help="frobnicate a dataset")
+    frobnicate.add_argument("dataset")
+    frobnicate.add_argument("--depth", type=int, default=2)
+    frobnicate.add_argument("--dry-run", action="store_true")
+    return parser

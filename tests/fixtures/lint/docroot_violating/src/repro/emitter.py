@@ -1,0 +1,9 @@
+"""OBS001 clean fixture: every emitted name is documented."""
+
+
+def instrumented(obs, records):
+    obs.event("app.started", records=len(records))
+    with obs.span("load"):
+        for record in records:
+            obs.inc("records.loaded")
+    obs.gauge("records.resident", len(records))

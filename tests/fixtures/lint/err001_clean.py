@@ -1,0 +1,23 @@
+"""ERR001 clean fixture: narrow handlers, accounted broad handlers."""
+
+
+def narrow_control_flow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None
+
+
+def broad_but_reraised(work):
+    try:
+        return work()
+    except Exception:
+        raise
+
+
+def broad_but_recorded(work, health):
+    try:
+        return work()
+    except Exception as exc:
+        health.record("work", "degraded", str(exc))
+        return None

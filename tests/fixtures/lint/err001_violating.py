@@ -1,0 +1,22 @@
+"""ERR001 violating fixture: bare and swallowed-broad handlers."""
+
+
+def bare_handler(work):
+    try:
+        return work()
+    except:
+        return None
+
+
+def swallowed_broad(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def swallowed_base(work):
+    try:
+        return work()
+    except (ValueError, BaseException):
+        pass

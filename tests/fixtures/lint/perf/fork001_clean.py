@@ -1,0 +1,13 @@
+"""FORK001 clean fixture: module-level worker, ordered pool map."""
+
+from repro.perf.pool import fork_map, shared_payload
+
+
+def _shard_worker(shard):
+    start, end = shard
+    payload = shared_payload()
+    return [payload[index] for index in range(start, end)]
+
+
+def run(items, jobs):
+    return fork_map(_shard_worker, items, len(items), jobs)

@@ -1,0 +1,34 @@
+"""FORK001 violating fixture: every fork-safety hazard in one file."""
+
+from repro.perf.pool import fork_map
+
+_RESULTS = []
+
+
+class Runner:
+    def _work(self, shard):
+        return shard
+
+    def run_bound(self, items, jobs):
+        return fork_map(self._work, items, len(items), jobs)
+
+
+def run_lambda(pool, items):
+    return pool.map(lambda item: item + 1, items)
+
+
+def run_unordered(pool, worker, items):
+    return list(pool.imap_unordered(worker, items))
+
+
+def run_closure(items, jobs):
+    def closure_worker(shard):
+        return shard
+
+    return fork_map(closure_worker, items, len(items), jobs)
+
+
+def mutate_global(shard):
+    global _RESULTS
+    _RESULTS = list(shard)
+    return _RESULTS

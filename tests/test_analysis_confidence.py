@@ -3,7 +3,7 @@
 import pytest
 
 from repro import MapItConfig
-from repro.analysis.confidence import Confidence, confidence_for, rank_inferences
+from repro.analysis.confidence import Confidence, rank_inferences
 
 
 class TestConfidenceModel:

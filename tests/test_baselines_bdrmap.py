@@ -1,6 +1,5 @@
 """Tests for the simplified bdrmap-like baseline."""
 
-import pytest
 
 from repro.baselines.bdrmap_like import bdrmap_like
 from repro.bgp.ip2as import IP2AS

@@ -1,7 +1,6 @@
 """Tests for neighbor-set counting and plurality (Alg 2 lines 2-3)."""
 
 from repro.bgp.ip2as import IP2AS
-from repro.core.config import MapItConfig
 from repro.core.engine import Engine
 from repro.graph.halves import BACKWARD, FORWARD
 from repro.graph.neighbors import build_interface_graph

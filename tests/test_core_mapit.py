@@ -6,7 +6,6 @@ variant), the Alg 4 stub heuristic, and the Alg 3 remove step."""
 from repro import MapItConfig, run_mapit
 from repro.bgp.ip2as import IP2AS
 from repro.net.ipv4 import parse_address
-from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
 from repro.traceroute.parse import parse_text_traces
 

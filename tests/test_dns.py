@@ -1,6 +1,5 @@
 """Tests for hostname synthesis and hostname-derived verification."""
 
-import random
 
 from repro.dns.naming import HostnameDataset, generate_hostnames
 from repro.dns.verification import (

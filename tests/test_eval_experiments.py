@@ -17,7 +17,6 @@ from repro.eval.compare import (
 from repro.eval.fsweep import sweep_f
 from repro.eval.stats import pipeline_stats
 from repro.eval.steps import step_impact
-from repro.rel.relationships import LinkType
 
 
 class TestExperiment:

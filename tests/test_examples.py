@@ -5,7 +5,6 @@ indirectly by the benchmarks and skipped here for speed.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

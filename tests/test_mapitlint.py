@@ -1,0 +1,340 @@
+"""mapitlint: per-rule fixtures, pragmas, baseline, CLI, self-check.
+
+The fixture pairs under ``tests/fixtures/lint/`` hold one clean and
+one violating file per rule; the doc-sync rules (OBS001/CLI001) use
+the two ``docroot_*`` mini-trees whose ``docs/`` either match or lag
+their ``src/``.  The final self-check runs the real linter over the
+repo's ``src/`` against the checked-in baseline — the same gate CI
+applies — so a violation introduced anywhere in ``src/`` fails here
+first.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.mapitlint import baseline as baseline_mod  # noqa: E402
+from tools.mapitlint import cli as lint_cli  # noqa: E402
+from tools.mapitlint.engine import parse_pragmas, run_lint  # noqa: E402
+from tools.mapitlint.registry import known_ids  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+
+def lint_paths(paths, root, **kwargs):
+    findings, errors, _ = run_lint([Path(p) for p in paths], Path(root), **kwargs)
+    assert not errors, errors
+    return findings
+
+
+def rules_hit(findings):
+    return {finding.rule for finding in findings}
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_all_six_rules_registered():
+    assert known_ids() == [
+        "CLI001", "DET001", "DET002", "ERR001", "FORK001", "OBS001",
+    ]
+
+
+# -- per-rule fixtures --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "rule, clean, violating, expected_min",
+    [
+        ("DET001", "det001_clean.py", "det001_violating.py", 4),
+        ("DET002", "det002_clean.py", "det002_violating.py", 4),
+        ("FORK001", "perf/fork001_clean.py", "perf/fork001_violating.py", 5),
+        ("ERR001", "err001_clean.py", "err001_violating.py", 3),
+    ],
+)
+def test_module_rule_fixtures(rule, clean, violating, expected_min):
+    clean_findings = lint_paths([FIXTURES / clean], REPO_ROOT, select=[rule])
+    assert clean_findings == [], [str(f) for f in clean_findings]
+
+    found = lint_paths([FIXTURES / violating], REPO_ROOT, select=[rule])
+    assert len(found) >= expected_min, [str(f) for f in found]
+    assert rules_hit(found) == {rule}
+
+
+def test_det001_messages_name_the_hazard():
+    found = lint_paths([FIXTURES / "det001_violating.py"], REPO_ROOT, select=["DET001"])
+    messages = " ".join(finding.message for finding in found)
+    assert "iterating a set" in messages
+    assert "filesystem enumeration" in messages
+    assert "hidden global state" in messages
+
+
+def test_fork001_covers_each_hazard_kind():
+    found = lint_paths(
+        [FIXTURES / "perf" / "fork001_violating.py"], REPO_ROOT, select=["FORK001"]
+    )
+    messages = " ".join(finding.message for finding in found)
+    assert "lambda" in messages
+    assert "bound method" in messages
+    assert "imap_unordered" in messages
+    assert "closure" in messages or "nested function" in messages
+    assert "module global" in messages
+
+
+@pytest.mark.parametrize(
+    "rule, expected_clean, expected_violations",
+    [("OBS001", 0, 3), ("CLI001", 0, 1)],
+)
+def test_doc_sync_rule_fixtures(rule, expected_clean, expected_violations):
+    clean_root = FIXTURES / "docroot_clean"
+    found = lint_paths([clean_root / "src"], clean_root, select=[rule])
+    assert len(found) == expected_clean, [str(f) for f in found]
+
+    stale_root = FIXTURES / "docroot_violating"
+    found = lint_paths([stale_root / "src"], stale_root, select=[rule])
+    assert len(found) == expected_violations, [str(f) for f in found]
+    assert rules_hit(found) == {rule}
+
+
+def test_doc_sync_reports_missing_doc(tmp_path):
+    root = tmp_path / "tree"
+    (root / "src" / "repro").mkdir(parents=True)
+    (root / "src" / "repro" / "emitter.py").write_text(
+        "def go(obs):\n    obs.event('thing.happened')\n"
+    )
+    found = lint_paths([root / "src"], root, select=["OBS001"])
+    assert len(found) == 1
+    assert "not found" in found[0].message
+
+
+# -- pragmas ------------------------------------------------------------------
+
+
+def test_parse_pragmas_line_file_and_all():
+    lines = [
+        "x = set()  # mapitlint: disable=DET001 -- reviewed",
+        "# mapitlint: disable-file=ERR001",
+        "y = 1  # mapitlint: disable=all",
+        "z = 2  # mapitlint: disable=DET001,DET002",
+    ]
+    line_pragmas, file_pragmas = parse_pragmas(lines)
+    assert line_pragmas[1] == {"DET001"}
+    assert line_pragmas[3] == {"all"}
+    assert line_pragmas[4] == {"DET001", "DET002"}
+    assert file_pragmas == {"ERR001"}
+
+
+def test_line_pragma_suppresses_finding(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(
+        "def f(items):\n"
+        "    return [x for x in set(items)]"
+        "  # mapitlint: disable=DET001 -- order-insensitive sink\n"
+    )
+    assert lint_paths([source], tmp_path, select=["DET001"]) == []
+
+
+def test_comment_line_pragma_governs_next_line(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(
+        "def f(items):\n"
+        "    # mapitlint: disable=DET001 -- order-insensitive sink\n"
+        "    return [x for x in set(items)]\n"
+    )
+    assert lint_paths([source], tmp_path, select=["DET001"]) == []
+
+
+def test_file_pragma_suppresses_whole_file(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(
+        "# mapitlint: disable-file=DET001 -- fixture\n"
+        "def f(items):\n"
+        "    return [x for x in set(items)]\n"
+        "def g(items):\n"
+        "    return {x for x in set(items)}\n"
+    )
+    assert lint_paths([source], tmp_path, select=["DET001"]) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text(
+        "def f(items):\n"
+        "    return [x for x in set(items)]  # mapitlint: disable=ERR001\n"
+    )
+    assert len(lint_paths([source], tmp_path, select=["DET001"])) == 1
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def test_baseline_grandfathers_and_reports_stale(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text("def f(items):\n    return [x for x in set(items)]\n")
+    findings = lint_paths([source], tmp_path, select=["DET001"])
+    assert len(findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    baseline_mod.save(baseline_path, findings, {})
+    entries = baseline_mod.load(baseline_path)
+    for entry in entries.values():
+        entry["justification"] = "fixture: sink is order-insensitive"
+    new, grandfathered, stale, unjustified = baseline_mod.apply(findings, entries)
+    assert new == [] and len(grandfathered) == 1
+    assert stale == [] and unjustified == []
+
+    # fix the violation: the entry goes stale
+    source.write_text("def f(items):\n    return [x for x in sorted(items)]\n")
+    fixed = lint_paths([source], tmp_path, select=["DET001"])
+    new, grandfathered, stale, unjustified = baseline_mod.apply(fixed, entries)
+    assert new == [] and grandfathered == []
+    assert len(stale) == 1
+
+
+def test_baseline_without_justification_is_flagged(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text("def f(items):\n    return [x for x in set(items)]\n")
+    findings = lint_paths([source], tmp_path, select=["DET001"])
+    baseline_path = tmp_path / "baseline.json"
+    baseline_mod.save(baseline_path, findings, {})
+    entries = baseline_mod.load(baseline_path)
+    new, _, _, unjustified = baseline_mod.apply(findings, entries)
+    assert new == []
+    assert len(unjustified) == 1
+
+
+def test_fingerprints_survive_line_shifts(tmp_path):
+    source = tmp_path / "mod.py"
+    source.write_text("def f(items):\n    return [x for x in set(items)]\n")
+    before = lint_paths([source], tmp_path, select=["DET001"])
+    source.write_text(
+        "# a new leading comment shifts every line number\n\n"
+        "def f(items):\n    return [x for x in set(items)]\n"
+    )
+    after = lint_paths([source], tmp_path, select=["DET001"])
+    assert before[0].fingerprint == after[0].fingerprint
+    assert before[0].line != after[0].line
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_clean_exit_zero(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("VALUE = 1\n")
+    code = lint_cli.main([str(tmp_path), "--root", str(tmp_path), "--no-baseline"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("def f(i):\n    return [x for x in set(i)]\n")
+    code = lint_cli.main([str(tmp_path), "--root", str(tmp_path), "--no-baseline"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("def f(i):\n    return [x for x in set(i)]\n")
+    code = lint_cli.main(
+        [str(tmp_path), "--root", str(tmp_path), "--no-baseline", "--format", "json"]
+    )
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["new"] == 1
+    finding = document["findings"][0]
+    assert finding["rule"] == "DET001"
+    assert finding["path"] == "mod.py"
+    assert finding["fingerprint"]
+
+
+def test_cli_disable_rule(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("def f(i):\n    return [x for x in set(i)]\n")
+    code = lint_cli.main(
+        [str(tmp_path), "--root", str(tmp_path), "--no-baseline", "--disable", "DET001"]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_unknown_rule_exits_two(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        lint_cli.main([str(tmp_path), "--select", "NOPE999"])
+    capsys.readouterr()
+    assert excinfo.value.code == 2
+
+
+def test_cli_update_baseline_roundtrip(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("def f(i):\n    return [x for x in set(i)]\n")
+    baseline_path = tmp_path / "baseline.json"
+    code = lint_cli.main(
+        [
+            str(tmp_path), "--root", str(tmp_path),
+            "--baseline", str(baseline_path), "--update-baseline",
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    entries = baseline_mod.load(baseline_path)
+    assert len(entries) == 1
+    # without justifications the run still fails
+    code = lint_cli.main(
+        [str(tmp_path), "--root", str(tmp_path), "--baseline", str(baseline_path)]
+    )
+    assert code == 1
+    assert "UNJUSTIFIED" in capsys.readouterr().out
+    # justified: clean
+    for entry in entries.values():
+        entry["justification"] = "fixture"
+    findings = lint_paths([tmp_path], tmp_path)
+    baseline_mod.save(baseline_path, findings, entries)
+    code = lint_cli.main(
+        [str(tmp_path), "--root", str(tmp_path), "--baseline", str(baseline_path)]
+    )
+    assert code == 0
+    assert "grandfathered" in capsys.readouterr().out
+
+
+def test_cli_syntax_error_reported(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    code = lint_cli.main([str(tmp_path), "--root", str(tmp_path), "--no-baseline"])
+    assert code == 1
+    assert "SyntaxError" in capsys.readouterr().out
+
+
+# -- repo self-check ----------------------------------------------------------
+
+
+def test_repo_src_is_clean_modulo_baseline():
+    findings, errors, scanned = run_lint([REPO_ROOT / "src"], REPO_ROOT)
+    assert not errors, errors
+    assert scanned > 50
+    entries = baseline_mod.load(baseline_mod.default_path())
+    new, _, stale, unjustified = baseline_mod.apply(findings, entries)
+    assert new == [], "\n".join(str(f) for f in new)
+    assert stale == [], stale
+    assert unjustified == [], unjustified
+
+
+def test_seeded_violation_in_core_is_caught(tmp_path):
+    """The acceptance gate: a fresh violation in src/repro/core fails."""
+    core = tmp_path / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "seeded.py").write_text(
+        "def merge(halves):\n"
+        "    out = []\n"
+        "    for half in set(halves):\n"
+        "        try:\n"
+        "            out.append(half)\n"
+        "        except:\n"
+        "            pass\n"
+        "    return out\n"
+    )
+    findings = lint_paths([tmp_path / "src"], tmp_path)
+    assert {"DET001", "ERR001"} <= rules_hit(findings)

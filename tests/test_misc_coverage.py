@@ -1,6 +1,5 @@
 """Focused tests for smaller code paths not covered elsewhere."""
 
-import pytest
 
 from repro import MapItConfig
 from repro.core.engine import Engine

@@ -1,6 +1,5 @@
 """Tests for the longest-prefix-match trie."""
 
-import pytest
 
 from repro.net.ipv4 import parse_address
 from repro.net.prefix import Prefix

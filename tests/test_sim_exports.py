@@ -3,7 +3,6 @@ Cymru, the composite IP2AS build)."""
 
 import random
 
-from repro.bgp.ip2as import UNKNOWN_AS
 from repro.sim.asgraph import ASGraphConfig, Tier, generate_as_graph
 from repro.sim.exports import (
     build_ip2as,

@@ -1,6 +1,5 @@
 """Tests for ground-truth extraction."""
 
-from repro.sim.groundtruth import GroundTruth
 from repro.sim.network import EXTERNAL
 
 

@@ -1,9 +1,8 @@
 """Tests for router-level topology synthesis."""
 
-import random
 
 from repro.net.special import default_special_registry
-from repro.sim.asgraph import ASGraphConfig, Tier, generate_as_graph
+from repro.sim.asgraph import ASGraphConfig, generate_as_graph
 from repro.sim.network import (
     EXTERNAL,
     INTERNAL,

@@ -2,7 +2,7 @@
 
 from repro.sim.asgraph import ASGraph, ASGraphConfig, ASNode, Tier, generate_as_graph
 from repro.sim.network import NetworkConfig, build_network
-from repro.sim.routing import ASRoutes, CUSTOMER, IGP, PEER, PROVIDER, SELF
+from repro.sim.routing import ASRoutes, CUSTOMER, IGP, PEER, PROVIDER
 
 
 def triangle_graph():

@@ -1,7 +1,6 @@
 """Tests for scenario assembly and the presets."""
 
 from repro.sim.presets import paper_config, small_config, small_scenario
-from repro.sim.scenario import ScenarioConfig, build_scenario
 
 
 class TestScenario:

@@ -2,7 +2,6 @@
 
 import random
 
-from dataclasses import replace
 
 from repro.sim.asgraph import ASGraphConfig, Tier, generate_as_graph
 from repro.sim.network import EXTERNAL, NetworkConfig, build_network

@@ -1,0 +1,1 @@
+"""Repository tooling: link checker, mapitlint static analysis."""

@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Check intra-repo markdown links.
+"""Check intra-repo markdown links, including heading anchors.
 
 Walks every ``*.md`` file in the repository (skipping dot-directories
-and virtualenv-style trees), extracts inline links and ``[[wiki]]``
-style references are left alone, and verifies that every relative link
-target exists on disk. External links (``http://``, ``https://``,
-``mailto:``) and pure fragments (``#section``) are not fetched or
-resolved. Exits non-zero listing every broken link.
+and virtualenv-style trees), extracts inline links (``[[wiki]]``
+style references are left alone), and verifies that every relative
+link target exists on disk.  Links carrying a ``#fragment`` — whether
+``other.md#section`` or a same-file ``#section`` — are additionally
+resolved against the target document's headings using GitHub's
+anchor-slug algorithm (lowercase, punctuation stripped, spaces to
+hyphens, ``-N`` suffixes for duplicates); a fragment naming no heading
+is a broken link.  External links (``http://``, ``https://``,
+``mailto:``) are not fetched.  Exits non-zero listing every broken
+link.
 
 Usage: ``python tools/check_links.py [ROOT]`` (default: repo root).
 """
@@ -16,16 +21,48 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+from typing import Dict, Set
 
 LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.M)
+FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.M | re.S)
 SKIP_DIRS = {".git", ".venv", "venv", "node_modules", "__pycache__", ".pytest_cache"}
 EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+_ANCHOR_CACHE: Dict[Path, Set[str]] = {}
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading -> anchor id transform (close enough for ASCII)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.replace("*", "").replace("_", " ").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" +", "-", text)
+
+
+def anchors(path: Path) -> Set[str]:
+    """Every valid anchor fragment in the markdown file at *path*."""
+    cached = _ANCHOR_CACHE.get(path)
+    if cached is not None:
+        return cached
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for match in HEADING.finditer(text):
+        slug = slugify(match.group(1))
+        count = counts.get(slug, 0)
+        counts[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    _ANCHOR_CACHE[path] = slugs
+    return slugs
 
 
 def markdown_files(root: Path):
     for path in sorted(root.rglob("*.md")):
-        if any(part in SKIP_DIRS or part.startswith(".") for part in path.parts[len(root.parts):-1]):
+        inner = path.parts[len(root.parts):-1]
+        if any(part in SKIP_DIRS or part.startswith(".") for part in inner):
             continue
         yield path
 
@@ -35,17 +72,21 @@ def check_file(path: Path, root: Path) -> list:
     text = path.read_text(encoding="utf-8")
     targets = LINK.findall(text) + IMAGE.findall(text)
     for target in targets:
-        if target.startswith(EXTERNAL) or target.startswith("#"):
+        if target.startswith(EXTERNAL):
             continue
-        resolved = target.split("#", 1)[0]
-        if not resolved:
-            continue
+        resolved, _, fragment = target.partition("#")
         if resolved.startswith("/"):
             candidate = root / resolved.lstrip("/")
-        else:
+        elif resolved:
             candidate = path.parent / resolved
-        if not candidate.exists():
-            broken.append((path.relative_to(root), target))
+        else:
+            candidate = path  # pure fragment: same document
+        if resolved and not candidate.exists():
+            broken.append((path.relative_to(root), target, "missing file"))
+            continue
+        if fragment and candidate.suffix == ".md" and candidate.is_file():
+            if fragment.lower() not in anchors(candidate):
+                broken.append((path.relative_to(root), target, "missing anchor"))
     return broken
 
 
@@ -58,11 +99,11 @@ def main(argv=None) -> int:
         count += 1
         broken.extend(check_file(path, root))
     if broken:
-        for source, target in broken:
-            print(f"BROKEN: {source}: {target}")
+        for source, target, why in broken:
+            print(f"BROKEN ({why}): {source}: {target}")
         print(f"{len(broken)} broken link(s) across {count} markdown file(s)")
         return 1
-    print(f"ok: {count} markdown file(s), no broken intra-repo links")
+    print(f"ok: {count} markdown file(s), no broken intra-repo links or anchors")
     return 0
 
 

@@ -1,0 +1,22 @@
+"""mapitlint — AST-based invariant checker for the MAP-IT codebase.
+
+Run as ``python -m tools.mapitlint [paths ...]`` from the repo root.
+See docs/STATIC_ANALYSIS.md for the rule catalogue, the pragma and
+baseline workflows, and how to write a new rule plugin.
+"""
+
+from tools.mapitlint.engine import LintContext, ModuleInfo, load_module, run_lint
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, all_rules, known_ids, register
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "known_ids",
+    "load_module",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m tools.mapitlint``."""
+
+import sys
+
+from tools.mapitlint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The grandfathered-findings baseline.
+
+The baseline is a checked-in JSON file listing fingerprints of known,
+accepted findings; the linter subtracts them from a run so CI fails
+only on *new* violations.  Every entry carries a ``justification`` —
+an empty justification is itself a lint failure, so nothing can be
+grandfathered silently.
+
+``python -m tools.mapitlint --update-baseline`` rewrites the file from
+the current findings, preserving justifications for fingerprints that
+survive.  Entries whose fingerprint no longer matches anything are
+reported as stale (the violation was fixed — delete the entry).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from tools.mapitlint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def default_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def load(path: Path) -> Dict[str, Dict[str, str]]:
+    """fingerprint -> entry dict; empty when the file does not exist."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = {}
+    for entry in data.get("entries", []):
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def save(path: Path, findings: List[Finding], existing: Dict[str, Dict[str, str]]) -> None:
+    """Write *findings* as the new baseline, keeping old justifications."""
+    entries = []
+    for finding in findings:
+        old = existing.get(finding.fingerprint, {})
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "justification": old.get("justification", ""),
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def apply(
+    findings: List[Finding], entries: Dict[str, Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]], List[Dict[str, str]]]:
+    """Split findings by the baseline.
+
+    Returns ``(new, grandfathered, stale_entries, unjustified_entries)``:
+    findings not in the baseline, findings matched by it, baseline
+    entries matching nothing, and matched entries whose justification
+    is empty (treated as failures by the CLI).
+    """
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    matched = set()
+    for finding in findings:
+        entry = entries.get(finding.fingerprint)
+        if entry is None:
+            new.append(finding)
+        else:
+            grandfathered.append(finding)
+            matched.add(finding.fingerprint)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(entries.items())
+        if fingerprint not in matched
+    ]
+    unjustified = [
+        entries[fingerprint]
+        for fingerprint in sorted(matched)
+        if not entries[fingerprint].get("justification", "").strip()
+    ]
+    return new, grandfathered, stale, unjustified

@@ -1,0 +1,187 @@
+"""Command-line front end: ``python -m tools.mapitlint [paths ...]``.
+
+Exit codes: 0 clean (modulo baseline), 1 findings (new findings, an
+unjustified or stale baseline entry, or a scan error), 2 usage error.
+``--format json`` emits one machine-readable document on stdout for
+CI artifact collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.mapitlint import baseline as baseline_mod
+from tools.mapitlint.engine import run_lint
+from tools.mapitlint.registry import all_rules, known_ids
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.mapitlint",
+        description=(
+            "AST-based invariant checker for MAP-IT: determinism, "
+            "fork-safety, error hygiene, and docs/code sync"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root for doc lookups (default: autodetected)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: tools/mapitlint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if values is None:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_class in all_rules():
+            print(f"{rule_class.rule_id}  {rule_class.name}: {rule_class.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else repo_root()
+    select = _split_ids(args.select)
+    disable = _split_ids(args.disable)
+    known = set(known_ids())
+    for rule_id in (select or []) + (disable or []):
+        if rule_id.upper() not in known:
+            parser.error(f"unknown rule id {rule_id!r} (known: {', '.join(sorted(known))})")
+
+    raw_paths = args.paths or ["src"]
+    paths = []
+    for raw in raw_paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            parser.error(f"no such path: {raw}")
+        paths.append(path)
+
+    findings, errors, scanned = run_lint(paths, root, select=select, disable=disable)
+
+    baseline_path = (
+        Path(args.baseline).resolve() if args.baseline else baseline_mod.default_path()
+    )
+    entries = {} if args.no_baseline else baseline_mod.load(baseline_path)
+
+    if args.update_baseline:
+        baseline_mod.save(baseline_path, findings, entries)
+        print(f"baseline updated: {len(findings)} finding(s) -> {baseline_path}")
+        if findings:
+            print("fill in every empty justification before committing")
+        return 0
+
+    new, grandfathered, stale, unjustified = baseline_mod.apply(findings, entries)
+
+    if args.format == "json":
+        document = {
+            "findings": [finding.to_dict() for finding in new],
+            "grandfathered": [finding.to_dict() for finding in grandfathered],
+            "stale_baseline": stale,
+            "unjustified_baseline": unjustified,
+            "errors": errors,
+            "summary": {
+                "new": len(new),
+                "grandfathered": len(grandfathered),
+                "stale": len(stale),
+                "unjustified": len(unjustified),
+                "scanned": scanned,
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for error in errors:
+            print(f"ERROR: {error}")
+        for finding in new:
+            print(finding)
+        for entry in stale:
+            print(
+                f"STALE BASELINE: {entry['fingerprint']} ({entry['rule']} "
+                f"{entry['path']}) matches nothing - delete the entry"
+            )
+        for entry in unjustified:
+            print(
+                f"UNJUSTIFIED BASELINE: {entry['fingerprint']} ({entry['rule']} "
+                f"{entry['path']}) needs a justification"
+            )
+        if new or stale or unjustified or errors:
+            print(
+                f"mapitlint: {len(new)} new finding(s), {len(stale)} stale and "
+                f"{len(unjustified)} unjustified baseline entr(ies), "
+                f"{len(errors)} scan error(s)"
+            )
+        else:
+            suffix = f" ({len(grandfathered)} grandfathered)" if grandfathered else ""
+            print(f"mapitlint: clean{suffix}")
+
+    if new or stale or unjustified or errors:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Scan orchestration: file collection, parsing, pragmas, suppression.
+
+The engine walks the requested paths, parses every ``*.py`` file into a
+:class:`ModuleInfo` (source text, split lines, AST, repo-relative
+path), runs each enabled rule's hooks, and then applies the two
+suppression layers:
+
+1. **Pragmas** — ``# mapitlint: disable=RULE[,RULE]`` (or ``=all``) on
+   the offending line — or on a comment-only line immediately above
+   it — suppresses matching findings on that line;
+   ``# mapitlint: disable-file=RULE[,RULE]`` anywhere in a file
+   suppresses the whole file.  Text after ``--`` in the comment is the
+   human justification and is ignored by the parser.
+2. **Baseline** — grandfathered fingerprints loaded from the checked-in
+   baseline file (see :mod:`tools.mapitlint.baseline`).
+
+Everything downstream (text/JSON output, exit codes) lives in
+:mod:`tools.mapitlint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.mapitlint.findings import Finding, assign_fingerprints, sort_findings
+from tools.mapitlint.registry import Rule, all_rules
+
+PRAGMA = re.compile(
+    r"#\s*mapitlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+?|all)\s*(?:--|$)"
+)
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".venv", "venv", "node_modules"}
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed Python source file."""
+
+    path: Path  # absolute
+    relpath: str  # repo-relative posix path ("src/repro/core/add.py")
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    #: line number -> set of rule ids disabled on that line ({"all"} wildcard)
+    line_pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file ({"all"} wildcard)
+    file_pragmas: Set[str] = field(default_factory=set)
+    _parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        """child -> parent over the whole tree (built lazily, cached)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if self.file_pragmas & {rule_id, "all"}:
+            return True
+        pragmas = self.line_pragmas.get(line, ())
+        return bool(set(pragmas) & {rule_id, "all"})
+
+
+@dataclass
+class LintContext:
+    """Shared state handed to every rule hook."""
+
+    root: Path  # repo root, for doc lookups by cross-file rules
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    def module(self, relpath_suffix: str) -> Optional[ModuleInfo]:
+        """The scanned module whose relpath ends with *relpath_suffix*."""
+        for module in self.modules:
+            if module.relpath.endswith(relpath_suffix):
+                return module
+        return None
+
+    def doc_text(self, relpath: str) -> Optional[str]:
+        """The text of a repo doc, or None when it does not exist."""
+        path = self.root / relpath
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+def parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract line-level and file-level pragmas from source lines."""
+    line_pragmas: Dict[int, Set[str]] = {}
+    file_pragmas: Set[str] = set()
+    for number, line in enumerate(lines, start=1):
+        match = PRAGMA.search(line)
+        if not match:
+            continue
+        kind, raw = match.groups()
+        rules = {part.strip() for part in raw.split(",") if part.strip()}
+        if "all" in {rule.lower() for rule in rules}:
+            rules = {"all"}
+        else:
+            rules = {rule.upper() for rule in rules}
+        if kind == "disable-file":
+            file_pragmas |= rules
+        elif line.lstrip().startswith("#"):
+            # comment-only pragma line: governs the next line
+            line_pragmas.setdefault(number + 1, set()).update(rules)
+        else:
+            line_pragmas.setdefault(number, set()).update(rules)
+    return line_pragmas, file_pragmas
+
+
+def load_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse *path* into a :class:`ModuleInfo` (raises SyntaxError)."""
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    tree = ast.parse(text, filename=str(path))
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    line_pragmas, file_pragmas = parse_pragmas(lines)
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        text=text,
+        lines=lines,
+        tree=tree,
+        line_pragmas=line_pragmas,
+        file_pragmas=file_pragmas,
+    )
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand *paths* into a sorted, de-duplicated list of ``*.py`` files."""
+    files: Set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(part in SKIP_DIRS for part in candidate.parts):
+                    continue
+                files.add(candidate)
+    return sorted(files)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Path,
+    select: Optional[Sequence[str]] = None,
+    disable: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], List[str], int]:
+    """Run every enabled rule over *paths*.
+
+    Returns ``(findings, errors, scanned)`` where *errors* are
+    human-readable scan problems (unreadable or syntactically invalid
+    files) and *scanned* is the number of files parsed.  The findings
+    are pragma-filtered, fingerprinted, and sorted; baseline
+    subtraction is the caller's job.
+    """
+    ctx = LintContext(root=root)
+    errors: List[str] = []
+    for path in collect_files(paths):
+        try:
+            ctx.modules.append(load_module(path, root))
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{path}: {type(exc).__name__}: {exc}")
+
+    selected = {rule.upper() for rule in select} if select else None
+    disabled = {rule.upper() for rule in disable} if disable else set()
+    rules: List[Rule] = []
+    for rule_class in all_rules():
+        if selected is not None and rule_class.rule_id not in selected:
+            continue
+        if rule_class.rule_id in disabled:
+            continue
+        rules.append(rule_class())
+
+    findings: List[Finding] = []
+    for rule in rules:
+        for module in ctx.modules:
+            for finding in rule.check_module(module, ctx):
+                if not finding.snippet:
+                    finding.snippet = module.line_text(finding.line)
+                if not module.suppressed(rule.rule_id, finding.line):
+                    findings.append(finding)
+        for finding in rule.check_project(ctx):
+            module = ctx.module(finding.path) if finding.path else None
+            if module is not None:
+                if not finding.snippet:
+                    finding.snippet = module.line_text(finding.line)
+                if module.suppressed(rule.rule_id, finding.line):
+                    continue
+            findings.append(finding)
+
+    assign_fingerprints(findings)
+    return sort_findings(findings), errors, len(ctx.modules)

@@ -1,0 +1,72 @@
+"""Finding records and stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* identifies the violation across edits that merely shift
+line numbers: it hashes the rule id, the repo-relative path, the
+stripped text of the offending line, and an occurrence index that
+disambiguates identical lines in the same file.  The baseline file
+(see :mod:`tools.mapitlint.baseline`) stores fingerprints, so
+re-ordering unrelated code does not invalidate grandfathered entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _raw_fingerprint(rule: str, path: str, normalized: str, occurrence: int) -> str:
+    digest = hashlib.sha256(
+        f"{rule}|{path}|{normalized}|{occurrence}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def assign_fingerprints(findings: List[Finding]) -> None:
+    """Fill in ``fingerprint`` on every finding, in place.
+
+    Findings sharing (rule, path, normalized line text) get increasing
+    occurrence indices in (line, col) order so duplicates stay distinct.
+    """
+    seen: Dict[tuple, int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        normalized = finding.snippet.strip()
+        key = (finding.rule, finding.path, normalized)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        finding.fingerprint = _raw_fingerprint(
+            finding.rule, finding.path, normalized, occurrence
+        )
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: path, then line, then column, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

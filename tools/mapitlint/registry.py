@@ -1,0 +1,62 @@
+"""The rule registry: every plugin registers itself at import time.
+
+A rule is a class with a ``rule_id`` (``DET001``-style), a ``name``,
+a ``description``, and one or both hooks:
+
+* ``check_module(module, ctx)`` — called once per scanned Python file
+  with a :class:`~tools.mapitlint.engine.ModuleInfo`; yields
+  :class:`~tools.mapitlint.findings.Finding` objects.
+* ``check_project(ctx)`` — called once per run after every module is
+  parsed, for cross-file rules (doc/code sync); yields findings.
+
+Register with the :func:`register` decorator; the CLI's
+``--select`` / ``--disable`` flags filter by ``rule_id``.  Plugins live
+in :mod:`tools.mapitlint.rules`, whose ``__init__`` imports each module
+for the side effect of registration — adding a rule is one new file
+plus one import line (see docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+
+class Rule:
+    """Base class for rule plugins; subclasses override the hooks."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module, ctx) -> Iterator:
+        return iter(())
+
+    def check_project(self, ctx) -> Iterator:
+        return iter(())
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_class* to the registry."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_id in _RULES and _RULES[rule_id] is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _RULES[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by rule id."""
+    import tools.mapitlint.rules  # noqa: F401 - imports register the plugins
+
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def known_ids() -> List[str]:
+    import tools.mapitlint.rules  # noqa: F401 - imports register the plugins
+
+    return sorted(_RULES)

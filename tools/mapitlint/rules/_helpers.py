@@ -1,0 +1,63 @@
+"""Shared AST utilities for rule plugins."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted name a call targets (``glob.glob`` for glob.glob(...))."""
+    return dotted_name(node.func)
+
+
+def is_wrapped_in(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST], func_names: tuple
+) -> bool:
+    """True when *node* is a direct argument of a call to *func_names*.
+
+    ``sorted(os.listdir(p))`` wraps the listdir call; being nested
+    deeper (``sorted(f(os.listdir(p)))``) does not count.
+    """
+    parent = parents.get(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        name = call_name(parent)
+        if name in func_names:
+            return True
+    return False
+
+
+def first_string_arg(node: ast.Call) -> Optional[str]:
+    """The literal value of the first positional argument, if a str."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def iteration_sources(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every expression some construct iterates over.
+
+    Covers ``for`` statements (sync and async) and all four
+    comprehension forms; these are the positions where an unordered
+    container leaks its ordering into program behaviour.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter

@@ -1,0 +1,88 @@
+"""CLI001 — CLI flag / subcommand ↔ docs/CLI.md sync.
+
+Walks the argparse construction in ``repro/cli.py`` statically: every
+``add_parser("name", ...)`` subcommand must be shown as ``mapit name``
+in docs/CLI.md, and every literal ``--flag`` handed to
+``add_argument`` must appear there too (as a whole token — ``--f``
+does not match ``--foo``).  This supersedes the ad-hoc runtime
+coverage test: the rule needs no import of the package and composes
+with the pragma/baseline workflow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+
+DOC = "docs/CLI.md"
+CLI_SUFFIX = "repro/cli.py"
+
+
+@register
+class CliDocSync(Rule):
+    rule_id = "CLI001"
+    name = "cli-doc-sync"
+    description = (
+        "every argparse subcommand and --flag in repro/cli.py is "
+        "documented in docs/CLI.md"
+    )
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        module = ctx.module(CLI_SUFFIX)
+        if module is None:
+            return
+        subcommands = []
+        options = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr == "add_parser":
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    value = node.args[0].value
+                    if isinstance(value, str):
+                        subcommands.append((value, node.lineno, node.col_offset))
+            elif node.func.attr == "add_argument":
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        if arg.value.startswith("--"):
+                            options.append((arg.value, arg.lineno, arg.col_offset))
+        if not subcommands and not options:
+            return
+        doc = ctx.doc_text(DOC)
+        if doc is None:
+            anchor = subcommands[0] if subcommands else options[0]
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=anchor[1],
+                col=anchor[2],
+                message=f"{DOC} not found; CLI surface cannot be verified",
+            )
+            return
+        for name, line, col in subcommands:
+            if f"mapit {name}" not in doc:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=line,
+                    col=col,
+                    message=f"subcommand {name!r} is not documented in {DOC}",
+                )
+        for option, line, col in options:
+            if option == "--help":
+                continue
+            pattern = re.escape(option) + r"(?![A-Za-z0-9-])"
+            if not re.search(pattern, doc):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=line,
+                    col=col,
+                    message=f"flag {option} is not documented in {DOC}",
+                )

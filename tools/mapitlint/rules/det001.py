@@ -1,0 +1,142 @@
+"""DET001 — unordered-iteration hazards.
+
+Multipass inference is order-sensitive by construction (MAP-IT §4:
+each pass reads the previous pass's inferences), so any iteration
+whose order the runtime does not guarantee can change results between
+runs and break the byte-exact golden bundles.  Flags:
+
+* ``for``/comprehension iteration directly over a ``set`` literal,
+  ``set()``/``frozenset()`` call, set comprehension, or a set-algebra
+  method result (``union``/``intersection``/``difference``/
+  ``symmetric_difference``) — wrap in ``sorted(...)`` to fix;
+* ``os.listdir``/``glob.glob``/``glob.iglob``/``Path.glob``/
+  ``Path.rglob``/``Path.iterdir`` results not passed directly to
+  ``sorted(...)`` — filesystem enumeration order is platform noise;
+* unseeded ``random`` module-level functions (and bare
+  ``random.seed()``) outside ``repro.sim`` — simulation code draws
+  from explicitly seeded ``random.Random`` instances instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import (
+    call_name,
+    is_wrapped_in,
+    iteration_sources,
+)
+
+SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+FS_CALLS = {"os.listdir", "listdir", "glob.glob", "glob.iglob"}
+FS_METHODS = {"glob", "rglob", "iterdir"}
+#: random-module functions whose results depend on hidden global state
+RANDOM_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes",
+}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in SET_METHODS:
+            return True
+    return False
+
+
+@register
+class UnorderedIteration(Rule):
+    rule_id = "DET001"
+    name = "unordered-iteration"
+    description = (
+        "iteration over sets, unsorted directory listings, or unseeded "
+        "random state feeding deterministic output"
+    )
+
+    def check_module(self, module, ctx) -> Iterator[Finding]:
+        parents = module.parent_map()
+
+        for source in iteration_sources(module.tree):
+            if _is_set_expression(source):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=source.lineno,
+                    col=source.col_offset,
+                    message=(
+                        "iterating a set: order is arbitrary; wrap in "
+                        "sorted(...) before the order can leak into output"
+                    ),
+                )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            is_fs = name in FS_CALLS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in FS_METHODS
+                and name not in FS_CALLS
+                and not (name or "").startswith("glob.")
+            )
+            if is_fs and not is_wrapped_in(node, parents, ("sorted",)):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "filesystem enumeration order is not deterministic; "
+                        "pass the result directly to sorted(...)"
+                    ),
+                )
+
+        if "/sim/" in "/" + module.relpath:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in ("Random", "SystemRandom")
+                )
+                if bad:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"unseeded random import ({', '.join(bad)}): use an "
+                            "explicitly seeded random.Random instance"
+                        ),
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name and name.startswith("random."):
+                    func = name.split(".", 1)[1]
+                    unseeded = func in RANDOM_FUNCS or (
+                        func == "seed" and not node.args
+                    )
+                    if unseeded:
+                        yield Finding(
+                            rule=self.rule_id,
+                            path=module.relpath,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"{name}() draws from hidden global state; use "
+                                "an explicitly seeded random.Random instance"
+                            ),
+                        )

@@ -1,0 +1,117 @@
+"""DET002 — wall-clock and entropy calls in golden-covered modules.
+
+The golden-bundle suite asserts byte-identical output for identical
+inputs, so the inference pipeline must never read wall-clock time or
+an entropy source.  Timing belongs in ``repro.obs`` (whose volatile
+keys are stripped before comparison) and randomness in ``repro.sim``
+(seeded); both trees are excluded.  ``time.perf_counter`` /
+``time.monotonic`` are allowed everywhere — they feed timers, not
+output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import call_name
+
+#: dotted call names that read wall-clock time or entropy
+FORBIDDEN_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "os.getrandom",
+}
+
+#: these read the current time only when called without arguments
+FORBIDDEN_WHEN_ARGLESS = {"time.ctime", "time.localtime", "time.gmtime"}
+
+#: from-imports that smuggle the same calls in under bare names
+FORBIDDEN_IMPORTS = {
+    "time": {"time", "time_ns", "ctime", "localtime", "gmtime"},
+    "uuid": {"uuid1", "uuid4"},
+    "os": {"urandom", "getrandom"},
+}
+
+EXCLUDED_SEGMENTS = ("/sim/", "/obs/")
+
+
+@register
+class WallClockEntropy(Rule):
+    rule_id = "DET002"
+    name = "wall-clock-entropy"
+    description = (
+        "wall-clock or entropy reads in modules the byte-exact golden "
+        "runs cover"
+    )
+
+    def check_module(self, module, ctx) -> Iterator[Finding]:
+        slashed = "/" + module.relpath
+        if any(segment in slashed for segment in EXCLUDED_SEGMENTS):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                forbidden = name in FORBIDDEN_CALLS or (
+                    name in FORBIDDEN_WHEN_ARGLESS and not node.args
+                ) or name.startswith("secrets.")
+                if forbidden:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{name}() is nondeterministic; golden runs must "
+                            "be a pure function of their inputs (timing goes "
+                            "through repro.obs, randomness through seeded "
+                            "repro.sim state)"
+                        ),
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                bad = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in FORBIDDEN_IMPORTS.get(node.module or "", ())
+                )
+                if bad:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"importing {', '.join(bad)} from {node.module}: "
+                            "wall-clock/entropy reads are banned in "
+                            "golden-covered modules"
+                        ),
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "secrets":
+                        yield Finding(
+                            rule=self.rule_id,
+                            path=module.relpath,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                "the secrets module is an entropy source; "
+                                "golden-covered modules must stay "
+                                "deterministic"
+                            ),
+                        )

@@ -1,0 +1,109 @@
+"""ERR001 — error hygiene.
+
+The resilience layer (``repro.robust``) exists so corruption is
+*quantified*, never silently absorbed: every rejected record feeds an
+``IngestError``/``ErrorBudget``.  A handler that catches everything
+and tells no one defeats that design.  Flags:
+
+* a bare ``except:`` — also traps ``KeyboardInterrupt``/``SystemExit``;
+* ``except Exception`` / ``except BaseException`` (alone or in a
+  tuple) whose body neither re-raises nor accounts for the error —
+  accounting meaning a call into logging/health/metrics machinery
+  (``record``, ``warn``, ``inc``, ``emit``, …) or any ``ErrorBudget``
+  use.
+
+Narrow handlers (``except KeyError: continue``) are fine — catching a
+*specific* expected condition is control flow, not error suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import dotted_name
+
+BROAD = {"Exception", "BaseException"}
+
+#: callable attribute/function names that count as accounting for the
+#: caught error (logging, health records, metrics, budget checks)
+ACCOUNTING_CALLS = {
+    "record", "log", "debug", "info", "warning", "warn", "error",
+    "exception", "critical", "inc", "event", "emit", "check", "fail",
+    "add_error", "print",
+}
+
+
+def _names_in(node: ast.AST):
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _names_in(element)
+    else:
+        name = dotted_name(node)
+        if name:
+            yield name.rsplit(".", 1)[-1]
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return False  # bare: reported separately
+    return any(name in BROAD for name in _names_in(handler.type))
+
+
+def _accounts_for_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            attr = None
+            if isinstance(func, ast.Attribute):
+                attr = func.attr
+            elif isinstance(func, ast.Name):
+                attr = func.id
+            if attr in ACCOUNTING_CALLS:
+                return True
+        name = dotted_name(node) if isinstance(node, (ast.Name, ast.Attribute)) else None
+        if name and "ErrorBudget" in name:
+            return True
+    return False
+
+
+@register
+class ErrorHygiene(Rule):
+    rule_id = "ERR001"
+    name = "error-hygiene"
+    description = (
+        "bare excepts and broad handlers that swallow errors without "
+        "re-raise, logging, or ErrorBudget accounting"
+    )
+
+    def check_module(self, module, ctx) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "bare except: traps KeyboardInterrupt/SystemExit too; "
+                        "name the exception types"
+                    ),
+                )
+            elif _is_broad(node) and not _accounts_for_error(node):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "broad except swallows the error: re-raise, log, or "
+                        "account for it (ErrorBudget / health record / "
+                        "metrics)"
+                    ),
+                )

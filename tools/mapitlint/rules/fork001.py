@@ -1,0 +1,164 @@
+"""FORK001 — fork-pool safety.
+
+The ``repro.perf`` execution layer hands workers to ``fork`` pools
+(:func:`repro.perf.pool.fork_map`); the contract is that workers are
+module-level functions pickled *by reference* and that shard results
+merge order-independently.  Flags:
+
+* a lambda, bound method (``self.x`` / ``cls.x``), or nested function
+  passed as the worker to ``fork_map`` or a pool ``map``-family call —
+  these either fail to pickle or drag instance state across the fork;
+* any use of ``imap_unordered`` — completion-order results break the
+  deterministic order-preserving merge the golden runs rely on;
+* inside ``repro.perf`` modules, a function body that declares
+  ``global`` and assigns the name — module-level mutable state mutated
+  post-fork diverges silently between parent and children (the
+  parent-side copy-on-write stash in ``pool.py`` is the one sanctioned
+  pattern, pragma-annotated there).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import dotted_name
+
+POOL_METHODS = {"map", "imap", "starmap", "map_async", "starmap_async", "apply_async"}
+
+
+def _worker_call_info(node: ast.Call):
+    """(is_pool_call, worker_arg) for fork_map / pool-map-family calls."""
+    func = node.func
+    name = dotted_name(func)
+    if name and (name == "fork_map" or name.endswith(".fork_map")):
+        return True, (node.args[0] if node.args else None)
+    if isinstance(func, ast.Attribute) and func.attr in POOL_METHODS:
+        receiver = dotted_name(func.value) or ""
+        if "pool" in receiver.lower():
+            return True, (node.args[0] if node.args else None)
+    return False, None
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: Set[str] = set()
+    module_level = {
+        stmt.name
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if inner.name not in module_level:
+                        nested.add(inner.name)
+    return nested
+
+
+@register
+class ForkSafety(Rule):
+    rule_id = "FORK001"
+    name = "fork-safety"
+    description = (
+        "unpicklable or state-dragging workers handed to fork pools, "
+        "order-breaking pool calls, and post-fork global mutation"
+    )
+
+    def check_module(self, module, ctx) -> Iterator[Finding]:
+        nested = _nested_function_names(module.tree)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "imap_unordered"
+            ):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "imap_unordered yields results in completion order; "
+                        "the deterministic merge requires shard order"
+                    ),
+                )
+                continue
+            is_pool, worker = _worker_call_info(node)
+            if not is_pool or worker is None:
+                continue
+            if isinstance(worker, ast.Lambda):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=worker.lineno,
+                    col=worker.col_offset,
+                    message=(
+                        "lambda passed as a pool worker: workers must be "
+                        "module-level functions picklable by reference"
+                    ),
+                )
+            elif isinstance(worker, ast.Attribute):
+                base = dotted_name(worker.value)
+                if base in ("self", "cls"):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=worker.lineno,
+                        col=worker.col_offset,
+                        message=(
+                            "bound method passed as a pool worker: pickling "
+                            "drags the whole instance across the fork; use a "
+                            "module-level function"
+                        ),
+                    )
+            elif isinstance(worker, ast.Name) and worker.id in nested:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=worker.lineno,
+                    col=worker.col_offset,
+                    message=(
+                        f"nested function {worker.id!r} passed as a pool "
+                        "worker: closures do not pickle; hoist it to module "
+                        "level"
+                    ),
+                )
+
+        if "/perf/" not in "/" + module.relpath:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: Set[str] = set()
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Global):
+                    declared.update(stmt.names)
+            if not declared:
+                continue
+            for stmt in ast.walk(node):
+                targets = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in declared:
+                        yield Finding(
+                            rule=self.rule_id,
+                            path=module.relpath,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            message=(
+                                f"assignment to module global {target.id!r} "
+                                "inside a repro.perf function: post-fork "
+                                "mutation diverges between parent and workers"
+                            ),
+                        )

@@ -1,0 +1,86 @@
+"""OBS001 — tracer/metric name ↔ docs/OBSERVABILITY.md sync.
+
+The observability docs are the schema consumers parse traces and
+metrics against, so every *literal* event, counter, gauge, span, and
+timer name emitted in ``src/`` must appear in docs/OBSERVABILITY.md.
+Names built at runtime (f-strings, variables) are skipped — only
+string literals are checkable statically.  Span names are accepted
+when the doc mentions either the raw name or its exported
+``span.<name>`` timer form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import first_string_arg
+
+DOC = "docs/OBSERVABILITY.md"
+
+#: facade/registry methods whose first argument is an emitted name
+EMIT_METHODS = {"event", "emit", "inc", "gauge", "span", "observe", "set_gauge"}
+
+
+@register
+class ObservabilityNameSync(Rule):
+    rule_id = "OBS001"
+    name = "obs-name-sync"
+    description = (
+        "every literal trace-event / metric / span name emitted in code "
+        "is documented in docs/OBSERVABILITY.md"
+    )
+
+    def _emitted_names(self, module) -> List[Tuple[str, str, int, int]]:
+        names = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method not in EMIT_METHODS:
+                continue
+            literal = first_string_arg(node)
+            if literal is None:
+                continue
+            names.append((method, literal, node.lineno, node.col_offset))
+        return names
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        sites = []
+        for module in ctx.modules:
+            if "repro/" not in module.relpath:
+                continue
+            for method, name, line, col in self._emitted_names(module):
+                sites.append((module, method, name, line, col))
+        if not sites:
+            return
+        doc = ctx.doc_text(DOC)
+        if doc is None:
+            first = sites[0][0]
+            yield Finding(
+                rule=self.rule_id,
+                path=first.relpath,
+                line=sites[0][3],
+                col=sites[0][4],
+                message=f"{DOC} not found; emitted names cannot be verified",
+            )
+            return
+        for module, method, name, line, col in sites:
+            documented = name in doc
+            if not documented and method in ("span", "observe"):
+                documented = f"span.{name}" in doc
+            if not documented:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"{method} name {name!r} is not documented in {DOC}; "
+                        "add it to the event schema / metrics tables"
+                    ),
+                )
