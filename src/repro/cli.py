@@ -486,6 +486,18 @@ def cmd_inspect_trace(args) -> int:
     return 0
 
 
+def cmd_diff(args) -> int:
+    """Forward to the differential harness (``python -m repro.diff``).
+
+    Arguments pass through verbatim — the harness owns its own flag
+    set (docs/DIFFERENTIAL_TESTING.md documents it), so ``mapit diff``
+    never drifts out of sync with ``python -m repro.diff``.
+    """
+    from repro.diff.cli import main as diff_main
+
+    return diff_main(args.diff_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mapit",
@@ -565,10 +577,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", action="store_true", help="also print the per-rule event census"
     )
     inspect_trace.set_defaults(func=cmd_inspect_trace)
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential testing against the paper-literal oracle",
+        add_help=False,
+    )
+    diff.add_argument("diff_args", nargs=argparse.REMAINDER)
+    diff.set_defaults(func=cmd_diff)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "diff":
+        # Forwarded before argparse sees the flags: REMAINDER does not
+        # capture a leading option-like token (python issue 17050), and
+        # the harness owns its own flag set anyway.
+        return cmd_diff(argparse.Namespace(diff_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -266,8 +266,14 @@ def _fix_inverse_inferences(engine: Engine) -> tuple:
     mistaken one: the forward inference is topologically nearer to the
     monitors.  We discard the backward inference — unless a direct
     inference also exists on the other side of *b*, in which case
-    neither is nearer and both conflicting inferences are kept but
+    neither is nearer and every conflicting inference is kept but
     marked uncertain.
+
+    All matching predecessors are considered, not just the first in
+    address order: when several inverse-forward inferences surround one
+    backward inference, the remove-vs-uncertain outcome and the set of
+    flagged forward inferences must not depend on predecessor address
+    ordering.
     """
     state = engine.state
     removed = 0
@@ -284,6 +290,7 @@ def _fix_inverse_inferences(engine: Engine) -> tuple:
         local = engine.canonical(backward.local_as)
         remote = engine.canonical(backward.remote_as)
         # b appears in N_F(a) exactly when a appears in N_B(b).
+        matching = []
         for predecessor in sorted(engine.graph.n_backward(half[0])):
             forward_half = (predecessor, FORWARD)
             forward = state.direct.get(forward_half)
@@ -294,16 +301,21 @@ def _fix_inverse_inferences(engine: Engine) -> tuple:
                 or engine.canonical(forward.remote_as) != local
             ):
                 continue
-            partner = engine.other_side_half(half)
-            tracing = engine.obs.tracer.enabled
-            if partner is not None and partner in state.direct:
-                if not backward.uncertain:
-                    backward.uncertain = True
-                    uncertain += 1
-                    if tracing:
-                        engine.obs.event(
-                            "inference.uncertain", rule="inverse", **half_fields(half)
-                        )
+            matching.append((forward_half, forward))
+        if not matching:
+            continue
+        partner = engine.other_side_half(half)
+        tracing = engine.obs.tracer.enabled
+        if partner is not None and partner in state.direct:
+            if not backward.uncertain:
+                backward.uncertain = True
+                uncertain += 1
+                if tracing:
+                    engine.obs.event(
+                        "inference.uncertain", rule="inverse", **half_fields(half)
+                    )
+            state.uncertain_log.setdefault(half, backward)
+            for forward_half, forward in matching:
                 if not forward.uncertain:
                     forward.uncertain = True
                     uncertain += 1
@@ -313,20 +325,18 @@ def _fix_inverse_inferences(engine: Engine) -> tuple:
                             rule="inverse",
                             **half_fields(forward_half),
                         )
-                state.uncertain_log.setdefault(half, backward)
                 state.uncertain_log.setdefault(forward_half, forward)
                 state.uncertain_pairs += 1
-            else:
-                state.remove_direct(half)
-                state.inverse_removed += 1
-                removed += 1
-                if tracing:
-                    engine.obs.event(
-                        "inference.removed",
-                        rule="inverse",
-                        local_as=backward.local_as,
-                        remote_as=backward.remote_as,
-                        **half_fields(half),
-                    )
-            break
+        else:
+            state.remove_direct(half)
+            state.inverse_removed += 1
+            removed += 1
+            if tracing:
+                engine.obs.event(
+                    "inference.removed",
+                    rule="inverse",
+                    local_as=backward.local_as,
+                    remote_as=backward.remote_as,
+                    **half_fields(half),
+                )
     return removed, uncertain

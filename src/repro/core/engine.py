@@ -33,6 +33,21 @@ from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
 
 
+def most_frequent_member(members: Dict[int, int], default: int) -> int:
+    """The most frequent AS in a member tally, lowest ASN on ties.
+
+    Section 4.4.1: when a sibling group wins a count, the recorded
+    connected AS is the group's most frequent member.  Both the add
+    step's plurality and the remove step's dominance tally go through
+    this one helper so the two passes can never disagree about which
+    member AS a sibling group stands for.
+    """
+    if not members:
+        return default
+    top = max(members.values())
+    return min(asn for asn, count in members.items() if count == top)
+
+
 @dataclass(frozen=True)
 class Plurality:
     """Outcome of counting a neighbor set (the Alg 2 line 3–5 tally).
@@ -166,10 +181,7 @@ class Engine:
                 tied = True
         if tied or best_group is None or best_group <= 0:
             return None
-        members = member_counts[best_group]
-        member_as = min(
-            (asn for asn, count in members.items() if count == max(members.values())),
-        )
+        member_as = most_frequent_member(member_counts[best_group], best_group)
         return Plurality(best_group, member_as, best_count, total)
 
     def dominance(self, half: Half, canonical_as: int) -> Plurality:
@@ -177,8 +189,9 @@ class Engine:
         step's section 4.5 dominance test (Alg 3 line 4)."""
         group_counts, member_counts, total = self.count_groups(half)
         count = group_counts.get(canonical_as, 0)
-        members = member_counts.get(canonical_as, {})
-        member_as = min(members, default=canonical_as)
+        member_as = most_frequent_member(
+            member_counts.get(canonical_as, {}), canonical_as
+        )
         return Plurality(canonical_as, member_as, count, total)
 
     # -- other sides ---------------------------------------------------------

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.diff``."""
+
+import sys
+
+from repro.diff.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

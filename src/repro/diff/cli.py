@@ -1,0 +1,205 @@
+"""``python -m repro.diff`` — the differential sweep driver.
+
+Sweeps seeded simulator worlds through oracle vs. production engine
+(both §4.5 remove-rule readings by default), layers the metamorphic
+invariant checks on the same worlds, replays checked-in regression
+bundles, and — with ``--shrink`` — minimizes any diverging world and
+writes it under ``tests/fixtures/regressions/``.
+
+Exit status is 0 only when every comparison and every invariant held,
+so CI can run it directly (the ``diff`` job in ci.yml does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.config import REMOVE_ADD_RULE, REMOVE_MAJORITY
+from repro.diff.harness import DEFAULT_RULES, compare_world
+from repro.diff.metamorphic import check_world
+from repro.diff.shrink import divergence_predicate, shrink_world, write_regression
+from repro.diff.worlds import PRESETS, world_from_bundle, world_from_preset
+from repro.obs.metrics import Metrics
+from repro.obs.observer import NULL_OBS, Observability
+from repro.obs.trace import Tracer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.diff",
+        description="differential + metamorphic testing of repro.core "
+        "against the paper-literal oracle",
+    )
+    parser.add_argument(
+        "--worlds", type=int, default=20, help="number of sweep worlds (default 20)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="first world seed (default 0)"
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="small",
+        help="scenario preset for sweep worlds (default small)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="both",
+        choices=(REMOVE_MAJORITY, REMOVE_ADD_RULE, "both"),
+        help="remove-rule reading(s) to compare under (default both)",
+    )
+    parser.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic invariant checks",
+    )
+    parser.add_argument(
+        "--replay",
+        action="append",
+        default=[],
+        metavar="BUNDLE",
+        help="also compare a saved world bundle (repeatable); "
+        "regression bundles replay under their recorded remove rule",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimize any diverging world and write the repro bundle",
+    )
+    parser.add_argument(
+        "--regressions-dir",
+        default="tests/fixtures/regressions",
+        help="where --shrink writes repro bundles "
+        "(default tests/fixtures/regressions)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable summary on stdout"
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="write observability events (JSON lines)"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="write diff.* metric counters (JSON)"
+    )
+    return parser
+
+
+def _rules_for(choice: str) -> List[str]:
+    if choice == "both":
+        return list(DEFAULT_RULES)
+    return [choice]
+
+
+def _build_obs(args) -> Observability:
+    """An observability handle for the parsed flags (NULL when unused).
+
+    Matches the main CLI's determinism choice: traces are written
+    without wall-clock timestamps.
+    """
+    if not (args.trace or args.metrics):
+        return NULL_OBS
+    tracer = Tracer.to_file(args.trace, timestamps=False) if args.trace else None
+    metrics = Metrics() if args.metrics else None
+    return Observability(tracer=tracer, metrics=metrics)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    obs = _build_obs(args)
+    rules = _rules_for(args.rules)
+    summary = {
+        "worlds": 0,
+        "comparisons": 0,
+        "divergences": 0,
+        "metamorphic_failures": 0,
+        "replayed": 0,
+        "shrunk": [],
+    }
+    failed = False
+
+    def handle_divergence(world, rule, outcome) -> None:
+        nonlocal failed
+        failed = True
+        print(outcome.report or f"world {world.name}: diverged", file=sys.stderr)
+        if args.shrink:
+            predicate = divergence_predicate(rule)
+            shrunk, report = shrink_world(world, predicate, obs=obs)
+            path = write_regression(
+                shrunk,
+                rule,
+                args.regressions_dir,
+                extra_manifest={"shrink": report.stages},
+            )
+            summary["shrunk"].append(str(path))
+            print(
+                f"  minimized {report.original_traces} -> {report.final_traces} "
+                f"traces ({report.tests_run} predicate runs); wrote {path}",
+                file=sys.stderr,
+            )
+
+    for index in range(args.worlds):
+        world = world_from_preset(args.preset, args.seed + index)
+        summary["worlds"] += 1
+        for rule in rules:
+            outcome = compare_world(world, rule, obs=obs)
+            summary["comparisons"] += 1
+            summary["divergences"] += len(outcome.divergences)
+            if not outcome.ok:
+                handle_divergence(world, rule, outcome)
+        if not args.no_metamorphic:
+            meta = check_world(world, rules[0], seed=args.seed + index, obs=obs)
+            summary["metamorphic_failures"] += len(meta.failures)
+            if not meta.ok:
+                failed = True
+                for failure in meta.failures[:3]:
+                    print(failure.summary(), file=sys.stderr)
+
+    for bundle in args.replay:
+        world = world_from_bundle(bundle)
+        summary["replayed"] += 1
+        replay_rules = rules
+        recorded = None
+        try:
+            manifest = json.loads((Path(bundle) / "manifest.json").read_text())
+            recorded = manifest.get("diff", {}).get("remove_rule")
+        except (OSError, ValueError, AttributeError):
+            recorded = None  # no manifest: replay under the sweep rules
+        if recorded in (REMOVE_MAJORITY, REMOVE_ADD_RULE):
+            replay_rules = [recorded]
+        for rule in replay_rules:
+            outcome = compare_world(world, rule, obs=obs)
+            summary["comparisons"] += 1
+            summary["divergences"] += len(outcome.divergences)
+            if not outcome.ok:
+                handle_divergence(world, rule, outcome)
+
+    if obs.enabled:
+        obs.event(
+            "diff.sweep.end",
+            worlds=summary["worlds"],
+            comparisons=summary["comparisons"],
+            divergences=summary["divergences"],
+            metamorphic_failures=summary["metamorphic_failures"],
+        )
+        if args.metrics and obs.metrics is not None:
+            obs.metrics.write(args.metrics)
+        obs.close()
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{summary['worlds']} world(s) + {summary['replayed']} replay(s), "
+            f"{summary['comparisons']} comparison(s): "
+            f"{summary['divergences']} divergence(s), "
+            f"{summary['metamorphic_failures']} metamorphic failure(s)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

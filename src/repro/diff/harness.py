@@ -1,0 +1,271 @@
+"""The differential harness: oracle vs. production engine, half by half.
+
+For each world the harness runs the paper-literal oracle
+(:mod:`repro.oracle`) and the production engine
+(:mod:`repro.core.mapit`) on identical inputs and compares the final
+inference sets keyed by interface half.  Any disagreement — a half
+inferred by only one side, or inferred with a different AS pair, kind,
+or uncertainty — is a :class:`Divergence`, and the first one per world
+is rendered as a readable report: the half, which side said what, both
+sides' final neighbor-set tallies, and the oracle's journal of every
+rule that touched the half (iteration, pass, rule).
+
+Emits ``diff.*`` metrics (docs/OBSERVABILITY.md) when given an
+:class:`~repro.obs.observer.Observability`.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import (
+    MapItConfig,
+    REMOVE_ADD_RULE,
+    REMOVE_MAJORITY,
+)
+from repro.core.mapit import MapIt
+from repro.diff.worlds import World
+from repro.graph.neighbors import InterfaceGraph, build_interface_graph
+from repro.obs.observer import NULL_OBS, Observability
+from repro.oracle import OracleConfig, OracleResult, oracle_run
+from repro.traceroute.sanitize import sanitize_traces
+
+#: the remove-rule readings a sweep exercises by default (§4.5 prose
+#: vs. Alg 3 literal)
+DEFAULT_RULES = (REMOVE_MAJORITY, REMOVE_ADD_RULE)
+
+#: a comparable inference record: (local_as, remote_as, kind, uncertain)
+Record = Tuple[int, int, str, bool]
+Half = Tuple[int, bool]
+
+
+def oracle_config_for(config: MapItConfig) -> OracleConfig:
+    """Map the production config onto the oracle's own knobs.
+
+    Field-by-field on purpose: the oracle must not import
+    :class:`MapItConfig`, and a new production knob should fail loudly
+    here rather than silently diverge.
+    """
+    return OracleConfig(
+        f=config.f,
+        min_neighbors=config.min_neighbors,
+        remove_rule=config.remove_rule,
+        max_iterations=config.max_iterations,
+        enable_stub_heuristic=config.enable_stub_heuristic,
+        fix_dual_inferences=config.fix_dual_inferences,
+        fix_divergent_other_sides=config.fix_divergent_other_sides,
+        fix_inverse_inferences=config.fix_inverse_inferences,
+        enable_remove_step=config.enable_remove_step,
+    )
+
+
+@dataclass
+class Divergence:
+    """One half on which the two implementations disagree."""
+
+    half: Half
+    core: Optional[Record]
+    oracle: Optional[Record]
+
+    def summary(self) -> str:
+        def render(record: Optional[Record]) -> str:
+            if record is None:
+                return "(no inference)"
+            local, remote, kind, uncertain = record
+            flag = " uncertain" if uncertain else ""
+            return f"AS{local} <-> AS{remote} [{kind}{flag}]"
+
+        address, forward = self.half
+        direction = "forward" if forward else "backward"
+        return (
+            f"half ({address}, {direction}): "
+            f"core={render(self.core)} oracle={render(self.oracle)}"
+        )
+
+
+@dataclass
+class WorldOutcome:
+    """Result of one world under one remove rule."""
+
+    world: str
+    remove_rule: str
+    divergences: List[Divergence] = field(default_factory=list)
+    core_inferences: int = 0
+    oracle_inferences: int = 0
+    report: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def core_records(
+    graph: InterfaceGraph, world: World, config: MapItConfig
+) -> Tuple[Dict[Half, Record], MapIt]:
+    """Run the production engine; returns its record map and the run
+    object (kept alive so the divergence report can re-tally halves)."""
+    mapit = MapIt(graph, world.ip2as(), world.as2org, world.relationships, config)
+    result = mapit.run()
+    records: Dict[Half, Record] = {}
+    for inference in result.inferences + result.uncertain:
+        records[(inference.address, inference.forward)] = (
+            inference.local_as,
+            inference.remote_as,
+            inference.kind,
+            inference.uncertain,
+        )
+    return records, mapit
+
+
+def oracle_records(
+    graph: InterfaceGraph, world: World, config: OracleConfig
+) -> Tuple[Dict[Half, Record], OracleResult]:
+    """Run the reference implementation; returns its record map and the
+    full result (journal included)."""
+    result = oracle_run(graph, world.ip2as(), world.as2org, world.relationships, config)
+    records: Dict[Half, Record] = {}
+    for record in result.confident + result.uncertain:
+        records[record.half] = (
+            record.local_as,
+            record.remote_as,
+            record.kind,
+            record.uncertain,
+        )
+    return records, result
+
+
+def build_graph(world: World) -> InterfaceGraph:
+    """Sanitize (§4.1) and build the interface graph (§4.2–4.3) once;
+    both implementations consume the same graph object."""
+    report = sanitize_traces(world.traces)
+    return build_interface_graph(report.traces)
+
+
+def _oracle_tally(
+    graph: InterfaceGraph,
+    world: World,
+    half: Half,
+    visible: Dict[Half, int],
+) -> Tuple[Dict[int, int], int]:
+    """Re-tally *half*'s neighbor set under the oracle's final visible
+    mappings (for the report only; the oracle itself stays untouched)."""
+    ip2as = world.ip2as()
+    org = world.as2org
+    neighbor_direction = not half[1]
+    groups: Dict[int, int] = {}
+    total = 0
+    for neighbor in sorted(graph.neighbors(half[0], half[1])):
+        asn = visible.get((neighbor, neighbor_direction), ip2as.asn(neighbor))
+        group = asn if asn <= 0 else org.canonical(asn)
+        groups[group] = groups.get(group, 0) + 1
+        total += 1
+    return groups, total
+
+
+def _tally_text(tally: Dict[int, int]) -> str:
+    if not tally:
+        return "(empty neighbor set)"
+    parts = [f"AS{asn}x{count}" for asn, count in sorted(tally.items())]
+    return " ".join(parts)
+
+
+def first_divergence_report(
+    world: World,
+    rule: str,
+    divergence: Divergence,
+    mapit: MapIt,
+    oracle_result: OracleResult,
+) -> str:
+    """Render the first divergence of a world as a readable report:
+    the half, both final answers, both final tallies, and the oracle's
+    journal of the half (iteration, pass, rule)."""
+    half = divergence.half
+    lines = [
+        f"world {world.name} (remove_rule={rule}): first divergence",
+        f"  {divergence.summary()}",
+    ]
+    engine = mapit.engine
+    core_groups, _, core_total = engine.count_groups(half)
+    lines.append(
+        f"  core final tally   ({core_total} neighbors): {_tally_text(core_groups)}"
+    )
+    journal = oracle_result.journal_for(half)
+    oracle_groups, oracle_total = _oracle_tally(
+        engine.graph, world, half, oracle_result.final_visible
+    )
+    lines.append(
+        f"  oracle final tally ({oracle_total} neighbors): {_tally_text(oracle_groups)}"
+    )
+    if journal:
+        lines.append("  oracle journal for this half:")
+        for entry in journal:
+            detail = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("iteration", "pass", "rule", "address", "forward")
+            }
+            suffix = f" {detail}" if detail else ""
+            lines.append(
+                f"    iteration {entry['iteration']} pass {entry['pass']}: "
+                f"{entry['rule']}{suffix}"
+            )
+    else:
+        lines.append("  oracle journal for this half: (no entries)")
+    return "\n".join(lines)
+
+
+def compare_world(
+    world: World,
+    remove_rule: str = REMOVE_MAJORITY,
+    config: Optional[MapItConfig] = None,
+    obs: Observability = NULL_OBS,
+) -> WorldOutcome:
+    """Run oracle and core on *world* and diff the final inferences."""
+    if config is None:
+        config = MapItConfig(remove_rule=remove_rule)
+    with obs.span("diff/world"):
+        graph = build_graph(world)
+        core_map, mapit = core_records(graph, world, config)
+        oracle_map, oracle_result = oracle_records(
+            graph, world, oracle_config_for(config)
+        )
+    outcome = WorldOutcome(
+        world=world.name,
+        remove_rule=remove_rule,
+        core_inferences=len(core_map),
+        oracle_inferences=len(oracle_map),
+    )
+    for half in sorted(set(core_map) | set(oracle_map)):
+        core = core_map.get(half)
+        oracle = oracle_map.get(half)
+        if core != oracle:
+            outcome.divergences.append(Divergence(half, core, oracle))
+    if outcome.divergences:
+        outcome.report = first_divergence_report(
+            world, remove_rule, outcome.divergences[0], mapit, oracle_result
+        )
+    if obs.enabled:
+        obs.inc("diff.worlds")
+        obs.inc("diff.divergences", len(outcome.divergences))
+    return outcome
+
+
+def world_diverges(
+    world: World, remove_rule: str = REMOVE_MAJORITY
+) -> bool:
+    """The shrinker's predicate: does *world* still diverge?"""
+    try:
+        return not compare_world(world, remove_rule).ok
+    except Exception as exc:
+        # A world mutilated into an outright crash is not a
+        # reproduction of the original divergence; the shrinker must
+        # reject the step, not die mid-minimization.
+        logging.getLogger(__name__).debug(
+            "shrink candidate %s crashed: %s: %s",
+            world.name,
+            type(exc).__name__,
+            exc,
+        )
+        return False

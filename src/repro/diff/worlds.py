@@ -1,0 +1,307 @@
+"""Worlds: the unit of input the differential harness runs on.
+
+A :class:`World` is a self-contained MAP-IT input — traces plus the
+raw datasets the IP2AS stack is assembled from — in a mutable shape
+the shrinker can carve up and the metamorphic checks can transform,
+and that round-trips through the standard dataset-directory format
+(:mod:`repro.io`) so a failing world can be checked in as a regression
+bundle and replayed by ``python -m repro.diff --replay``.
+
+Worlds come from three places: seeded :mod:`repro.sim` scenarios (the
+sweep), saved bundles (replay), and transformations of other worlds
+(metamorphic checks and shrinking).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.bgp.cymru import CymruTable
+from repro.bgp.ip2as import IP2AS, IP2ASBuilder
+from repro.bgp.origins import merge_collectors
+from repro.bgp.table import Announcement, CollectorDump
+from repro.io.atomic import atomic_write_json, atomic_write_lines
+from repro.io.bundle import load_bundle
+from repro.ixp.dataset import IXPDataset, IXPRecord
+from repro.org.as2org import AS2Org
+from repro.rel.relationships import RelationshipDataset
+from repro.sim.presets import dense_scenario, paper_scenario, small_scenario
+from repro.sim.scenario import Scenario
+from repro.traceroute.model import Trace
+from repro.traceroute.parse import traces_to_text_lines
+
+#: preset name -> scenario factory, as accepted by ``--preset``
+PRESETS = {
+    "small": small_scenario,
+    "paper": paper_scenario,
+    "dense": dense_scenario,
+}
+
+
+@dataclass
+class World:
+    """One differential-testing input: traces plus raw datasets.
+
+    ``router_addresses`` (router key -> its interface addresses) and
+    ``address_as`` (address -> ground-truth AS) are shrink metadata:
+    they let the shrinker drop whole routers and whole ASes instead of
+    only whole traces.  Both may be empty for replayed bundles that
+    never recorded them.
+    """
+
+    name: str
+    traces: List[Trace]
+    collector_dumps: List[CollectorDump] = field(default_factory=list)
+    cymru: CymruTable = field(default_factory=CymruTable)
+    ixp: IXPDataset = field(default_factory=IXPDataset)
+    as2org: AS2Org = field(default_factory=AS2Org)
+    relationships: RelationshipDataset = field(default_factory=RelationshipDataset)
+    router_addresses: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    address_as: Dict[int, int] = field(default_factory=dict)
+
+    def ip2as(self) -> IP2AS:
+        """Assemble the composite IP2AS mapper from the raw datasets,
+        exactly the way :func:`repro.io.bundle.load_bundle` does."""
+        builder = IP2ASBuilder()
+        if self.collector_dumps:
+            builder.add_bgp(merge_collectors(self.collector_dumps))
+        builder.add_cymru(self.cymru)
+        builder.set_ixp(self.ixp)
+        return builder.build()
+
+    def replaced(self, **changes) -> "World":
+        """A shallow copy with *changes* applied (shrinker steps)."""
+        return replace(self, **changes)
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write this world as a loadable dataset directory.
+
+        The layout matches :func:`repro.io.save.save_scenario`; shrink
+        metadata rides along inside ``manifest.json`` under ``"diff"``
+        so a replayed regression world can keep shrinking.
+        """
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        checksums: Dict[str, str] = {}
+        checksums["traces.txt"] = atomic_write_lines(
+            root / "traces.txt", traces_to_text_lines(self.traces)
+        )
+        bgp_dir = root / "bgp"
+        bgp_dir.mkdir(exist_ok=True)
+        for dump in self.collector_dumps:
+            checksums[f"bgp/{dump.name}.txt"] = atomic_write_lines(
+                bgp_dir / f"{dump.name}.txt", dump.dump_lines()
+            )
+        checksums["cymru.txt"] = atomic_write_lines(
+            root / "cymru.txt", self.cymru.dump_lines()
+        )
+        checksums["ixp.txt"] = atomic_write_lines(root / "ixp.txt", self.ixp.dump_lines())
+        checksums["as2org.txt"] = atomic_write_lines(
+            root / "as2org.txt", self.as2org.dump_lines()
+        )
+        checksums["relationships.txt"] = atomic_write_lines(
+            root / "relationships.txt", self.relationships.dump_lines()
+        )
+        manifest = {
+            "format": "mapit-dataset-v1",
+            "traces": len(self.traces),
+            "collectors": [dump.name for dump in self.collector_dumps],
+            "checksums": {
+                name: f"sha256:{value}" for name, value in sorted(checksums.items())
+            },
+            "diff": {
+                "world": self.name,
+                "router_addresses": {
+                    str(router): sorted(addresses)
+                    for router, addresses in sorted(self.router_addresses.items())
+                },
+                "address_as": {
+                    str(address): asn for address, asn in sorted(self.address_as.items())
+                },
+            },
+        }
+        atomic_write_json(root / "manifest.json", manifest)
+        return root
+
+
+def world_from_scenario(scenario: Scenario, name: str) -> World:
+    """Wrap a built :class:`~repro.sim.scenario.Scenario` as a world,
+    capturing the router/AS structure the shrinker needs."""
+    return World(
+        name=name,
+        traces=list(scenario.traces),
+        collector_dumps=list(scenario.collector_dumps),
+        cymru=scenario.cymru,
+        ixp=scenario.ixp_dataset,
+        as2org=scenario.as2org,
+        relationships=scenario.relationships,
+        router_addresses=scenario.router_addresses(),
+        address_as=dict(scenario.ground_truth.router_as),
+    )
+
+
+def world_from_preset(preset: str, seed: int) -> World:
+    """Build the *seed*-th world of a named preset sweep."""
+    try:
+        factory = PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r} (choose from {sorted(PRESETS)})"
+        ) from None
+    return world_from_scenario(factory(seed=seed), name=f"{preset}-seed{seed}")
+
+
+def world_from_bundle(directory: Union[str, Path]) -> World:
+    """Load a saved world (e.g. a checked-in regression bundle).
+
+    Raw datasets are re-read from the individual files rather than
+    through the composite mapper so the world stays transformable;
+    shrink metadata is recovered from the manifest when present.
+    """
+    root = Path(directory)
+    bundle = load_bundle(root)
+    dumps: List[CollectorDump] = []
+    bgp_dir = root / "bgp"
+    if bgp_dir.is_dir():
+        for path in sorted(bgp_dir.glob("*.txt")):
+            with open(path) as handle:
+                dumps.append(CollectorDump.from_lines(handle.read().splitlines()))
+    cymru = CymruTable()
+    cymru_path = root / "cymru.txt"
+    if cymru_path.exists():
+        with open(cymru_path) as handle:
+            cymru = CymruTable.from_lines(handle.read().splitlines())
+    ixp = IXPDataset()
+    ixp_path = root / "ixp.txt"
+    if ixp_path.exists():
+        with open(ixp_path) as handle:
+            ixp = IXPDataset.from_lines(handle.read().splitlines())
+    diff_meta = bundle.manifest.get("diff", {}) if bundle.manifest else {}
+    router_addresses = {
+        int(router): tuple(addresses)
+        for router, addresses in diff_meta.get("router_addresses", {}).items()
+    }
+    address_as = {
+        int(address): asn for address, asn in diff_meta.get("address_as", {}).items()
+    }
+    return World(
+        name=diff_meta.get("world", root.name),
+        traces=list(bundle.traces),
+        collector_dumps=dumps,
+        cymru=cymru,
+        ixp=ixp,
+        as2org=bundle.as2org,
+        relationships=bundle.relationships,
+        router_addresses=router_addresses,
+        address_as=address_as,
+    )
+
+
+# -- metamorphic transformations ------------------------------------------
+
+
+def permute_traces(world: World, rng: random.Random) -> World:
+    """Shuffle trace order (§4.4.5: results must not depend on it)."""
+    traces = list(world.traces)
+    rng.shuffle(traces)
+    return world.replaced(name=f"{world.name}+permuted", traces=traces)
+
+
+def duplicate_traces(world: World, rng: random.Random, fraction: float = 0.3) -> World:
+    """Re-append a random sample of traces (duplicate observations of
+    the same paths add no neighbor-set members, so inferences must not
+    change)."""
+    traces = list(world.traces)
+    count = max(1, int(len(traces) * fraction))
+    traces.extend(rng.sample(list(world.traces), min(count, len(traces))))
+    return world.replaced(name=f"{world.name}+duplicated", traces=traces)
+
+
+def renumber_ases(world: World, rng: random.Random) -> Tuple[World, Dict[int, int]]:
+    """Relabel every AS number, order-preserving; returns the mapping.
+
+    Inference output must be invariant modulo the relabeling.  The
+    relabeling keeps relative ASN order (each AS moves up by a random
+    cumulative offset) because the documented sibling-member tie-break
+    is ordinal — "lowest ASN wins" — so an order-*reversing* relabel
+    could legitimately flip tie decisions.  Absolute values, however,
+    must never matter, which is exactly what this checks.
+    """
+    asns = set(world.address_as.values())
+    asns.update(world.relationships.all_ases())
+    for group in world.as2org.groups():
+        asns.update(group)
+    for dump in world.collector_dumps:
+        for announcement in dump:
+            asns.update(announcement.as_path)
+    for _, origin in world.cymru.items():
+        asns.add(origin)
+    for record in world.ixp:
+        if record.asn is not None:
+            asns.add(record.asn)
+    mapping: Dict[int, int] = {}
+    next_value = 0
+    for asn in sorted(asn for asn in asns if asn > 0):
+        next_value += rng.randint(1, 1000)
+        mapping[asn] = next_value
+    for asn in asns:
+        if asn <= 0:
+            mapping[asn] = asn  # sentinels are not AS numbers
+
+    def m(asn: int) -> int:
+        return mapping.get(asn, asn)
+
+    dumps = []
+    for dump in world.collector_dumps:
+        renumbered = CollectorDump(name=dump.name, location=dump.location)
+        for announcement in dump:
+            renumbered.add(
+                Announcement(
+                    prefix=announcement.prefix,
+                    as_path=tuple(m(asn) for asn in announcement.as_path),
+                )
+            )
+        dumps.append(renumbered)
+    cymru = CymruTable()
+    for prefix, origin in world.cymru.items():
+        cymru.add(prefix, m(origin))
+    ixp = IXPDataset(
+        IXPRecord(prefix=record.prefix, asn=m(record.asn), name=record.name)
+        for record in world.ixp
+    )
+    as2org = AS2Org()
+    for index, group in enumerate(world.as2org.groups()):
+        as2org.add_siblings(sorted(m(asn) for asn in group), org_name=f"org-{index}")
+    relationships = RelationshipDataset()
+    for asn in world.relationships.all_ases():
+        for customer in world.relationships.customers(asn):
+            relationships.add_p2c(m(asn), m(customer))
+        for peer in world.relationships.peers(asn):
+            if asn < peer:
+                relationships.add_p2p(m(asn), m(peer))
+    renumbered_world = world.replaced(
+        name=f"{world.name}+renumbered",
+        collector_dumps=dumps,
+        cymru=cymru,
+        ixp=ixp,
+        as2org=as2org,
+        relationships=relationships,
+        address_as={address: m(asn) for address, asn in world.address_as.items()},
+    )
+    return renumbered_world, mapping
+
+
+def world_sweep(preset: str, worlds: int, seed: int) -> List[World]:
+    """The deterministic world list of one sweep: seeds ``seed`` to
+    ``seed + worlds - 1`` of *preset*."""
+    return [world_from_preset(preset, seed + index) for index in range(worlds)]
+
+
+def load_worlds(paths: List[Union[str, Path]]) -> List[World]:
+    """Load a list of saved world bundles (``--replay``)."""
+    return [world_from_bundle(path) for path in paths]

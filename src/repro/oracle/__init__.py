@@ -1,0 +1,23 @@
+"""Paper-literal reference implementation of MAP-IT (the *oracle*).
+
+This package exists solely to check :mod:`repro.core`: it restates
+Algorithms 1–4 of the paper directly, with none of the production
+engine's caching, observability, or ordering tricks, so that the
+differential harness (:mod:`repro.diff`) can compare the two
+implementations inference-by-inference on seeded synthetic worlds.
+
+Independence is the whole point — the oracle must never import
+anything from ``repro.core`` (enforced statically by mapitlint rule
+ORA001), because a shared helper would share the bug the harness is
+supposed to catch.  It consumes only the algorithm's *inputs*: the
+interface graph, the IP2AS mapper, sibling data, and relationships.
+"""
+
+from repro.oracle.reference import (
+    OracleConfig,
+    OracleRecord,
+    OracleResult,
+    oracle_run,
+)
+
+__all__ = ["OracleConfig", "OracleRecord", "OracleResult", "oracle_run"]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -39,6 +40,8 @@ LINE_FAULTS = ("garbled_line", "invalid_address", "null_field", "byte_flip")
 FILE_FAULTS = ("truncated_file", "empty_file")
 #: in-memory trace fault kinds, applicable to Trace objects
 TRACE_FAULTS = ("cycle", "all_gaps", "truncated_hops")
+#: engine-logic fault kinds, applicable via :func:`engine_fault`
+ENGINE_FAULTS = ("count_inflate", "member_high")
 
 FAULT_KINDS = LINE_FAULTS + FILE_FAULTS
 
@@ -274,3 +277,64 @@ class FaultInjector:
             if index >= count:
                 raise SimulatedCrash(f"simulated crash after {count} item(s)")
             yield item
+
+
+# ----------------------------------------------------------------------
+# engine-logic faults
+
+
+def _half_selected(half, rate: float, seed: int) -> bool:
+    """Deterministic per-half selection: the same (seed, half) always
+    decides the same way, independent of call order or call count."""
+    return random.Random(f"{seed}:{half[0]}:{half[1]}").random() < rate
+
+
+@contextmanager
+def engine_fault(kind: str = "count_inflate", rate: float = 0.3, seed: int = 0):
+    """Temporarily seed a counting bug into the production engine.
+
+    The differential harness (:mod:`repro.diff`) needs a way to prove
+    it *would* catch a real tally bug, and the shrinker needs genuine
+    diverging worlds to minimize.  Within the context,
+    :meth:`repro.core.engine.Engine.plurality` misbehaves on a
+    deterministic *rate* fraction of halves:
+
+    ``count_inflate``
+        reports the winning count one higher than it is, so the f
+        threshold (and the add_rule remove test) passes where it
+        should fail;
+    ``member_high``
+        records the *highest*-numbered member AS of the winning
+        sibling group instead of the most frequent one.
+
+    The paper-literal oracle is untouched, so every misbehaving half
+    that changes an inference becomes a divergence.  The original
+    method is restored on exit, even on error.
+    """
+    if kind not in ENGINE_FAULTS:
+        raise ValueError(f"unknown engine fault kind {kind!r}")
+    from repro.core.engine import Engine, Plurality
+
+    original = Engine.plurality
+
+    def faulty(self, half):
+        result = original(self, half)
+        if result is None or not _half_selected(half, rate, seed):
+            return result
+        if kind == "count_inflate":
+            return Plurality(
+                result.canonical_as,
+                result.member_as,
+                result.count + 1,
+                result.total,
+            )
+        _, member_counts, _ = self.count_groups(half)
+        members = member_counts.get(result.canonical_as, {})
+        member = max(members) if members else result.member_as
+        return Plurality(result.canonical_as, member, result.count, result.total)
+
+    Engine.plurality = faulty
+    try:
+        yield
+    finally:
+        Engine.plurality = original

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bgp.cymru import CymruTable
 from repro.bgp.ip2as import IP2AS
@@ -99,6 +99,21 @@ class Scenario:
             targets.append(self.re_asn)
         targets.extend(self.tier1_asns[:2])
         return targets
+
+    def router_addresses(self) -> Dict[int, Tuple[int, ...]]:
+        """Every router's interface addresses, sorted.
+
+        Structural export for the differential shrinker
+        (:mod:`repro.diff.shrink`): dropping a whole router at a time
+        minimizes worlds far faster than trace-level ddmin alone.
+        """
+        by_router: Dict[int, List[int]] = {}
+        for address, router_id, _ in self.network.interfaces():
+            by_router.setdefault(router_id, []).append(address)
+        return {
+            router: tuple(sorted(addresses))
+            for router, addresses in by_router.items()
+        }
 
 
 def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:

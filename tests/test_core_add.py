@@ -167,3 +167,70 @@ class TestSingleInferencePerStep:
         assert result.converged
         backward = on(result, "212.113.9.210", forward=False)
         assert backward == []
+
+
+class TestInverseFixAllPredecessors:
+    """Section 4.4.4 with *two* predecessors carrying the inverse
+    forward inference: the fix must consider every matching
+    predecessor, not stop at the first in address order."""
+
+    PAIRS = [
+        ("198.71.44.0/22", 11537),
+        ("192.73.48.0/24", 3807),
+    ]
+    # Both 198.71.46.197 and 198.71.46.217 carry the forward inference
+    # AS11537 -> AS3807; 192.73.48.120 carries the inverse backward
+    # inference; 192.73.48.121 (its other side) corroborates, so the
+    # whole conflicting family must be kept but flagged uncertain.
+    LINES = [
+        "m1|192.73.48.99|198.71.45.10 198.71.46.197 192.73.48.120 192.73.48.99",
+        "m2|192.73.48.98|198.71.45.14 198.71.46.197 192.73.48.124 192.73.48.98",
+        "m3|192.73.48.97|198.71.45.18 198.71.46.217 192.73.48.120 192.73.48.97",
+        "m3|192.73.48.96|198.71.45.22 198.71.46.217 192.73.48.124 192.73.48.96",
+        "m4|198.71.45.99|192.73.48.121 198.71.46.198 198.71.45.99",
+        "m4|198.71.45.98|192.73.48.121 198.71.46.218 198.71.45.98",
+    ]
+
+    def test_every_matching_forward_flagged_uncertain(self):
+        result = run(self.LINES, self.PAIRS)
+        uncertain_addresses = {i.address for i in result.uncertain}
+        assert addr("192.73.48.120") in uncertain_addresses
+        assert addr("198.71.46.197") in uncertain_addresses
+        # The regression: the second predecessor used to be skipped,
+        # leaving its forward inference confidently wrong.
+        assert addr("198.71.46.217") in uncertain_addresses
+        confident = {i.address for i in result.inferences}
+        assert addr("198.71.46.217") not in confident
+
+    def test_outcome_matches_oracle(self):
+        """The paper-literal oracle agrees on the whole record set."""
+        from repro.graph.neighbors import build_interface_graph
+        from repro.org.as2org import AS2Org
+        from repro.oracle import oracle_run
+        from repro.rel.relationships import RelationshipDataset
+        from repro.traceroute.sanitize import sanitize_traces
+
+        traces = list(parse_text_traces(self.LINES))
+        ip2as = IP2AS.from_pairs(self.PAIRS)
+        core = run_mapit(traces, ip2as, config=MapItConfig(f=0.5))
+        graph = build_interface_graph(sanitize_traces(traces).traces)
+        oracle = oracle_run(graph, ip2as, AS2Org(), RelationshipDataset(), None)
+
+        def core_map(result):
+            return {
+                (i.address, i.forward): (i.local_as, i.remote_as, i.kind, i.uncertain)
+                for i in result.inferences + result.uncertain
+            }
+
+        def oracle_map(result):
+            return {
+                record.half: (
+                    record.local_as,
+                    record.remote_as,
+                    record.kind,
+                    record.uncertain,
+                )
+                for record in result.confident + result.uncertain
+            }
+
+        assert core_map(core) == oracle_map(oracle)

@@ -164,3 +164,64 @@ class TestCandidates:
         )
         candidates = engine.candidate_halves()
         assert candidates == sorted(candidates)
+
+
+class TestDominanceMemberAlignment:
+    """The remove step's dominance tally and the add step's plurality
+    must agree on which member AS a sibling group stands for
+    (most-frequent member, lowest ASN on ties) — a disagreement would
+    let the remove step demote an inference the add step just made."""
+
+    SIBLING_LINES = [
+        "m|9.9.9.1|9.0.0.1 9.1.0.1",
+        "m|9.9.9.2|9.0.0.1 9.2.0.1",
+        "m|9.9.9.3|9.0.0.1 9.2.0.5",
+    ]
+
+    def test_sibling_group_member_matches_plurality(self):
+        org = AS2Org.from_pairs([(200, 300)])
+        engine = make_engine(self.SIBLING_LINES, BASE_PAIRS, org=org)
+        engine.state.refresh_visible()
+        half = (addr("9.0.0.1"), FORWARD)
+        plurality = engine.plurality(half)
+        dominance = engine.dominance(half, plurality.canonical_as)
+        # AS300 appears twice, AS200 once: the most frequent member
+        # wins on both sides even though AS200 is the lower number.
+        assert plurality.member_as == 300
+        assert dominance.member_as == 300
+        assert dominance.count == plurality.count == 3
+
+    def test_dominance_of_absent_group_falls_back_to_canonical(self):
+        engine = make_engine(self.SIBLING_LINES, BASE_PAIRS)
+        engine.state.refresh_visible()
+        dominance = engine.dominance((addr("9.0.0.1"), FORWARD), 999)
+        assert dominance.count == 0
+        assert dominance.member_as == 999
+
+
+class TestMostFrequentMember:
+    def test_ties_break_to_lowest_asn(self):
+        from repro.core.engine import most_frequent_member
+
+        assert most_frequent_member({300: 2, 200: 2}, 0) == 200
+        assert most_frequent_member({300: 3, 200: 2}, 0) == 300
+        assert most_frequent_member({}, 7) == 7
+
+    def test_matches_naive_reference_on_seeded_tallies(self):
+        """Property test against the obviously-correct (but O(n^2))
+        sort-based reference the fast helper replaced."""
+        import random
+
+        from repro.core.engine import most_frequent_member
+
+        rng = random.Random(20160814)
+        for _ in range(300):
+            members = {
+                rng.randint(1, 40): rng.randint(1, 9)
+                for _ in range(rng.randint(0, 15))
+            }
+            if members:
+                naive = sorted(members.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+            else:
+                naive = 77
+            assert most_frequent_member(members, 77) == naive

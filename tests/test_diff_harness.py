@@ -1,0 +1,282 @@
+"""The differential harness end to end: sweeps, metamorphic checks,
+fault-driven divergence detection, shrinking, regression-bundle
+round-trips, and the remove-rule reading divergence fixture.
+
+The harness exists to catch *future* bugs, so these tests seed a known
+fault (:func:`repro.robust.faults.engine_fault`) and check the whole
+chain fires: the sweep detects the divergence, the report names the
+half and both tallies, the shrinker minimizes the world, and the
+written bundle replays the divergence while staying clean against the
+unfaulted engine.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import MapItConfig, run_mapit
+from repro.bgp.ip2as import IP2AS
+from repro.core.engine import Engine
+from repro.diff.cli import main as diff_main
+from repro.diff.harness import (
+    DEFAULT_RULES,
+    compare_world,
+    oracle_config_for,
+    world_diverges,
+)
+from repro.diff.metamorphic import CHECKS, check_world
+from repro.diff.shrink import regression_name, shrink_world, write_regression
+from repro.diff.worlds import (
+    PRESETS,
+    duplicate_traces,
+    permute_traces,
+    renumber_ases,
+    world_from_bundle,
+    world_from_preset,
+)
+from repro.graph.neighbors import build_interface_graph
+from repro.org.as2org import AS2Org
+from repro.oracle import oracle_run
+from repro.rel.relationships import RelationshipDataset
+from repro.robust.faults import engine_fault
+from repro.traceroute.parse import parse_text_traces
+from repro.traceroute.sanitize import sanitize_traces
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_BUNDLE = REPO_ROOT / "tests" / "fixtures" / "regressions" / (
+    "small-seed4-shrunk-majority"
+)
+
+#: the seeded fault every detection test uses: always pick the
+#: highest-numbered sibling member instead of the most frequent one
+FAULT = dict(kind="member_high", rate=1.0, seed=1)
+#: a world where that fault is known to change the answer
+FAULTY_SEED = 4
+
+
+class TestSweep:
+    @pytest.mark.parametrize("rule", DEFAULT_RULES)
+    def test_small_worlds_agree(self, rule):
+        for seed in (0, 1):
+            outcome = compare_world(world_from_preset("small", seed), rule)
+            assert outcome.ok, outcome.report
+            assert outcome.core_inferences == outcome.oracle_inferences > 0
+
+    def test_presets_cover_all_factories(self):
+        assert set(PRESETS) == {"small", "paper", "dense"}
+
+    def test_oracle_config_mapping_is_total(self):
+        config = MapItConfig(f=0.7, min_neighbors=3, remove_rule="add_rule")
+        mapped = oracle_config_for(config)
+        assert mapped.f == 0.7
+        assert mapped.min_neighbors == 3
+        assert mapped.remove_rule == "add_rule"
+
+
+class TestMetamorphic:
+    def test_invariants_hold_on_clean_world(self):
+        outcome = check_world(world_from_preset("small", 0), seed=0)
+        assert outcome.ok, [f.summary() for f in outcome.failures]
+        assert outcome.checks == len(CHECKS) == 3
+
+    def test_transforms_change_what_they_claim(self):
+        import random
+
+        world = world_from_preset("small", 0)
+        permuted = permute_traces(world, random.Random(0))
+        assert sorted(map(str, permuted.traces)) == sorted(map(str, world.traces))
+        duplicated = duplicate_traces(world, random.Random(0))
+        assert len(duplicated.traces) > len(world.traces)
+        renumbered, mapping = renumber_ases(world, random.Random(0))
+        assert set(mapping) >= set(world.address_as.values())
+        # order-preserving: the relabeling never flips an ASN comparison
+        ordered = sorted(asn for asn in mapping if asn > 0)
+        relabeled = [mapping[asn] for asn in ordered]
+        assert relabeled == sorted(relabeled)
+        assert len(set(relabeled)) == len(relabeled)
+
+
+class TestFaultDetection:
+    def test_seeded_fault_diverges_and_reports(self):
+        world = world_from_preset("small", FAULTY_SEED)
+        with engine_fault(**FAULT):
+            outcome = compare_world(world, "majority")
+        assert not outcome.ok
+        assert "first divergence" in outcome.report
+        assert "core final tally" in outcome.report
+        assert "oracle final tally" in outcome.report
+        assert "oracle journal" in outcome.report
+
+    def test_fault_restores_engine(self):
+        original = Engine.plurality
+        with engine_fault(**FAULT):
+            assert Engine.plurality is not original
+        assert Engine.plurality is original
+        assert compare_world(world_from_preset("small", FAULTY_SEED), "majority").ok
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            with engine_fault(kind="nope"):
+                pass
+
+
+class TestShrinker:
+    def test_minimizes_faulty_world(self):
+        world = world_from_preset("small", FAULTY_SEED)
+
+        def predicate(candidate):
+            with engine_fault(**FAULT):
+                return world_diverges(candidate, "majority")
+
+        assert predicate(world)
+        shrunk, report = shrink_world(world, predicate)
+        assert predicate(shrunk), "the minimized world must still diverge"
+        assert report.final_traces < report.original_traces
+        assert report.final_traces <= 5
+        assert report.tests_run > 0
+        assert any(stage.startswith("traces:") for stage in report.stages)
+
+    def test_write_regression_round_trips(self, tmp_path):
+        world = world_from_preset("small", 0)
+        path = write_regression(world, "majority", tmp_path, {"note": "fixture"})
+        assert path.name == regression_name(world, "majority")
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["diff"]["remove_rule"] == "majority"
+        assert manifest["diff"]["note"] == "fixture"
+        replayed = world_from_bundle(path)
+        assert compare_world(replayed, "majority").ok
+        # shrink metadata survives, so a replayed world can keep shrinking
+        assert replayed.router_addresses == world.router_addresses
+        assert replayed.address_as == world.address_as
+
+
+class TestRegressionFixture:
+    """The checked-in bundle produced by shrinking the seeded fault."""
+
+    def test_bundle_exists_and_is_minimal(self):
+        assert FIXTURE_BUNDLE.is_dir()
+        world = world_from_bundle(FIXTURE_BUNDLE)
+        assert len(world.traces) <= 5
+
+    def test_replays_clean_against_fixed_engine(self):
+        world = world_from_bundle(FIXTURE_BUNDLE)
+        outcome = compare_world(world, "majority")
+        assert outcome.ok, outcome.report
+
+    def test_replays_divergence_with_fault_armed(self):
+        world = world_from_bundle(FIXTURE_BUNDLE)
+        with engine_fault(**FAULT):
+            assert not compare_world(world, "majority").ok
+
+
+class TestRemoveRuleReadings:
+    """Section 4.5's two defensible readings genuinely differ: a
+    strict-plurality winner at exactly half the neighbor set survives
+    the add-rule re-check but fails the majority test."""
+
+    PAIRS = [
+        ("9.0.0.0/16", 100),
+        ("9.1.0.0/16", 200),
+        ("9.2.0.0/16", 300),
+        ("9.3.0.0/16", 400),
+    ]
+    # N_F(9.0.0.1) = {AS200 x2, AS300, AS400}: plurality AS200 with
+    # count 2 of 4 — passes f=0.5 and the strict-winner test, but
+    # 2*2 > 4 is false.
+    LINES = [
+        "m1|9.9.9.1|9.0.0.1 9.1.0.1",
+        "m2|9.9.9.2|9.0.0.1 9.1.0.5",
+        "m3|9.9.9.3|9.0.0.1 9.2.0.1",
+        "m4|9.9.9.4|9.0.0.1 9.3.0.1",
+    ]
+
+    def run_rule(self, rule):
+        return run_mapit(
+            list(parse_text_traces(self.LINES)),
+            IP2AS.from_pairs(self.PAIRS),
+            config=MapItConfig(f=0.5, remove_rule=rule),
+        )
+
+    def half_inferences(self, result):
+        from repro.net.ipv4 import parse_address
+
+        target = parse_address("9.0.0.1")
+        return [
+            i for i in result.inferences if i.address == target and i.forward
+        ]
+
+    def test_rules_diverge_on_fixture(self):
+        majority = self.half_inferences(self.run_rule("majority"))
+        add_rule = self.half_inferences(self.run_rule("add_rule"))
+        assert majority == []  # demoted/removed: 2*2 > 4 fails
+        assert len(add_rule) == 1 and add_rule[0].remote_as == 200
+
+    @pytest.mark.parametrize("rule", DEFAULT_RULES)
+    def test_each_reading_matches_oracle(self, rule):
+        core = self.run_rule(rule)
+        traces = list(parse_text_traces(self.LINES))
+        graph = build_interface_graph(sanitize_traces(traces).traces)
+        oracle = oracle_run(
+            graph,
+            IP2AS.from_pairs(self.PAIRS),
+            AS2Org(),
+            RelationshipDataset(),
+            oracle_config_for(MapItConfig(f=0.5, remove_rule=rule)),
+        )
+        core_map = {
+            (i.address, i.forward): (i.local_as, i.remote_as, i.kind, i.uncertain)
+            for i in core.inferences + core.uncertain
+        }
+        oracle_map = {
+            r.half: (r.local_as, r.remote_as, r.kind, r.uncertain)
+            for r in oracle.confident + oracle.uncertain
+        }
+        assert core_map == oracle_map
+
+
+class TestCLI:
+    def test_sweep_json_summary(self, capsys):
+        code = diff_main(["--worlds", "2", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["worlds"] == 2
+        assert summary["comparisons"] == 4  # both rules by default
+        assert summary["divergences"] == 0
+        assert summary["metamorphic_failures"] == 0
+
+    def test_single_rule_flag(self, capsys):
+        code = diff_main(["--worlds", "1", "--rules", "majority", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["comparisons"] == 1
+
+    def test_replay_fixture_bundle(self, capsys):
+        code = diff_main(
+            ["--worlds", "0", "--no-metamorphic", "--replay", str(FIXTURE_BUNDLE)]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+    def test_observability_outputs(self, tmp_path, capsys):
+        trace_path = tmp_path / "diff.jsonl"
+        metrics_path = tmp_path / "diff-metrics.json"
+        code = diff_main(
+            [
+                "--worlds", "1", "--no-metamorphic",
+                "--trace", str(trace_path), "--metrics", str(metrics_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert any(event["event"] == "diff.sweep.end" for event in events)
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["diff.worlds"] == 2  # one world, two rules
+        assert metrics["counters"]["diff.divergences"] == 0
+
+    def test_mapit_diff_subcommand_forwards(self, capsys):
+        from repro.cli import main as mapit_main
+
+        code = mapit_main(["diff", "--worlds", "1", "--no-metamorphic", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["worlds"] == 1

@@ -40,9 +40,9 @@ def rules_hit(findings):
 # -- registry -----------------------------------------------------------------
 
 
-def test_all_six_rules_registered():
+def test_all_rules_registered():
     assert known_ids() == [
-        "CLI001", "DET001", "DET002", "ERR001", "FORK001", "OBS001",
+        "CLI001", "DET001", "DET002", "ERR001", "FORK001", "OBS001", "ORA001",
     ]
 
 
@@ -111,6 +111,52 @@ def test_doc_sync_reports_missing_doc(tmp_path):
     found = lint_paths([root / "src"], root, select=["OBS001"])
     assert len(found) == 1
     assert "not found" in found[0].message
+
+
+# -- ORA001: oracle independence ----------------------------------------------
+
+
+def _oracle_module(tmp_path, body):
+    module = tmp_path / "src" / "repro" / "oracle" / "mod.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(body)
+    return module
+
+
+def test_ora001_forbids_core_imports_in_oracle(tmp_path):
+    module = _oracle_module(
+        tmp_path,
+        "import repro.core\n"
+        "from repro.core.engine import Engine\n"
+        "from repro.core import mapit\n",
+    )
+    found = lint_paths([module], tmp_path, select=["ORA001"])
+    assert len(found) == 3, [str(f) for f in found]
+    assert rules_hit(found) == {"ORA001"}
+    assert "independent of repro.core" in found[0].message
+
+
+def test_ora001_allows_everything_else(tmp_path):
+    module = _oracle_module(
+        tmp_path,
+        "import repro.graph.neighbors\n"
+        "from repro.corelike import thing\n"  # prefix match must be exact
+        "from repro.obs.observer import NULL_OBS\n",
+    )
+    assert lint_paths([module], tmp_path, select=["ORA001"]) == []
+
+
+def test_ora001_ignores_files_outside_oracle(tmp_path):
+    module = tmp_path / "src" / "repro" / "diff" / "mod.py"
+    module.parent.mkdir(parents=True)
+    module.write_text("from repro.core.mapit import MapIt\n")
+    assert lint_paths([module], tmp_path, select=["ORA001"]) == []
+
+
+def test_ora001_repo_oracle_is_independent():
+    found = lint_paths([REPO_ROOT / "src" / "repro" / "oracle"], REPO_ROOT,
+                       select=["ORA001"])
+    assert found == [], [str(f) for f in found]
 
 
 # -- pragmas ------------------------------------------------------------------

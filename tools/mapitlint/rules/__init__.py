@@ -12,4 +12,5 @@ from tools.mapitlint.rules import (  # noqa: F401 - imports register the plugins
     err001,
     fork001,
     obs001,
+    ora001,
 )

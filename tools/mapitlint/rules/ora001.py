@@ -1,0 +1,59 @@
+"""ORA001 — oracle independence from the production engine.
+
+The paper-literal reference implementation (``repro.oracle``) exists
+to check ``repro.core`` differentially (docs/DIFFERENTIAL_TESTING.md),
+which only works while the two share *no code*: an oracle that imports
+an engine helper inherits the helper's bugs, and the harness stops
+being able to see them.  This rule flags any import of ``repro.core``
+(or a submodule) inside ``src/repro/oracle/`` — including imports
+nested in functions, which would evade a top-of-file review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+
+FORBIDDEN = "repro.core"
+ORACLE_DIR = "repro/oracle/"
+
+
+@register
+class OracleIndependence(Rule):
+    rule_id = "ORA001"
+    name = "oracle-independence"
+    description = (
+        "repro.oracle never imports repro.core — the reference "
+        "implementation must not share code with what it checks"
+    )
+
+    def check_module(self, module, ctx) -> Iterator[Finding]:
+        if ORACLE_DIR not in module.relpath:
+            return
+        for node in ast.walk(module.tree):
+            offender = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == FORBIDDEN or alias.name.startswith(
+                        FORBIDDEN + "."
+                    ):
+                        offender = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if source == FORBIDDEN or source.startswith(FORBIDDEN + "."):
+                    offender = source
+            if offender is not None:
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"oracle module imports {offender!r}; the reference "
+                        "implementation must stay independent of repro.core "
+                        "(restate the logic instead — see repro/oracle/__init__.py)"
+                    ),
+                )
