@@ -30,23 +30,35 @@ from typing import Dict, Iterable, List, Optional
 
 from repro import MapItConfig
 from repro.io import load_bundle, save_scenario
+from repro.robust.chaos import CHAOS_SCHEDULES
 from repro.robust.errors import ErrorBudgetExceeded
-from repro.sim.presets import dense_config, paper_config, small_config
+from repro.robust.supervise import ShardDeadlineExhausted
+from repro.sim.presets import dense_config, paper_config, small_config, tiny_config
 from repro.sim.scenario import build_scenario
 
 _PRESETS = {"small": small_config, "paper": paper_config, "dense": dense_config}
+_CHAOS_PRESETS = {"tiny": tiny_config, "small": small_config, "paper": paper_config}
 
 #: exit code for an ingest whose malformed fraction exceeded the budget
 EXIT_BUDGET_EXCEEDED = 3
+#: exit code when a shard missed its deadline on every attempt,
+#: including inline execution (the timeout(1) convention)
+EXIT_SHARD_TIMEOUT = 124
+#: exit code for SIGINT/SIGTERM (128 + SIGINT), after clean teardown
+EXIT_INTERRUPTED = 130
 
 _EPILOG = """\
-exit codes:
-  0  success
-  2  usage or data error (missing ground truth, no verification ASNs,
-     unreadable trace file)
-  3  ingest error budget exceeded: under --on-error lenient/quarantine,
-     more than --max-error-rate of the records were malformed (strict
-     mode exits 3 on the first malformed record)
+exit codes (docs/CLI.md has the full contract table):
+  0    success
+  1    unexpected internal error (uncaught exception)
+  2    usage or data error (missing ground truth, no verification ASNs,
+       unreadable trace file, --resume id mismatch)
+  3    ingest error budget exceeded: under --on-error lenient/quarantine,
+       more than --max-error-rate of the records were malformed (strict
+       mode exits 3 on the first malformed record)
+  124  a shard exceeded --shard-timeout on every attempt, including the
+       final inline one
+  130  interrupted (SIGINT/SIGTERM); workers are terminated promptly
 
 --on-error semantics (simulate/run/evaluate/explain/report):
   strict      abort on the first malformed record (default)
@@ -65,6 +77,16 @@ performance (run/evaluate/explain/report; see docs/PERFORMANCE.md):
   --cache DIR     reuse parsed traces from DIR when the source file's
                   sha256 matches (default $MAPIT_CACHE or off)
   --no-cache      always parse from source
+  --shard-timeout SECONDS
+                  per-shard deadline; late shards are retried and
+                  degraded to inline execution (default
+                  $MAPIT_SHARD_TIMEOUT or none; docs/ROBUSTNESS.md)
+
+resilience (run; see docs/ROBUSTNESS.md):
+  --journal DIR   journal completed units (graph, iterations) to DIR
+                  (default $MAPIT_JOURNAL or off)
+  --resume ID     continue a journaled run from its last durable unit;
+                  output is byte-identical to an uninterrupted run
 """
 
 
@@ -165,17 +187,33 @@ def _add_perf_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache and $MAPIT_CACHE; always parse from source",
     )
+    group.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-shard deadline for pooled work; late shards are retried "
+            "and finally run inline (default $MAPIT_SHARD_TIMEOUT or none)"
+        ),
+    )
 
 
 def _perf_settings(args):
-    """Resolve (jobs, cache_dir) from flags and environment defaults."""
+    """Resolve (jobs, cache_dir, shard_timeout) from flags and env."""
     from repro.perf.pool import default_jobs
+    from repro.robust.supervise import default_shard_timeout
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     cache = None
     if not args.no_cache:
         cache = args.cache or os.environ.get("MAPIT_CACHE") or None
-    return max(1, jobs), cache
+    timeout = (
+        args.shard_timeout
+        if args.shard_timeout is not None
+        else default_shard_timeout()
+    )
+    return max(1, jobs), cache, timeout
 
 
 def _build_obs(args):
@@ -211,7 +249,7 @@ def _load_bundle_checked(args, obs=None):
     """
     from repro.obs import NULL_OBS
 
-    jobs, cache = _perf_settings(args)
+    jobs, cache, shard_timeout = _perf_settings(args)
     try:
         bundle = load_bundle(
             args.dataset,
@@ -220,6 +258,7 @@ def _load_bundle_checked(args, obs=None):
             obs=obs if obs is not None else NULL_OBS,
             jobs=jobs,
             cache=cache,
+            shard_timeout=shard_timeout,
         )
     except ErrorBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -285,13 +324,57 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_run(args) -> int:
+    journal_dir = args.journal or os.environ.get("MAPIT_JOURNAL") or None
+    if args.resume and not journal_dir:
+        print(
+            "error: --resume requires --journal (or $MAPIT_JOURNAL)",
+            file=sys.stderr,
+        )
+        return 2
+    if journal_dir and not args.no_cache and args.cache is None:
+        # Journaled runs default their parse cache next to the journal,
+        # so a resume replays the parse as a verified cache hit.
+        args.cache = os.environ.get("MAPIT_CACHE") or journal_dir
     obs = _build_obs(args)
     try:
         bundle = _load_bundle_checked(args, obs=obs)
         if bundle is None:
             return EXIT_BUDGET_EXCEEDED
-        jobs, _ = _perf_settings(args)
-        result = bundle.run_mapit(_mapit_config(args), obs=obs, jobs=jobs)
+        jobs, _, shard_timeout = _perf_settings(args)
+        config = _mapit_config(args)
+        if journal_dir:
+            from repro.obs import NULL_OBS
+            from repro.robust.journal import (
+                RunJournal,
+                journaled_run,
+                run_identity_for,
+            )
+
+            run_id = run_identity_for(args.dataset, config, args.on_error)
+            if args.resume and args.resume != run_id:
+                print(
+                    f"error: --resume {args.resume} does not match this "
+                    f"dataset and configuration (expected run id {run_id})",
+                    file=sys.stderr,
+                )
+                return 2
+            journal = RunJournal(
+                journal_dir, run_id, obs=obs if obs is not None else NULL_OBS
+            )
+            print(f"journal: run {run_id} in {journal_dir}", file=sys.stderr)
+            result = journaled_run(
+                bundle,
+                config,
+                obs=obs,
+                jobs=jobs,
+                shard_timeout=shard_timeout,
+                journal=journal,
+                resume=bool(args.resume),
+            )
+        else:
+            result = bundle.run_mapit(
+                config, obs=obs, jobs=jobs, shard_timeout=shard_timeout
+            )
     finally:
         _finish_obs(obs, args)
     out = open(args.output, "w") if args.output else sys.stdout
@@ -333,8 +416,10 @@ def cmd_evaluate(args) -> int:
                 "dataset has no groundtruth.txt; nothing to evaluate", file=sys.stderr
             )
             return 2
-        jobs, _ = _perf_settings(args)
-        result = bundle.run_mapit(_mapit_config(args), obs=obs, jobs=jobs)
+        jobs, _, shard_timeout = _perf_settings(args)
+        result = bundle.run_mapit(
+            _mapit_config(args), obs=obs, jobs=jobs, shard_timeout=shard_timeout
+        )
     finally:
         _finish_obs(obs, args)
     report = sanitize_traces(bundle.traces)
@@ -392,8 +477,10 @@ def cmd_report(args) -> int:
     bundle = _load_bundle_checked(args)
     if bundle is None:
         return EXIT_BUDGET_EXCEEDED
-    jobs, _ = _perf_settings(args)
-    result = bundle.run_mapit(_mapit_config(args), jobs=jobs)
+    jobs, _, shard_timeout = _perf_settings(args)
+    result = bundle.run_mapit(
+        _mapit_config(args), jobs=jobs, shard_timeout=shard_timeout
+    )
     print(run_report(result, bundle.relationships, bundle.as2org))
     return 0
 
@@ -486,6 +573,38 @@ def cmd_inspect_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.robust.chaos import replay_bundle, run_chaos, write_bundle
+
+    if args.replay:
+        try:
+            outcome = replay_bundle(
+                args.replay, jobs=args.jobs, workdir=args.workdir
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: unreadable chaos bundle: {exc}", file=sys.stderr)
+            return 2
+    else:
+        schedules = None
+        if args.schedule and "all" not in args.schedule:
+            schedules = list(dict.fromkeys(args.schedule))
+        outcome = run_chaos(
+            preset=args.preset,
+            seed=args.seed,
+            schedules=schedules,
+            jobs=args.jobs,
+            workdir=args.workdir,
+        )
+    for line in outcome.lines():
+        print(line)
+    if not outcome.ok:
+        return 1
+    if args.record:
+        write_bundle(args.record, outcome)
+        print(f"recorded regression bundle at {args.record}", file=sys.stderr)
+    return 0
+
+
 def cmd_diff(args) -> int:
     """Forward to the differential harness (``python -m repro.diff``).
 
@@ -522,6 +641,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("dataset", help="dataset directory")
     run.add_argument("--output", help="write inferences here instead of stdout")
     run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    run.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "journal completed units (graph, multipass iterations) to DIR "
+            "so a crashed run can be resumed (default $MAPIT_JOURNAL or off)"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        help=(
+            "continue the journaled run RUN_ID from its last durable unit; "
+            "the id is printed when journaling starts, and the resumed "
+            "output is byte-identical to an uninterrupted run"
+        ),
+    )
     _add_mapit_options(run)
     _add_robust_options(run)
     _add_obs_options(run)
@@ -585,6 +721,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("diff_args", nargs=argparse.REMAINDER)
     diff.set_defaults(func=cmd_diff)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded world under seeded fault schedules and verify "
+        "output is byte-identical to the fault-free golden run",
+    )
+    chaos.add_argument("--preset", choices=sorted(_CHAOS_PRESETS), default="tiny")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--schedule",
+        action="append",
+        choices=sorted(CHAOS_SCHEDULES) + ["all"],
+        help="fault schedule(s) to run (repeatable; default all)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for faulted runs"
+    )
+    chaos.add_argument(
+        "--workdir",
+        metavar="DIR",
+        help="keep scratch datasets and journals in DIR instead of a temp dir",
+    )
+    chaos.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay a recorded chaos regression bundle (JSON) instead of "
+        "the preset/seed/schedule flags",
+    )
+    chaos.add_argument(
+        "--record",
+        metavar="FILE",
+        help="write a regression bundle (preset, seed, schedules, golden "
+        "sha256) after a passing run",
+    )
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 
@@ -597,7 +768,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the harness owns its own flag set anyway.
         return cmd_diff(argparse.Namespace(diff_args=argv[1:]))
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # SIGTERM during pooled work is routed here too (perf.pool);
+        # children are already terminated and the payload stash restored.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ShardDeadlineExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SHARD_TIMEOUT
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,7 @@ added and removed forever.  The stub heuristic runs once afterwards.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.bgp.ip2as import IP2AS
 from repro.core.add import add_step
@@ -22,6 +22,7 @@ from repro.core.remove import remove_step
 from repro.core.results import (
     Checkpoint,
     DIRECT,
+    EngineSnapshot,
     INDIRECT,
     LinkInference,
     MapItResult,
@@ -65,10 +66,22 @@ class MapIt:
 
     # -- main loop ------------------------------------------------------------
 
-    def run(self) -> MapItResult:
+    def run(
+        self,
+        on_iteration: Optional[Callable[[int, EngineSnapshot], None]] = None,
+        resume: Optional[EngineSnapshot] = None,
+    ) -> MapItResult:
         """Execute Alg 1 (add step, remove step, section 4.6 repeated-
         state convergence, then the Alg 4 stub heuristic) and return
-        the results."""
+        the results.
+
+        *on_iteration* is called after each completed (non-repeating)
+        iteration with a resumable :class:`EngineSnapshot` — the run
+        journal's hook.  *resume* continues the outer loop from such a
+        snapshot instead of a fresh state; because each iteration is a
+        pure function of the state it starts from, the continuation is
+        byte-identical to the uninterrupted run.
+        """
         engine = self.engine
         config = engine.config
         obs = engine.obs
@@ -80,10 +93,17 @@ class MapIt:
                 remove_rule=config.remove_rule,
                 max_iterations=config.max_iterations,
                 stub_heuristic=config.enable_stub_heuristic,
+                resumed_from=resume.iterations if resume is not None else None,
             )
+        if resume is not None:
+            engine.state = resume.state
+            self._checkpoints = list(resume.checkpoints)
+            seen_fingerprints = set(resume.seen_fingerprints)
+            iterations = resume.iterations
+        else:
+            seen_fingerprints = {engine.state.fingerprint()}
+            iterations = 0
         engine.state.refresh_visible()
-        seen_fingerprints = {engine.state.fingerprint()}
-        iterations = 0
         converged = False
         while iterations < config.max_iterations:
             iterations += 1
@@ -113,6 +133,16 @@ class MapIt:
                 converged = True
                 break
             seen_fingerprints.add(fingerprint)
+            if on_iteration is not None:
+                on_iteration(
+                    iterations,
+                    EngineSnapshot(
+                        iterations=iterations,
+                        state=engine.state,
+                        seen_fingerprints=sorted(seen_fingerprints),
+                        checkpoints=list(self._checkpoints),
+                    ),
+                )
         if config.enable_stub_heuristic:
             with obs.span("pass/stub"):
                 stub_step(engine)
@@ -220,6 +250,7 @@ def run_mapit(
     config: Optional[MapItConfig] = None,
     obs: Optional[Observability] = None,
     jobs: int = 1,
+    shard_timeout: Optional[float] = None,
 ) -> MapItResult:
     """Sanitize *traces* (section 4.1), build the interface graph
     (sections 4.2–4.3), and run MAP-IT (Alg 1).
@@ -230,14 +261,18 @@ def run_mapit(
     *jobs > 1* shards sanitization and graph construction across worker
     processes (:mod:`repro.perf.graph`); the inference passes themselves
     are serial either way, and the result is identical
-    (docs/PERFORMANCE.md).
+    (docs/PERFORMANCE.md).  *shard_timeout* is the supervisor's
+    per-shard deadline for the pooled stages (docs/ROBUSTNESS.md).
     """
     if jobs > 1:
         from repro.obs.observer import NULL_OBS
         from repro.perf.graph import build_graph_parallel
 
         graph = build_graph_parallel(
-            list(traces), jobs, obs=obs if obs is not None else NULL_OBS
+            list(traces),
+            jobs,
+            obs=obs if obs is not None else NULL_OBS,
+            shard_timeout=shard_timeout,
         )
         return MapIt(graph, ip2as, org=org, rel=rel, config=config, obs=obs).run()
     if obs is not None:

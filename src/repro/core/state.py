@@ -22,6 +22,7 @@ Key design decisions, each anchored in the paper:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
@@ -163,22 +164,29 @@ class MapItState:
 
     # -- convergence ---------------------------------------------------------
 
-    def fingerprint(self) -> int:
-        """Order-independent hash of the full inference state.
+    def fingerprint(self) -> str:
+        """Deterministic, order-independent digest of the inference state.
 
         Used by section 4.6's stopping rule: the overall loop ends when
-        the state at the end of a remove step repeats.
+        the state at the end of a remove step repeats.  The digest is a
+        sha256 over a canonical sorted encoding — *not* Python's
+        ``hash()``, whose per-process string salt (PYTHONHASHSEED)
+        would make fingerprints incomparable across processes and break
+        ``--resume``, which must match journaled fingerprints from the
+        crashed run.
         """
-        total = 0
-        for half, direct in self.direct.items():
-            total ^= hash(
-                (half, direct.local_as, direct.remote_as, direct.uncertain, "d")
-            )
-        for half, indirect in self.indirect.items():
-            total ^= hash(
-                (half, indirect.remote_as, indirect.source, indirect.detached, "i")
-            )
-        return total
+        lines = sorted(
+            f"d:{half[0]}:{int(half[1])}:{direct.local_as}:"
+            f"{direct.remote_as}:{int(direct.uncertain)}"
+            for half, direct in self.direct.items()
+        )
+        lines += sorted(
+            f"i:{half[0]}:{int(half[1])}:{indirect.remote_as}:"
+            f"{indirect.source[0]}:{int(indirect.source[1])}:"
+            f"{int(indirect.detached)}"
+            for half, indirect in self.indirect.items()
+        )
+        return hashlib.sha256("\n".join(lines).encode("ascii")).hexdigest()
 
     # -- introspection ------------------------------------------------------
 

@@ -55,11 +55,13 @@ class InputBundle:
     manifest: Dict = field(default_factory=dict)
     health: BundleHealth = field(default_factory=BundleHealth)
 
-    def run_mapit(self, config=None, obs=None, jobs=1):
+    def run_mapit(self, config=None, obs=None, jobs=1, shard_timeout=None):
         """Convenience: run MAP-IT over this bundle.
 
         ``jobs > 1`` shards sanitization and graph construction across
         worker processes (:mod:`repro.perf`); the result is identical.
+        ``shard_timeout`` is the supervisor's per-shard deadline
+        (docs/ROBUSTNESS.md).
         """
         from repro import run_mapit
 
@@ -71,6 +73,7 @@ class InputBundle:
             config=config,
             obs=obs,
             jobs=jobs,
+            shard_timeout=shard_timeout,
         )
 
 
@@ -122,6 +125,7 @@ def _ingest_traces_cached(
     obs: Observability,
     jobs: int,
     cache: Optional[Union[str, Path]],
+    shard_timeout: Optional[float] = None,
 ):
     """Ingest the traces file, via the cache and/or worker shards.
 
@@ -162,6 +166,7 @@ def _ingest_traces_cached(
             budget=budget,
             quarantine_dir=quarantine_dir,
             obs=obs,
+            shard_timeout=shard_timeout,
         )
     else:
         traces, report = ingest_trace_file(
@@ -185,6 +190,7 @@ def load_bundle(
     obs: Observability = NULL_OBS,
     jobs: int = 1,
     cache: Optional[Union[str, Path]] = None,
+    shard_timeout: Optional[float] = None,
 ) -> InputBundle:
     """Load a dataset directory (see :mod:`repro.io` for the layout).
 
@@ -227,6 +233,7 @@ def load_bundle(
         obs=obs,
         jobs=jobs,
         cache=cache,
+        shard_timeout=shard_timeout,
     )
     health.ingest = ingest_report
     health.record(

@@ -46,6 +46,7 @@ from typing import List, Optional, Tuple, Union
 from repro.io.atomic import atomic_write_bytes
 from repro.obs.observer import NULL_OBS, Observability
 from repro.robust.errors import IngestReport
+from repro.robust.faults import active_chaos
 from repro.traceroute.model import Hop, Trace
 
 MAGIC = "mapit-bundle-cache"
@@ -162,10 +163,42 @@ class BundleCache:
             "parsed": report.parsed,
             "skipped": report.skipped,
         }
-        self.directory.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(
-            self.entry_path(source_sha256, format),
-            json.dumps(header, separators=(",", ":")).encode() + b"\n" + payload,
-        )
+        path = self.entry_path(source_sha256, format)
+        # Another run racing over the same dataset may have stored this
+        # entry between our miss and now; the overwrite is harmless
+        # (same key -> same content) but worth counting.
+        contended = path.exists()
+        try:
+            chaos = active_chaos()
+            if chaos is not None:
+                chaos.maybe_fail_write("cache")
+            self._ensure_directory()
+            atomic_write_bytes(
+                path,
+                json.dumps(header, separators=(",", ":")).encode()
+                + b"\n"
+                + payload,
+            )
+        except OSError:
+            # A full or read-only disk costs the next run a re-parse,
+            # never this run its result.
+            self.obs.inc("perf.cache.store_failed")
+            return False
+        if contended:
+            self.obs.inc("perf.cache.contended")
         self.obs.inc("perf.cache.stores")
         return True
+
+    def _ensure_directory(self) -> None:
+        """Create the cache directory, tolerating a concurrent creator.
+
+        ``exist_ok=True`` still races on some filesystems when another
+        run creates the directory (or replaces a dangling symlink)
+        between the existence check and the mkdir — retry once before
+        giving up.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            self.obs.inc("perf.cache.contended")
+            self.directory.mkdir(parents=True, exist_ok=True)

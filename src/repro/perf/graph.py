@@ -22,7 +22,7 @@ as the serial builder.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.neighbors import (
     InterfaceGraph,
@@ -79,6 +79,7 @@ def build_graph_parallel(
     traces: Sequence[Trace],
     jobs: int,
     obs: Observability = NULL_OBS,
+    shard_timeout: Optional[float] = None,
 ) -> InterfaceGraph:
     """Sanitize *traces* and build the interface graph across *jobs*
     workers.
@@ -86,11 +87,14 @@ def build_graph_parallel(
     Equivalent to ``sanitize_traces`` + ``build_interface_graph`` with
     ``all_addresses=report.all_addresses``: same neighbor sets, same
     other-side table, same ``graph.built`` event — the sharding is
-    invisible downstream.
+    invisible downstream.  *shard_timeout* is the supervisor's
+    per-shard deadline (docs/ROBUSTNESS.md).
     """
     traces = traces if isinstance(traces, (list, tuple)) else list(traces)
     with obs.span("sanitize+neighbor_sets"):
-        results = fork_map(_graph_shard, traces, len(traces), jobs)
+        results = fork_map(
+            _graph_shard, traces, len(traces), jobs, timeout=shard_timeout, obs=obs
+        )
     graph = InterfaceGraph(
         forward=_merge_tables([r[0] for r in results]),
         backward=_merge_tables([r[1] for r in results]),

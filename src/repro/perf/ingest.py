@@ -97,11 +97,14 @@ def ingest_traces_parallel(
     budget: Optional[ErrorBudget] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
     obs: Observability = NULL_OBS,
+    shard_timeout: Optional[float] = None,
 ) -> Tuple[List[Trace], IngestReport]:
     """Parse *lines* across *jobs* workers under an ingestion policy.
 
     Drop-in equivalent of :func:`repro.robust.ingest.ingest_traces` for
     an in-memory line list: same traces, same report, same exceptions.
+    *shard_timeout* is the supervisor's per-shard deadline
+    (docs/ROBUSTNESS.md).
     """
     if mode not in MODES:
         raise ValueError(f"unknown ingest mode {mode!r}; expected one of {MODES}")
@@ -111,7 +114,13 @@ def ingest_traces_parallel(
         raise ValueError(f"unknown trace format {format!r}; expected one of {FORMATS}")
     with obs.span("ingest"):
         results = fork_map(
-            _ingest_shard, (lines, format, source, mode), len(lines), jobs
+            _ingest_shard,
+            (lines, format, source, mode),
+            len(lines),
+            jobs,
+            timeout=shard_timeout,
+            obs=obs,
+            budget=budget,
         )
     strict_errors = [r.strict_error for r in results if r.strict_error is not None]
     if strict_errors:
@@ -148,6 +157,7 @@ def ingest_trace_file_parallel(
     budget: Optional[ErrorBudget] = None,
     quarantine_dir: Optional[Union[str, Path]] = None,
     obs: Observability = NULL_OBS,
+    shard_timeout: Optional[float] = None,
 ) -> Tuple[List[Trace], IngestReport]:
     """Sharded equivalent of :func:`repro.robust.ingest.ingest_trace_file`.
 
@@ -172,4 +182,5 @@ def ingest_trace_file_parallel(
         budget=budget,
         quarantine_dir=quarantine_dir,
         obs=obs,
+        shard_timeout=shard_timeout,
     )

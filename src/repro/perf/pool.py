@@ -8,17 +8,29 @@ space copy-on-write, so workers receive only ``(start, end)`` index
 ranges and read the payload for free via :func:`shared_payload`.  Only
 the (much smaller) per-shard results are pickled back.
 
-When jobs <= 1, the item list is empty, or the platform has no ``fork``
-start method, :func:`fork_map` degrades to running the worker inline in
-the parent — the degraded path is bit-for-bit the parallel path minus
-the processes, so callers never branch on platform.
+The pooled path runs under the supervisor in
+:mod:`repro.robust.supervise`: per-shard deadlines, dead/hung-worker
+detection, retries with backoff, and inline degradation on the final
+attempt.  When jobs <= 1, the item list is empty, or the platform has
+no ``fork`` start method, :func:`fork_map` degrades to running the
+worker inline in the parent — the degraded path is bit-for-bit the
+parallel path minus the processes, so callers never branch on platform.
+
+A SIGTERM (or Ctrl-C) during a pooled map terminates the children
+promptly, restores the payload stash, and surfaces as
+``KeyboardInterrupt`` so the CLI can exit 130 — no traceback spray
+from every worker.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.observer import NULL_OBS, Observability
 
 #: shard index range: [start, end) over the shared payload's items
 Shard = Tuple[int, int]
@@ -66,12 +78,45 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _sigterm_to_interrupt(signum, frame):
+    """Make SIGTERM follow the SIGINT path: unwind, clean up, exit 130."""
+    raise KeyboardInterrupt
+
+
+class _graceful_sigterm:
+    """Route SIGTERM through ``KeyboardInterrupt`` while a pool runs.
+
+    Only the main thread can re-bind signal handlers; elsewhere this is
+    a no-op and SIGTERM keeps its default hard-kill semantics.
+    """
+
+    def __enter__(self):
+        self._previous = None
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(
+                    signal.SIGTERM, _sigterm_to_interrupt
+                )
+            except (ValueError, OSError):
+                self._previous = None
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._previous is not None:
+            signal.signal(signal.SIGTERM, self._previous)
+        return False
+
+
 def fork_map(
     worker: Callable[[Shard], Any],
     payload: Any,
     count: int,
     jobs: int,
     shards: Optional[Sequence[Shard]] = None,
+    *,
+    timeout: Optional[float] = None,
+    obs: Observability = NULL_OBS,
+    budget=None,
 ) -> List[Any]:
     """Run *worker* over index shards of *payload*, in processes.
 
@@ -79,7 +124,20 @@ def fork_map(
     that reads the payload through :func:`shared_payload`.  Results
     come back in shard order.  With ``jobs <= 1`` — or without fork
     support — the shards run inline in the parent.
+
+    *timeout* is the per-shard deadline in seconds; when ``None`` it
+    falls back to ``MAPIT_SHARD_TIMEOUT``.  Pooled shards that time
+    out, crash, or raise are retried and finally degraded to inline
+    execution by the supervisor; *budget*, when armed, counts the
+    rescued-shard fraction against the run's
+    :class:`~repro.robust.errors.ErrorBudget`.
     """
+    from repro.robust.supervise import (
+        SuperviseConfig,
+        default_shard_timeout,
+        supervised_pool_map,
+    )
+
     global _PAYLOAD
     ranges = list(shards) if shards is not None else shard_ranges(count, jobs)
     # mapitlint: disable=FORK001 -- parent-side CoW stash, set pre-fork
@@ -87,9 +145,17 @@ def fork_map(
     try:
         if jobs <= 1 or count == 0 or len(ranges) <= 1 or not fork_available():
             return [worker(shard) for shard in ranges]
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=min(jobs, len(ranges))) as pool:
-            return pool.map(worker, ranges)
+        if timeout is None:
+            timeout = default_shard_timeout()
+        with _graceful_sigterm():
+            return supervised_pool_map(
+                worker,
+                ranges,
+                jobs,
+                config=SuperviseConfig(timeout=timeout),
+                obs=obs,
+                budget=budget,
+            )
     finally:
         # mapitlint: disable=FORK001 -- parent-side cleanup post-join
         _PAYLOAD = None

@@ -25,12 +25,25 @@ through a write for atomicity tests.
 
 from __future__ import annotations
 
+import errno
 import json
+import os
 import random
+import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.traceroute.model import Hop, Trace
 
@@ -277,6 +290,109 @@ class FaultInjector:
             if index >= count:
                 raise SimulatedCrash(f"simulated crash after {count} item(s)")
             yield item
+
+
+# ----------------------------------------------------------------------
+# process-level chaos
+
+
+@dataclass
+class ChaosInjector:
+    """Seeded process-level fault schedule for the chaos harness.
+
+    One injector describes *when* faults fire, keyed by deterministic
+    coordinates — ``(shard_index, attempt)`` for worker faults, journal
+    sequence numbers for write faults, iteration numbers for crashes —
+    so the same schedule replays identically on every run.  Worker
+    faults are pid-guarded: they only fire in forked children, never in
+    the parent, so the supervisor's inline degradation (and every
+    serial/golden run) always stays clean.
+
+    ``kill_shards``
+        ``(shard_index, attempt)`` pairs whose worker dies abruptly
+        (``os._exit(137)``) mid-shard;
+    ``hang_shards``
+        pairs whose worker stalls ``hang_seconds`` — long enough to
+        blow any reasonable ``--shard-timeout``;
+    ``journal_enospc_seqs``
+        journal sequence numbers whose append fails with ``ENOSPC``
+        (fires once per seq);
+    ``cache_enospc``
+        the next ``.mapitc`` cache store fails with ``ENOSPC``
+        (fires once);
+    ``crash_at_iteration``
+        raise :class:`SimulatedCrash` after multipass iteration *k* is
+        journaled — the resume test's kill switch.
+    """
+
+    seed: int = 0
+    kill_shards: FrozenSet[Tuple[int, int]] = frozenset()
+    hang_shards: FrozenSet[Tuple[int, int]] = frozenset()
+    hang_seconds: float = 5.0
+    journal_enospc_seqs: FrozenSet[int] = frozenset()
+    cache_enospc: bool = False
+    crash_at_iteration: Optional[int] = None
+    _parent_pid: int = field(default_factory=os.getpid)
+    _fired: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.kill_shards = frozenset(tuple(pair) for pair in self.kill_shards)
+        self.hang_shards = frozenset(tuple(pair) for pair in self.hang_shards)
+        self.journal_enospc_seqs = frozenset(self.journal_enospc_seqs)
+
+    def maybe_fault_shard(self, index: int, attempt: int) -> None:
+        """Kill or hang the *worker* running (shard, attempt) — children only."""
+        if os.getpid() == self._parent_pid:
+            return
+        if (index, attempt) in self.kill_shards:
+            os._exit(137)
+        if (index, attempt) in self.hang_shards:
+            time.sleep(self.hang_seconds)
+
+    def maybe_fail_write(self, kind: str, seq: int = 0) -> None:
+        """Raise ``ENOSPC`` for a scheduled journal/cache write (once each)."""
+        key = f"{kind}:{seq}"
+        if key in self._fired:
+            return
+        scheduled = (kind == "journal" and seq in self.journal_enospc_seqs) or (
+            kind == "cache" and self.cache_enospc
+        )
+        if scheduled:
+            self._fired.add(key)
+            raise OSError(errno.ENOSPC, f"chaos: no space left ({kind} #{seq})")
+
+    def maybe_crash_iteration(self, iteration: int) -> None:
+        """Model the process dying right after iteration *k* was journaled."""
+        if iteration == self.crash_at_iteration:
+            raise SimulatedCrash(
+                f"simulated crash after multipass iteration {iteration}"
+            )
+
+
+#: the armed injector, if any; forked workers inherit it copy-on-write
+_ACTIVE_CHAOS: Optional[ChaosInjector] = None
+
+
+def active_chaos() -> Optional[ChaosInjector]:
+    """The injector armed by :func:`chaos`, or None outside a chaos run."""
+    return _ACTIVE_CHAOS
+
+
+@contextmanager
+def chaos(injector: ChaosInjector) -> Iterator[ChaosInjector]:
+    """Arm *injector* for the duration of the context.
+
+    Fault hooks (:meth:`ChaosInjector.maybe_fault_shard` in pool
+    workers, write hooks in the journal and cache) consult
+    :func:`active_chaos`, so arming must happen *before* the pool forks.
+    """
+    global _ACTIVE_CHAOS
+    previous = _ACTIVE_CHAOS
+    _ACTIVE_CHAOS = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE_CHAOS = previous
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,30 @@ from repro.sim.asgraph import ASGraphConfig
 from repro.sim.scenario import Scenario, ScenarioConfig, build_scenario
 
 
+def tiny_config(seed: int = 0) -> ScenarioConfig:
+    """The smallest world that still exercises every pass.
+
+    Sub-second end to end — sized for the chaos harness, which runs the
+    full pipeline many times per schedule (golden run, faulted run,
+    resumed run) and needs each to be cheap.
+    """
+    return ScenarioConfig(
+        seed=seed,
+        as_graph=ASGraphConfig(
+            tier1_count=2,
+            tier2_count=2,
+            regional_count=3,
+            stub_count=6,
+            re_customer_count=2,
+            sibling_group_count=1,
+            ixp_count=1,
+        ),
+        monitor_count=3,
+        targets_per_prefix=2,
+        collector_count=2,
+    )
+
+
 def small_config(seed: int = 0) -> ScenarioConfig:
     """A tiny world: ~30 ASes, a few hundred traces."""
     return ScenarioConfig(

@@ -1,0 +1,19 @@
+"""FORK002 clean fixture: sharding via fork_map, no direct pool use."""
+
+from repro.perf.pool import fork_map, shared_payload
+
+
+def _count_shard(shard):
+    lines = shared_payload()
+    start, end = shard
+    return sum(1 for offset in range(start, end) if lines[offset])
+
+
+def count_parallel(lines, jobs):
+    results = fork_map(_count_shard, lines, len(lines), jobs)
+    return sum(results)
+
+
+def suppressed_legacy_dispatch(pool, items):
+    # A reviewed exception stays expressible through the pragma.
+    return pool.map(len, items)  # mapitlint: disable=FORK002 -- test shim

@@ -1,0 +1,25 @@
+"""FORK002 violating fixture: unsupervised pool construction and dispatch."""
+
+import multiprocessing
+
+
+def module_level_worker(item):
+    return item * 2
+
+
+def unsupervised_map(items):
+    pool = multiprocessing.Pool(4)
+    return pool.map(module_level_worker, items)
+
+
+def unsupervised_async(pool, items):
+    task = pool.apply_async(module_level_worker, (items[0],))
+    return task.get()
+
+
+def unsupervised_unordered(worker_pool, items):
+    return list(worker_pool.imap_unordered(module_level_worker, items))
+
+
+def unsupervised_starmap(the_pool, pairs):
+    return the_pool.starmap(module_level_worker, pairs)

@@ -1,0 +1,136 @@
+"""The chaos harness: fault schedules, regression bundles, CLI.
+
+Each schedule injects one failure mode into a real CLI run and asserts
+the output is byte-identical to the fault-free golden run — the same
+gate ``mapit chaos`` applies in CI.  The checked-in bundle under
+``tests/fixtures/chaos/`` pins the golden sha256, so a behaviour change
+that alters the tiny-preset output fails here before it lands.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.perf.pool import fork_available
+from repro.robust.chaos import (
+    CHAOS_SCHEDULES,
+    ChaosOutcome,
+    ScheduleResult,
+    replay_bundle,
+    run_chaos,
+    write_bundle,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "chaos" / "tiny-seed0.json"
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="chaos schedules fork worker pools"
+)
+
+
+class TestOutcomeModel:
+    def test_schedule_result_lines(self):
+        assert ScheduleResult("kill", True).line() == "schedule kill: ok"
+        failed = ScheduleResult("hang", False, "sha mismatch").line()
+        assert "FAIL" in failed and "sha mismatch" in failed
+
+    def test_outcome_ok_and_bundle_roundtrip(self, tmp_path):
+        outcome = ChaosOutcome(
+            preset="tiny",
+            seed=0,
+            jobs=4,
+            golden_sha256="ab" * 32,
+            results=[ScheduleResult("kill", True)],
+        )
+        assert outcome.ok
+        path = tmp_path / "bundle.json"
+        write_bundle(path, outcome)
+        document = path.read_text()
+        assert '"tiny"' in document and '"kill"' in document
+
+    def test_outcome_not_ok_with_failure(self):
+        outcome = ChaosOutcome(
+            preset="tiny",
+            seed=0,
+            jobs=4,
+            golden_sha256="ab" * 32,
+            results=[
+                ScheduleResult("kill", True),
+                ScheduleResult("hang", False, "exit 1"),
+            ],
+        )
+        assert not outcome.ok
+        assert any("DIVERGENCE" in line for line in outcome.lines())
+
+
+@needs_fork
+class TestSchedules:
+    def test_kill_schedule_is_byte_identical(self, tmp_path):
+        outcome = run_chaos(
+            preset="tiny", seed=0, schedules=["kill"], jobs=2,
+            workdir=tmp_path / "chaos",
+        )
+        assert outcome.ok, outcome.lines()
+        assert [r.name for r in outcome.results] == ["kill"]
+
+    def test_enospc_schedule_is_byte_identical(self, tmp_path):
+        outcome = run_chaos(
+            preset="tiny", seed=0, schedules=["enospc"], jobs=2,
+            workdir=tmp_path / "chaos",
+        )
+        assert outcome.ok, outcome.lines()
+
+    def test_unknown_schedule_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown chaos schedule"):
+            run_chaos(
+                preset="tiny", seed=0, schedules=["not-a-schedule"],
+                workdir=tmp_path / "chaos",
+            )
+
+
+@needs_fork
+class TestRegressionBundle:
+    def test_checked_in_bundle_replays_clean(self, tmp_path):
+        """The pinned golden sha256 still holds for every recorded schedule."""
+        assert FIXTURE.exists()
+        outcome = replay_bundle(FIXTURE, jobs=2, workdir=tmp_path / "replay")
+        assert outcome.ok, outcome.lines()
+        names = [r.name for r in outcome.results]
+        assert names[-1] == "golden-pin"
+        assert set(names[:-1]) <= set(CHAOS_SCHEDULES)
+
+
+@needs_fork
+class TestChaosCli:
+    def test_cli_single_schedule(self, tmp_path, capsys):
+        code = main(
+            [
+                "chaos", "--preset", "tiny", "--seed", "0",
+                "--schedule", "kill", "--jobs", "2",
+                "--workdir", str(tmp_path / "chaos"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "schedule kill: ok" in out
+        assert "all schedules byte-identical" in out
+
+    def test_cli_record_writes_bundle(self, tmp_path, capsys):
+        bundle_path = tmp_path / "bundle.json"
+        code = main(
+            [
+                "chaos", "--preset", "tiny", "--seed", "0",
+                "--schedule", "enospc", "--jobs", "2",
+                "--workdir", str(tmp_path / "chaos"),
+                "--record", str(bundle_path),
+            ]
+        )
+        assert code == 0, capsys.readouterr().out
+        assert bundle_path.exists()
+
+    def test_cli_replay_missing_bundle_is_usage_error(self, tmp_path, capsys):
+        code = main(["chaos", "--replay", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,259 @@
+"""Run journal: durability, torn tails, crash + resume byte-identity.
+
+The contract under test is the acceptance bar of the robustness layer:
+a run killed at iteration *k* and resumed with ``--resume`` produces
+output byte-for-byte identical to an uninterrupted run, and a journal
+failure (full disk, torn tail, corrupt blob) degrades durability but
+never the run's result.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_bundle
+from repro.obs.metrics import Metrics
+from repro.obs.observer import Observability
+from repro.robust.faults import ChaosInjector, SimulatedCrash, chaos
+from repro.robust.journal import (
+    RunJournal,
+    journaled_run,
+    run_identity,
+    run_identity_for,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_bundle):
+    return load_bundle(tmp_bundle(seed=3))
+
+
+def _metrics_obs():
+    metrics = Metrics()
+    return Observability(metrics=metrics), metrics
+
+
+class TestRunIdentity:
+    def test_deterministic_and_input_sensitive(self):
+        base = run_identity("a" * 64, "cfg", "strict", "text")
+        assert base == run_identity("a" * 64, "cfg", "strict", "text")
+        assert base != run_identity("b" * 64, "cfg", "strict", "text")
+        assert base != run_identity("a" * 64, "cfg2", "strict", "text")
+        assert base != run_identity("a" * 64, "cfg", "lenient", "text")
+        assert len(base) == 16
+
+    def test_directory_lookup(self, tmp_bundle):
+        dataset = tmp_bundle(seed=3)
+        first = run_identity_for(dataset, None, "strict")
+        assert first == run_identity_for(dataset, None, "strict")
+        assert first != run_identity_for(dataset, None, "lenient")
+
+    def test_missing_traces_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_identity_for(tmp_path, None, "strict")
+
+
+class TestJournalFile:
+    def test_append_read_roundtrip(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123")
+        assert journal.append("graph", {"blob": "graph"})
+        assert journal.append("iteration", {"iteration": 1})
+        records = RunJournal(tmp_path, "abc123").read()
+        assert [r["unit"] for r in records] == ["graph", "iteration"]
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        obs, metrics = _metrics_obs()
+        journal = RunJournal(tmp_path, "abc123")
+        journal.append("graph", {"blob": "graph"})
+        journal.append("iteration", {"iteration": 1})
+        # tear the last line mid-record, as a crash mid-append would
+        data = journal.path.read_bytes()
+        journal.path.write_bytes(data[: len(data) - 20])
+        reader = RunJournal(tmp_path, "abc123", obs=obs)
+        records = reader.read()
+        assert [r["unit"] for r in records] == ["graph"]
+        assert metrics.counters["robust.journal.torn_tail"] == 1
+        # the torn tail was rewritten away: a second read is clean
+        obs2, metrics2 = _metrics_obs()
+        again = RunJournal(tmp_path, "abc123", obs=obs2).read()
+        assert [r["unit"] for r in again] == ["graph"]
+        assert "robust.journal.torn_tail" not in metrics2.counters
+
+    def test_bitflip_detected(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123")
+        journal.append("graph", {"blob": "graph"})
+        data = bytearray(journal.path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        journal.path.write_bytes(bytes(data))
+        assert RunJournal(tmp_path, "abc123").read() == []
+
+    def test_appends_continue_after_read(self, tmp_path):
+        journal = RunJournal(tmp_path, "abc123")
+        journal.append("graph", {"blob": "graph"})
+        resumed = RunJournal(tmp_path, "abc123")
+        resumed.read()
+        resumed.append("iteration", {"iteration": 1})
+        records = RunJournal(tmp_path, "abc123").read()
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_blob_roundtrip_and_corruption(self, tmp_path):
+        obs, metrics = _metrics_obs()
+        journal = RunJournal(tmp_path, "abc123", obs=obs)
+        sha = journal.store_blob("graph", b"payload-bytes")
+        assert journal.load_blob("graph", sha) == b"payload-bytes"
+        blob_path = tmp_path / "abc123.graph.blob"
+        blob_path.write_bytes(b"tampered")
+        assert journal.load_blob("graph", sha) is None
+        assert metrics.counters["robust.journal.blob_corrupt"] == 1
+
+    def test_enospc_disables_but_never_raises(self, tmp_path):
+        obs, metrics = _metrics_obs()
+        journal = RunJournal(tmp_path, "abc123", obs=obs)
+        with chaos(ChaosInjector(journal_enospc_seqs={0})):
+            assert not journal.append("graph", {"blob": "graph"})
+        assert journal.disabled
+        assert metrics.counters["robust.journal.write_failed"] == 1
+        # once disabled, later appends are silent no-ops
+        assert not journal.append("iteration", {"iteration": 1})
+
+
+class TestJournaledRun:
+    def test_matches_unjournaled_run(self, bundle, tmp_path):
+        plain = bundle.run_mapit()
+        journal = RunJournal(tmp_path, "run1")
+        journaled = journaled_run(bundle, journal=journal)
+        assert journaled.to_json() == plain.to_json()
+        units = [r["unit"] for r in RunJournal(tmp_path, "run1").read()]
+        assert units[0] == "graph"
+        assert units[-1] == "result"
+        assert "iteration" in units
+
+    def test_crash_then_resume_is_byte_identical(self, bundle, tmp_path):
+        plain = bundle.run_mapit()
+        journal = RunJournal(tmp_path, "run2")
+        with chaos(ChaosInjector(crash_at_iteration=1)):
+            with pytest.raises(SimulatedCrash):
+                journaled_run(bundle, journal=journal)
+        # the crashed run journaled the graph and iteration 1, no result
+        units = [r["unit"] for r in RunJournal(tmp_path, "run2").read()]
+        assert units == ["graph", "iteration"]
+
+        resumed = journaled_run(
+            bundle, journal=RunJournal(tmp_path, "run2"), resume=True
+        )
+        assert resumed.to_json() == plain.to_json()
+        # iteration 1 was replayed from the journal, not recomputed:
+        # the resumed journal holds one entry per iteration, no dupes
+        records = RunJournal(tmp_path, "run2").read()
+        iterations = [
+            r["payload"]["iteration"]
+            for r in records
+            if r["unit"] == "iteration"
+        ]
+        assert iterations == sorted(set(iterations))
+        assert iterations[0] == 1
+        assert records[-1]["unit"] == "result"
+
+    def test_resume_after_finish_replays_result(self, bundle, tmp_path):
+        obs, metrics = _metrics_obs()
+        journal = RunJournal(tmp_path, "run3")
+        first = journaled_run(bundle, journal=journal)
+        replayed = journaled_run(
+            bundle,
+            obs=obs,
+            journal=RunJournal(tmp_path, "run3"),
+            resume=True,
+        )
+        assert replayed.to_json() == first.to_json()
+        assert metrics.counters["robust.journal.replayed"] == 1
+
+    def test_torn_journal_resume_still_matches(self, bundle, tmp_path):
+        plain = bundle.run_mapit()
+        journal = RunJournal(tmp_path, "run4")
+        with chaos(ChaosInjector(crash_at_iteration=1)):
+            with pytest.raises(SimulatedCrash):
+                journaled_run(bundle, journal=journal)
+        data = journal.path.read_bytes()
+        journal.path.write_bytes(data[: len(data) - 15])
+        resumed = journaled_run(
+            bundle, journal=RunJournal(tmp_path, "run4"), resume=True
+        )
+        assert resumed.to_json() == plain.to_json()
+
+    def test_corrupt_graph_blob_is_rebuilt(self, bundle, tmp_path):
+        plain = bundle.run_mapit()
+        journal = RunJournal(tmp_path, "run5")
+        with chaos(ChaosInjector(crash_at_iteration=1)):
+            with pytest.raises(SimulatedCrash):
+                journaled_run(bundle, journal=journal)
+        (tmp_path / "run5.graph.blob").write_bytes(b"not a pickle")
+        obs, metrics = _metrics_obs()
+        resumed = journaled_run(
+            bundle,
+            obs=obs,
+            journal=RunJournal(tmp_path, "run5", obs=obs),
+            resume=True,
+        )
+        assert resumed.to_json() == plain.to_json()
+        assert metrics.counters["robust.journal.blob_corrupt"] >= 1
+
+    def test_enospc_mid_run_still_completes(self, bundle, tmp_path):
+        plain = bundle.run_mapit()
+        obs, metrics = _metrics_obs()
+        journal = RunJournal(tmp_path, "run6", obs=obs)
+        with chaos(ChaosInjector(journal_enospc_seqs={1})):
+            result = journaled_run(bundle, journal=journal)
+        assert result.to_json() == plain.to_json()
+        assert journal.disabled
+        assert metrics.counters["robust.journal.write_failed"] == 1
+
+
+class TestCliJournal:
+    def test_run_journal_then_resume(self, tmp_bundle, tmp_path, capsys):
+        dataset = tmp_bundle(seed=3)
+        journal_dir = tmp_path / "journal"
+        plain_out = tmp_path / "plain.json"
+        first_out = tmp_path / "first.json"
+        resumed_out = tmp_path / "resumed.json"
+        assert main(
+            ["run", str(dataset), "--output", str(plain_out), "--json"]
+        ) == 0
+        assert main(
+            [
+                "run", str(dataset), "--output", str(first_out), "--json",
+                "--journal", str(journal_dir),
+            ]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "journal: run " in err
+        run_id = err.split("journal: run ")[1].split()[0]
+        assert main(
+            [
+                "run", str(dataset), "--output", str(resumed_out), "--json",
+                "--journal", str(journal_dir), "--resume", run_id,
+            ]
+        ) == 0
+        assert first_out.read_bytes() == plain_out.read_bytes()
+        assert resumed_out.read_bytes() == plain_out.read_bytes()
+        assert json.loads(resumed_out.read_text())
+
+    def test_resume_without_journal_is_usage_error(self, tmp_bundle, capsys):
+        dataset = tmp_bundle(seed=3)
+        code = main(["run", str(dataset), "--resume", "deadbeef00000000"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_resume_with_wrong_run_id_is_rejected(
+        self, tmp_bundle, tmp_path, capsys
+    ):
+        dataset = tmp_bundle(seed=3)
+        code = main(
+            [
+                "run", str(dataset), "--journal", str(tmp_path),
+                "--resume", "0000000000000000",
+            ]
+        )
+        assert code == 2
+        assert "does not match" in capsys.readouterr().err

@@ -42,7 +42,8 @@ def rules_hit(findings):
 
 def test_all_rules_registered():
     assert known_ids() == [
-        "CLI001", "DET001", "DET002", "ERR001", "FORK001", "OBS001", "ORA001",
+        "CLI001", "DET001", "DET002", "ERR001", "FORK001", "FORK002",
+        "OBS001", "ORA001",
     ]
 
 
@@ -55,6 +56,7 @@ def test_all_rules_registered():
         ("DET001", "det001_clean.py", "det001_violating.py", 4),
         ("DET002", "det002_clean.py", "det002_violating.py", 4),
         ("FORK001", "perf/fork001_clean.py", "perf/fork001_violating.py", 5),
+        ("FORK002", "perf/fork002_clean.py", "perf/fork002_violating.py", 5),
         ("ERR001", "err001_clean.py", "err001_violating.py", 3),
     ],
 )
@@ -85,6 +87,26 @@ def test_fork001_covers_each_hazard_kind():
     assert "imap_unordered" in messages
     assert "closure" in messages or "nested function" in messages
     assert "module global" in messages
+
+
+def test_fork002_names_the_supervised_alternative():
+    found = lint_paths(
+        [FIXTURES / "perf" / "fork002_violating.py"], REPO_ROOT, select=["FORK002"]
+    )
+    messages = " ".join(finding.message for finding in found)
+    assert "fork_map" in messages
+    assert "Pool construction" in messages
+    assert "bypasses" in messages
+
+
+def test_fork002_allows_the_supervisor_itself(tmp_path):
+    module = tmp_path / "src" / "repro" / "robust" / "supervise.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        "def dispatch(pool, worker, shard):\n"
+        "    return pool.apply_async(worker, (shard,))\n"
+    )
+    assert lint_paths([module], tmp_path, select=["FORK002"]) == []
 
 
 @pytest.mark.parametrize(

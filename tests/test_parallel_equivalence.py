@@ -243,3 +243,54 @@ class TestBundleCacheUnit:
         doctored["parsed"] = 999
         path.write_bytes(json.dumps(doctored).encode() + b"\n" + payload)
         assert cache.load("a" * 64, "text") is None
+
+
+class TestCacheHardening:
+    """Races and write failures degrade the cache, never the run."""
+
+    @staticmethod
+    def _clean(parsed=3):
+        from repro.robust.errors import IngestReport
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        return traces, IngestReport(source="traces.txt", parsed=len(traces))
+
+    @staticmethod
+    def _metrics_obs():
+        from repro.obs.metrics import Metrics
+        from repro.obs.observer import Observability
+
+        metrics = Metrics()
+        return Observability(metrics=metrics), metrics
+
+    def test_overwriting_existing_entry_counts_contention(self, tmp_path):
+        traces, report = self._clean()
+        obs, metrics = self._metrics_obs()
+        cache = BundleCache(tmp_path, obs=obs)
+        assert cache.store("a" * 64, "text", traces, report)
+        assert "perf.cache.contended" not in metrics.counters
+        # a second run racing over the same dataset stores the same key
+        assert cache.store("a" * 64, "text", traces, report)
+        assert metrics.counters["perf.cache.contended"] == 1
+        assert cache.load("a" * 64, "text") == (traces, len(traces), 0)
+
+    def test_store_creates_missing_directory(self, tmp_path):
+        traces, report = self._clean()
+        cache = BundleCache(tmp_path / "deep" / "nested")
+        assert cache.store("a" * 64, "text", traces, report)
+        assert cache.load("a" * 64, "text") == (traces, len(traces), 0)
+
+    def test_enospc_store_fails_soft(self, tmp_path):
+        from repro.robust.faults import ChaosInjector, chaos
+
+        traces, report = self._clean()
+        obs, metrics = self._metrics_obs()
+        cache = BundleCache(tmp_path, obs=obs)
+        with chaos(ChaosInjector(cache_enospc=True)):
+            assert not cache.store("a" * 64, "text", traces, report)
+        assert metrics.counters["perf.cache.store_failed"] == 1
+        # the failed store left no partial entry behind
+        assert cache.load("a" * 64, "text") is None
+        # and a later healthy store succeeds
+        assert cache.store("a" * 64, "text", traces, report)

@@ -1,0 +1,198 @@
+"""Supervised shard execution: deadlines, retries, degradation, signals.
+
+Workers here are module-level (the fork pool pickles them by
+reference) and deliberately tiny; the fault paths are driven through
+:class:`~repro.robust.faults.ChaosInjector`, whose pid guard keeps
+faults inside forked workers — the parent (this test process) never
+kills or hangs itself.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import Metrics
+from repro.obs.observer import Observability
+from repro.perf.pool import _graceful_sigterm, fork_available, fork_map
+from repro.perf import pool as pool_mod
+from repro.robust.errors import ErrorBudget, ErrorBudgetExceeded
+from repro.robust.faults import ChaosInjector, chaos
+from repro.robust.supervise import (
+    ShardDeadlineExhausted,
+    SuperviseConfig,
+    default_shard_timeout,
+    supervised_pool_map,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="supervision tests need the fork start method"
+)
+
+
+def _sum_shard(shard):
+    from repro.perf.pool import shared_payload
+
+    values = shared_payload()
+    start, end = shard
+    return sum(values[start:end])
+
+
+def _identity_shard(shard):
+    return shard
+
+
+def _sleep_shard(shard):
+    time.sleep(5.0)
+    return shard
+
+
+def _raise_shard(shard):
+    raise ValueError(f"poisoned shard {shard}")
+
+
+def _metrics_obs():
+    metrics = Metrics()
+    return Observability(metrics=metrics), metrics
+
+
+QUICK = SuperviseConfig(timeout=30.0, backoff_base=0.01, backoff_cap=0.05)
+
+
+class TestEquivalence:
+    def test_pooled_matches_serial(self):
+        values = list(range(200))
+        serial = fork_map(_sum_shard, values, len(values), 1)
+        pooled = fork_map(_sum_shard, values, len(values), 4)
+        assert sum(pooled) == sum(serial) == sum(values)
+        assert len(pooled) == 4
+
+    def test_results_come_back_in_shard_order(self):
+        ranges = [(0, 5), (5, 9), (9, 20)]
+        out = supervised_pool_map(_identity_shard, ranges, 3, config=QUICK)
+        assert out == ranges
+
+
+class TestFaultRecovery:
+    def test_killed_worker_is_retried(self):
+        obs, metrics = _metrics_obs()
+        values = list(range(100))
+        with chaos(ChaosInjector(kill_shards={(0, 1)})):
+            pooled = fork_map(_sum_shard, values, len(values), 4, obs=obs)
+        assert sum(pooled) == sum(values)
+        assert metrics.counters["robust.supervise.worker_deaths"] == 1
+        assert metrics.counters["robust.supervise.retries"] == 1
+
+    def test_every_pooled_attempt_killed_degrades_inline(self):
+        obs, metrics = _metrics_obs()
+        values = list(range(40))
+        # attempts 1 and 2 die in the pool; attempt 3 is the in-parent
+        # fallback, which the injector's pid guard leaves untouched
+        with chaos(ChaosInjector(kill_shards={(1, 1), (1, 2)})):
+            pooled = fork_map(_sum_shard, values, len(values), 4, obs=obs)
+        assert sum(pooled) == sum(values)
+        assert metrics.counters["robust.supervise.degraded_inline"] == 1
+        assert metrics.counters["robust.supervise.worker_deaths"] == 2
+
+    def test_hung_worker_times_out_and_retries(self):
+        obs, metrics = _metrics_obs()
+        values = list(range(60))
+        with chaos(ChaosInjector(hang_shards={(2, 1)}, hang_seconds=30.0)):
+            pooled = fork_map(
+                _sum_shard, values, len(values), 4, timeout=0.75, obs=obs
+            )
+        assert sum(pooled) == sum(values)
+        assert metrics.counters["robust.supervise.timeouts"] == 1
+        assert metrics.counters["robust.supervise.retries"] == 1
+
+    def test_worker_exception_retried_then_raised(self):
+        obs, metrics = _metrics_obs()
+        config = SuperviseConfig(max_attempts=2, backoff_base=0.01)
+        with pytest.raises(ValueError, match="poisoned shard"):
+            supervised_pool_map(
+                _raise_shard, [(0, 1), (1, 2)], 2, config=config, obs=obs
+            )
+        assert metrics.counters["robust.supervise.worker_errors"] >= 1
+
+    def test_deadline_exhausted_raises_124_material(self):
+        config = SuperviseConfig(
+            timeout=0.4, max_attempts=2, backoff_base=0.01
+        )
+        with pytest.raises(ShardDeadlineExhausted) as excinfo:
+            supervised_pool_map(_sleep_shard, [(0, 1), (1, 2)], 2, config=config)
+        assert excinfo.value.timeout == 0.4
+        assert "deadline" in str(excinfo.value)
+
+    def test_budget_counts_rescued_shards(self):
+        budget = ErrorBudget(max_error_rate=0.1, min_records=1)
+        values = list(range(80))
+        with chaos(ChaosInjector(kill_shards={(0, 1)})):
+            with pytest.raises(ErrorBudgetExceeded):
+                fork_map(
+                    _sum_shard, values, len(values), 4, budget=budget
+                )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperviseConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            SuperviseConfig(timeout=0.0)
+
+    def test_default_shard_timeout_env(self, monkeypatch):
+        monkeypatch.delenv("MAPIT_SHARD_TIMEOUT", raising=False)
+        assert default_shard_timeout() is None
+        monkeypatch.setenv("MAPIT_SHARD_TIMEOUT", "2.5")
+        assert default_shard_timeout() == 2.5
+        monkeypatch.setenv("MAPIT_SHARD_TIMEOUT", "not-a-number")
+        assert default_shard_timeout() is None
+        monkeypatch.setenv("MAPIT_SHARD_TIMEOUT", "-3")
+        assert default_shard_timeout() is None
+
+
+class TestSignals:
+    def test_sigterm_becomes_keyboard_interrupt(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with _graceful_sigterm():
+                os.kill(os.getpid(), signal.SIGTERM)
+                for _ in range(100):
+                    time.sleep(0.01)
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_cli_maps_interrupt_to_130(self, monkeypatch, tmp_path, capsys):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.load_bundle", interrupted)
+        code = main(["run", str(tmp_path)])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_cli_maps_deadline_exhausted_to_124(self, monkeypatch, tmp_path, capsys):
+        def timed_out(*args, **kwargs):
+            raise ShardDeadlineExhausted((0, 10), 3, 0.5)
+
+        monkeypatch.setattr("repro.cli.load_bundle", timed_out)
+        code = main(["run", str(tmp_path)])
+        assert code == 124
+        assert "deadline" in capsys.readouterr().err
+
+
+class TestDegradedPath:
+    def test_no_fork_support_is_byte_identical(self, tmp_bundle, tmp_path, monkeypatch):
+        """The forkless fallback must equal the parallel (and serial) run."""
+        dataset = tmp_bundle(seed=3)
+        parallel_out = tmp_path / "parallel.txt"
+        degraded_out = tmp_path / "degraded.txt"
+        assert main(
+            ["run", str(dataset), "--output", str(parallel_out), "--jobs", "4"]
+        ) == 0
+        monkeypatch.setattr(pool_mod, "fork_available", lambda: False)
+        assert main(
+            ["run", str(dataset), "--output", str(degraded_out), "--jobs", "4"]
+        ) == 0
+        assert degraded_out.read_bytes() == parallel_out.read_bytes()

@@ -11,6 +11,7 @@ from tools.mapitlint.rules import (  # noqa: F401 - imports register the plugins
     det002,
     err001,
     fork001,
+    fork002,
     obs001,
     ora001,
 )

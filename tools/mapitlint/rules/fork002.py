@@ -1,0 +1,100 @@
+"""FORK002 — supervised dispatch only.
+
+Worker fault tolerance lives in one place:
+:func:`repro.robust.supervise.supervised_pool_map` wraps every pool
+dispatch with per-shard deadlines, dead/hung-worker detection, retries
+with backoff, and inline degradation on the final attempt
+(docs/ROBUSTNESS.md).  A direct ``map``-family call on a
+``multiprocessing`` pool anywhere else bypasses all of that: one
+OOM-killed worker hangs the parent forever.
+
+Flags any ``map`` / ``imap`` / ``starmap`` / ``*_async`` /
+``imap_unordered`` call on a pool-like receiver, and any direct
+``Pool(...)`` construction, outside ``repro/robust/supervise.py``.
+Callers shard through :func:`repro.perf.pool.fork_map`, which routes
+to the supervisor.  Suppress a reviewed exception with
+``# mapitlint: disable=FORK002 -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import dotted_name
+
+#: pool dispatch methods that must only appear inside the supervisor
+DISPATCH_METHODS = {
+    "map",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "map_async",
+    "starmap_async",
+    "apply",
+    "apply_async",
+}
+
+#: the one module allowed to talk to pools directly
+SUPERVISOR_PATH = "repro/robust/supervise.py"
+
+
+def _is_pool_receiver(node: ast.AST) -> bool:
+    """True when the attribute receiver looks like a process pool."""
+    name = dotted_name(node) or ""
+    return "pool" in name.lower()
+
+
+def _is_pool_constructor(node: ast.Call) -> bool:
+    """True for ``Pool(...)`` / ``multiprocessing.Pool(...)`` / ``ctx.Pool(...)``."""
+    name = dotted_name(node.func) or ""
+    return name == "Pool" or name.endswith(".Pool")
+
+
+@register
+class SupervisedDispatchOnly(Rule):
+    rule_id = "FORK002"
+    name = "supervised-dispatch-only"
+    description = (
+        "direct multiprocessing pool construction or map-family dispatch "
+        "outside repro.robust.supervise bypasses worker supervision"
+    )
+
+    def check_module(self, module, ctx) -> Iterator[Finding]:
+        if module.relpath.replace("\\", "/").endswith(SUPERVISOR_PATH):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_pool_constructor(node):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "direct Pool construction outside the supervisor: "
+                        "use repro.perf.pool.fork_map, which dispatches "
+                        "through repro.robust.supervise"
+                    ),
+                )
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in DISPATCH_METHODS
+                and _is_pool_receiver(func.value)
+            ):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"direct pool.{func.attr} outside the supervisor "
+                        "bypasses deadlines, retries, and dead-worker "
+                        "detection; use repro.perf.pool.fork_map"
+                    ),
+                )
