@@ -2,8 +2,18 @@
 
 Not a paper table — engineering benchmarks for the substrate: LPM trie
 lookups, trace sanitization, neighbor-set extraction, the full MAP-IT
-loop, and the ``repro.perf`` execution layer (worker sharding across
-``--jobs`` and the parsed-bundle cache) on the dense preset.
+loop, and the ``repro.perf`` execution layer (the fused streaming
+loader behind ``--jobs``, and the binary parsed-bundle cache) on the
+dense preset.
+
+Standalone mode::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --smoke
+
+times ``jobs=1`` against ``jobs=4`` end-to-end (fused path), asserts
+byte-identity, and exits non-zero when ``jobs=4`` runs slower than
+``jobs=1`` by more than ``--tolerance`` (default 1.10, i.e. parallel
+overhead must stay within 10% even on a single-CPU runner).
 """
 
 import os
@@ -73,10 +83,11 @@ def test_mapit_full_run(benchmark, paper_experiment):
 
 def test_parallel_jobs_and_cache_sweep(tmp_path_factory):
     """End-to-end sweep of the perf layer on the dense preset: worker
-    counts 1/2/4/8 and cache cold/warm, asserting every configuration
-    reproduces the serial result byte-for-byte and publishing the
-    timings (with the host's CPU count — speedups are physically capped
-    by it) to ``benchmarks/results/scaling_parallel.txt``."""
+    counts 1/2/4/8 through the fused streaming loader, plus binary
+    cache cold/warm, asserting every configuration reproduces the
+    serial result byte-for-byte and publishing the timings (with the
+    host's CPU count — speedups are physically capped by it) to
+    ``benchmarks/results/scaling_parallel.txt``."""
     from repro.io import load_bundle, save_scenario
     from repro.sim.presets import dense_scenario
 
@@ -88,15 +99,17 @@ def test_parallel_jobs_and_cache_sweep(tmp_path_factory):
     rows = []
     baseline = None
     base_total = None
+    trace_count = 0
     for jobs in (1, 2, 4, 8):
         start = time.perf_counter()
-        bundle = load_bundle(root, jobs=jobs)
+        bundle = load_bundle(root, jobs=jobs, graph_only=True)
         loaded = time.perf_counter()
         result = bundle.run_mapit(config, jobs=jobs)
         done = time.perf_counter()
         output = result.to_json()
         if baseline is None:
             baseline, base_total = output, done - start
+            trace_count = len(bundle.traces)
         else:
             assert output == baseline, f"jobs={jobs} diverged from serial"
         rows.append(
@@ -111,7 +124,7 @@ def test_parallel_jobs_and_cache_sweep(tmp_path_factory):
     cache = root.parent / "cache"
     for label in ("cache cold", "cache warm"):
         start = time.perf_counter()
-        bundle = load_bundle(root, cache=cache)
+        bundle = load_bundle(root, cache=cache, graph_only=True)
         loaded = time.perf_counter()
         result = bundle.run_mapit(config)
         done = time.perf_counter()
@@ -127,7 +140,72 @@ def test_parallel_jobs_and_cache_sweep(tmp_path_factory):
         )
     publish(
         "scaling_parallel",
-        f"Perf layer: --jobs and cache sweep, dense preset seed {PAPER_SEED} "
-        f"({len(bundle.traces)} traces, {os.cpu_count()} CPU(s) available)",
+        f"Perf layer: --jobs (fused loader) and binary cache sweep, dense "
+        f"preset seed {PAPER_SEED} ({trace_count} traces, {os.cpu_count()} "
+        f"CPU(s) available)",
         rows,
     )
+
+
+def _smoke(tolerance: float, seed: int, repeats: int = 3) -> int:
+    """Standalone CI gate: jobs=4 must stay within *tolerance* of jobs=1.
+
+    Times the end-to-end pipeline (fused load + inference) best-of-
+    *repeats* for each worker count, asserts byte-identity, and returns
+    a non-zero exit code when parallel overhead exceeds the budget.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.io import load_bundle, save_scenario
+    from repro.sim.presets import dense_scenario
+
+    config = MapItConfig(f=0.5)
+    with tempfile.TemporaryDirectory(prefix="mapit-smoke-") as tmp:
+        root = save_scenario(dense_scenario(seed=seed), Path(tmp) / "ds")
+        outputs = {}
+        best = {}
+        for jobs in (1, 4):
+            best[jobs] = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                bundle = load_bundle(root, jobs=jobs, graph_only=True)
+                result = bundle.run_mapit(config, jobs=jobs)
+                best[jobs] = min(best[jobs], time.perf_counter() - start)
+            outputs[jobs] = result.to_json()
+    print(f"smoke: dense preset seed {seed}, {os.cpu_count()} CPU(s), best of {repeats}")
+    for jobs in (1, 4):
+        print(f"  jobs={jobs}  total {best[jobs]:.3f}s")
+    if outputs[4] != outputs[1]:
+        print("FAIL: jobs=4 output diverged from jobs=1")
+        return 1
+    ratio = best[4] / best[1]
+    budget = tolerance
+    print(f"  ratio jobs4/jobs1 = {ratio:.2f} (budget {budget:.2f})")
+    if ratio > budget:
+        print(f"FAIL: jobs=4 is {ratio:.2f}x jobs=1 (allowed {budget:.2f}x)")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the jobs=4-vs-jobs=1 regression gate and exit",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.10,
+        help="maximum allowed jobs=4/jobs=1 runtime ratio (default 1.10)",
+    )
+    parser.add_argument("--seed", type=int, default=PAPER_SEED)
+    arguments = parser.parse_args()
+    if not arguments.smoke:
+        parser.error("the full sweep runs under pytest; --smoke is the standalone mode")
+    raise SystemExit(_smoke(arguments.tolerance, arguments.seed))

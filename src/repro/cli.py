@@ -241,11 +241,14 @@ def _finish_obs(obs, args) -> None:
     obs.close()
 
 
-def _load_bundle_checked(args, obs=None):
+def _load_bundle_checked(args, obs=None, graph_only=False):
     """Load the dataset under the CLI's robustness and perf flags.
 
     Prints the ingest health summary to stderr; returns None (caller
     exits with EXIT_BUDGET_EXCEEDED) when the error budget is blown.
+    *graph_only* opts into the fused streaming loader when worker
+    shards are in play (the ``run`` command — the only one that never
+    needs trace objects).
     """
     from repro.obs import NULL_OBS
 
@@ -259,6 +262,7 @@ def _load_bundle_checked(args, obs=None):
             jobs=jobs,
             cache=cache,
             shard_timeout=shard_timeout,
+            graph_only=graph_only,
         )
     except ErrorBudgetExceeded as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -337,7 +341,11 @@ def cmd_run(args) -> int:
         args.cache = os.environ.get("MAPIT_CACHE") or journal_dir
     obs = _build_obs(args)
     try:
-        bundle = _load_bundle_checked(args, obs=obs)
+        # The fused graph-only loader applies to plain runs; journaled
+        # runs keep the classic load so a --resume that replays the
+        # journaled graph blob skips the build (and its events) exactly
+        # as it did when the journal was written.
+        bundle = _load_bundle_checked(args, obs=obs, graph_only=not journal_dir)
         if bundle is None:
             return EXIT_BUDGET_EXCEEDED
         jobs, _, shard_timeout = _perf_settings(args)

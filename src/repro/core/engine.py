@@ -105,6 +105,24 @@ class Engine:
             self._origin_cache[address] = asn
         return asn
 
+    def prime_origins(self, addresses) -> int:
+        """Warm the origin cache with one sorted, batched LPM pass.
+
+        Resolving addresses in sorted order walks the longest-prefix
+        trie through shared prefixes back to back instead of faulting
+        lookups in one neighbor at a time mid-pass.  Purely a cache
+        warm: each entry is exactly what :meth:`original_asn` would
+        compute on demand.  Returns how many addresses were resolved.
+        """
+        cache = self._origin_cache
+        asn = self.ip2as.asn
+        warmed = 0
+        for address in sorted(set(addresses)):
+            if address not in cache:
+                cache[address] = asn(address)
+                warmed += 1
+        return warmed
+
     def half_asn(self, half: Half) -> int:
         """Current (snapshot) mapping of *half* (section 4.4.1's per-half
         IP2AS view: direct inference, else indirect, else BGP origin)."""

@@ -242,6 +242,32 @@ class MapIt:
         return confident, uncertain
 
 
+def run_mapit_graph(
+    graph: InterfaceGraph,
+    ip2as: IP2AS,
+    org: Optional[AS2Org] = None,
+    rel: Optional[RelationshipDataset] = None,
+    config: Optional[MapItConfig] = None,
+    obs: Optional[Observability] = None,
+) -> MapItResult:
+    """Run MAP-IT over a pre-built interface graph.
+
+    The tail of the fused parallel loader (docs/PERFORMANCE.md): the
+    graph was already built at load time, so this skips sanitize/build
+    and, before the passes start, warms the engine's origin cache with
+    one sorted batched LPM sweep over every address the passes can
+    query (``Engine.prime_origins``) — amortizing ip2as resolution per
+    run instead of per neighbor lookup.  The result is identical to
+    :func:`run_mapit` over the traces that produced *graph*.
+    """
+    from repro.perf.flat import graph_address_universe
+
+    mapit = MapIt(graph, ip2as, org=org, rel=rel, config=config, obs=obs)
+    warmed = mapit.engine.prime_origins(graph_address_universe(graph))
+    mapit.engine.obs.inc("perf.flat.origins_warmed", warmed)
+    return mapit.run()
+
+
 def run_mapit(
     traces: Iterable[Trace],
     ip2as: IP2AS,

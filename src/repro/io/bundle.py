@@ -29,6 +29,7 @@ from repro.ixp.dataset import IXPDataset
 from repro.obs.observer import NULL_OBS, Observability
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
+from repro.graph.neighbors import InterfaceGraph
 from repro.robust.errors import ErrorBudget, IngestReport
 from repro.robust.health import BundleHealth
 from repro.robust.ingest import ingest_trace_file
@@ -44,6 +45,12 @@ class InputBundle:
     the arguments of :func:`repro.run_mapit`; ``ground_truth`` and
     ``hostnames`` are optional evaluation extras.  ``health`` reports
     what loaded cleanly, what degraded, and what was rejected.
+
+    When the bundle was loaded with ``graph_only=True`` and worker
+    shards, ``graph`` holds the interface graph the fused loader built
+    and ``traces`` is empty — the graph is all the inference passes
+    need, and the trace objects were deliberately never materialized
+    (docs/PERFORMANCE.md).
     """
 
     traces: List[Trace]
@@ -54,6 +61,7 @@ class InputBundle:
     hostnames: Optional[HostnameDataset] = None
     manifest: Dict = field(default_factory=dict)
     health: BundleHealth = field(default_factory=BundleHealth)
+    graph: Optional[InterfaceGraph] = None
 
     def run_mapit(self, config=None, obs=None, jobs=1, shard_timeout=None):
         """Convenience: run MAP-IT over this bundle.
@@ -61,8 +69,20 @@ class InputBundle:
         ``jobs > 1`` shards sanitization and graph construction across
         worker processes (:mod:`repro.perf`); the result is identical.
         ``shard_timeout`` is the supervisor's per-shard deadline
-        (docs/ROBUSTNESS.md).
+        (docs/ROBUSTNESS.md).  A pre-built ``graph`` (fused loader)
+        short-circuits straight into the inference passes.
         """
+        if self.graph is not None:
+            from repro.core.mapit import run_mapit_graph
+
+            return run_mapit_graph(
+                self.graph,
+                self.ip2as,
+                org=self.as2org,
+                rel=self.relationships,
+                config=config,
+                obs=obs,
+            )
         from repro import run_mapit
 
         return run_mapit(
@@ -126,19 +146,31 @@ def _ingest_traces_cached(
     jobs: int,
     cache: Optional[Union[str, Path]],
     shard_timeout: Optional[float] = None,
+    graph_only: bool = False,
+    health: Optional[BundleHealth] = None,
 ):
     """Ingest the traces file, via the cache and/or worker shards.
 
-    The cache key is the file's content sha256 (the digest the manifest
-    records), so a hit is provably the same bytes; only clean parses
-    are stored, so the mode-dependent error machinery always runs for
-    dirty files.  A hit emits the same ``ingest.end`` event and
-    ``ingest.records.*`` counters a clean parse would — cold and warm
-    runs produce byte-identical ``--trace`` output.
+    Returns ``(traces, report, graph)``.  The cache key is the file's
+    content sha256 (the digest the manifest records), so a hit is
+    provably the same bytes; only clean parses are stored, so the
+    mode-dependent error machinery always runs for dirty files.  A hit
+    emits the same ``ingest.end`` event and ``ingest.records.*``
+    counters a clean parse would — cold and warm runs produce
+    byte-identical ``--trace`` output, and the entry's format version
+    is surfaced in *health* (``cache: hit`` in the summary).
+
+    With *graph_only* true and ``jobs > 1`` the fused streaming path
+    runs instead: workers parse + sanitize + fold their shard and only
+    counter bundles cross the fork boundary, so ``traces`` comes back
+    empty and ``graph`` pre-built (docs/PERFORMANCE.md).  A warm hit on
+    a v2 (columnar) entry feeds the flat fold directly without ever
+    materializing trace objects.
     """
     from repro.robust.ingest import finalize_ingest
     from repro.traceroute.parse import trace_format_for_path
 
+    fused = graph_only and jobs > 1
     bundle_cache = None
     source_sha = None
     format = trace_format_for_path(traces_path.name)
@@ -147,15 +179,48 @@ def _ingest_traces_cached(
 
         bundle_cache = BundleCache(cache, obs=obs)
         source_sha = file_sha256(traces_path)
-        hit = bundle_cache.load(source_sha, format)
+        hit = bundle_cache.load_entry(source_sha, format)
         if hit is not None:
-            traces, parsed, skipped = hit
+            if health is not None:
+                health.cache_format = hit.format_label
             report = IngestReport(
-                source=traces_path.name, mode=mode, parsed=parsed, skipped=skipped
+                source=traces_path.name,
+                mode=mode,
+                parsed=hit.parsed,
+                skipped=hit.skipped,
             )
             with obs.span("ingest"):
                 pass
-            return traces, finalize_ingest(report, [], obs=obs)
+            report = finalize_ingest(report, [], obs=obs)
+            if fused:
+                from repro.perf.graph import build_graph_flat, build_graph_parallel
+
+                if hit.flat is not None:
+                    graph = build_graph_flat(
+                        hit.flat, jobs, obs=obs, shard_timeout=shard_timeout
+                    )
+                else:
+                    graph = build_graph_parallel(
+                        hit.traces(), jobs, obs=obs, shard_timeout=shard_timeout
+                    )
+                return [], report, graph
+            return hit.traces(), report, None
+    if fused:
+        from repro.perf.ingest import stream_graph_from_file
+
+        graph, report, payload = stream_graph_from_file(
+            traces_path,
+            jobs,
+            mode=mode,
+            budget=budget,
+            quarantine_dir=quarantine_dir,
+            obs=obs,
+            shard_timeout=shard_timeout,
+            want_payload=bundle_cache is not None,
+        )
+        if bundle_cache is not None and payload is not None:
+            bundle_cache.store_payload(source_sha, format, payload, report)
+        return [], report, graph
     if jobs > 1:
         from repro.perf.ingest import ingest_trace_file_parallel
 
@@ -178,7 +243,7 @@ def _ingest_traces_cached(
         )
     if bundle_cache is not None:
         bundle_cache.store(source_sha, format, traces, report)
-    return traces, report
+    return traces, report, None
 
 
 def load_bundle(
@@ -191,6 +256,7 @@ def load_bundle(
     jobs: int = 1,
     cache: Optional[Union[str, Path]] = None,
     shard_timeout: Optional[float] = None,
+    graph_only: bool = False,
 ) -> InputBundle:
     """Load a dataset directory (see :mod:`repro.io` for the layout).
 
@@ -210,6 +276,13 @@ def load_bundle(
     the traces file's sha256 — a verified hit skips parsing entirely
     (docs/PERFORMANCE.md).  Both are optimizations only: traces,
     report, and observability events are identical either way.
+
+    *graph_only* (with ``jobs > 1``) opts into the fused streaming
+    loader: the returned bundle carries a pre-built interface ``graph``
+    and an *empty* ``traces`` list — parsed traces never cross the fork
+    boundary.  Only callers that don't need trace objects (the ``run``
+    pipeline) should ask for it; evaluation and reporting paths keep
+    the default.
     """
     root = Path(directory)
     health = BundleHealth()
@@ -225,7 +298,7 @@ def load_bundle(
         raise FileNotFoundError(f"no traces.txt or traces.jsonl in {root}")
     if on_error == "quarantine" and quarantine_dir is None:
         quarantine_dir = root / "quarantine"
-    traces, ingest_report = _ingest_traces_cached(
+    traces, ingest_report, graph = _ingest_traces_cached(
         traces_path,
         mode=on_error,
         budget=budget,
@@ -234,6 +307,8 @@ def load_bundle(
         jobs=jobs,
         cache=cache,
         shard_timeout=shard_timeout,
+        graph_only=graph_only,
+        health=health,
     )
     health.ingest = ingest_report
     health.record(
@@ -324,4 +399,5 @@ def load_bundle(
         hostnames=hostnames,
         manifest=manifest,
         health=health,
+        graph=graph,
     )

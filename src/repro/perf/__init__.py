@@ -13,23 +13,39 @@ Entry points:
   — the fork-pool substrate (``MAPIT_JOBS`` sets the default);
 * :func:`repro.perf.ingest.ingest_trace_file_parallel` — sharded trace
   parsing under the strict/lenient/quarantine policies;
-* :func:`repro.perf.graph.build_graph_parallel` — fused sharded
-  sanitize + neighbor-set construction;
+* :func:`repro.perf.ingest.stream_graph_from_file` — the fused
+  streaming loader (parse + sanitize + neighbor fold in one fork;
+  only counter bundles cross the process boundary);
+* :func:`repro.perf.graph.build_graph_parallel` /
+  :func:`~repro.perf.graph.build_graph_flat` — sharded sanitize +
+  neighbor-set construction over trace objects or columnar blocks;
+* :mod:`repro.perf.flat` — the flat-array data layer: columnar trace
+  blocks, packed counter bundles, batched LPM resolution;
 * :class:`repro.perf.cache.BundleCache` — the checksummed on-disk
-  parsed-trace cache.
+  parsed-trace cache (binary v2 entries, transparent v1 fallback).
 """
 
 from repro.perf.cache import BundleCache, cache_key
-from repro.perf.graph import build_graph_parallel
-from repro.perf.ingest import ingest_trace_file_parallel, ingest_traces_parallel
+from repro.perf.flat import FlatTraces, pack_traces, unpack_traces
+from repro.perf.graph import build_graph_flat, build_graph_parallel
+from repro.perf.ingest import (
+    ingest_trace_file_parallel,
+    ingest_traces_parallel,
+    stream_graph_from_file,
+)
 from repro.perf.pool import default_jobs, fork_map, shard_ranges
 
 __all__ = [
     "BundleCache",
     "cache_key",
+    "FlatTraces",
+    "pack_traces",
+    "unpack_traces",
+    "build_graph_flat",
     "build_graph_parallel",
     "ingest_trace_file_parallel",
     "ingest_traces_parallel",
+    "stream_graph_from_file",
     "default_jobs",
     "fork_map",
     "shard_ranges",

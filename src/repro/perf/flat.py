@@ -1,0 +1,583 @@
+"""Flat int-keyed hot-path structures (the ``repro.perf.flat`` layer).
+
+The expensive objects in a MAP-IT run are the *per-hop* Python objects:
+a dense dataset holds hundreds of thousands of :class:`Hop` /
+:class:`Trace` instances whose creation, refcount traffic, and pickling
+dominate the parallel layer's cost.  Addresses are already integers
+(``repro.net``), and every pipeline stage downstream of parsing only
+needs integer adjacency — so this module provides the flat twins the
+sharded execution layer moves around instead:
+
+* :class:`FlatTraces` — a columnar, ``array``/``bytes``-backed encoding
+  of a parsed trace list (one buffer per column, no per-hop objects).
+  It round-trips exactly (``unpack_traces(pack_traces(ts)) == ts``),
+  serializes to a self-describing binary block (the ``.mapitc`` v2
+  cache payload), and supports O(1) slicing into trace index ranges so
+  workers can decode or fold *their shard only*.
+* :func:`accumulate_flat` — the §4.1 sanitize + §4.3 neighbor-set fold
+  executed directly over the columns, producing exactly the tallies of
+  ``sanitize_traces`` + ``accumulate_neighbors`` without materializing
+  a single ``Hop`` (property-tested against the object kernel in
+  ``tests/test_perf_flat.py``).
+* :func:`encode_table` / :func:`merge_table_blob` /
+  :func:`encode_addresses` / :func:`merge_address_blob` — the counter
+  bundle codec: neighbor tables and address sets as packed ``uint32``
+  runs.  A worker's entire result pickles as a handful of ``bytes``
+  objects (near-memcpy) instead of an object graph.
+* :class:`FlatGraphBundle` / :func:`merge_graph_bundles` — what one
+  worker returns across the fork boundary and the deterministic
+  parent-side merge (set union + sorted key rebuild, so worker
+  scheduling order cannot leak into results).
+* :func:`resolve_origins` / :func:`graph_address_universe` — batched
+  LPM lookups: resolve a sorted address batch through
+  :meth:`repro.bgp.ip2as.IP2AS.asn` once per run instead of letting the
+  engine fault them in one neighbor at a time mid-pass.
+
+Everything here is an optimization, never a semantic change: the
+golden-bundle, oracle-differential, and chaos harnesses hold every
+consumer to byte-identity with the object pipeline.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.traceroute.model import Hop, Trace
+
+#: array typecode with a 4-byte unsigned item (u32 addresses)
+U32 = "I" if array("I").itemsize == 4 else "L"
+if array(U32).itemsize != 4:  # pragma: no cover - no such CPython platform
+    raise ImportError("repro.perf.flat requires a 4-byte unsigned array type")
+#: signed 8-byte items (quoted TTLs and flow ids are unbounded ints)
+I64 = "q"
+#: IEEE double items (RTTs round-trip exactly)
+F64 = "d"
+#: single-byte flag items
+U8 = "B"
+
+_U32_MAX = 0xFFFFFFFF
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+#: hop flag bit: the hop responded (address column is meaningful)
+_RESPONDED = 0x01
+
+_BLOCK_MAGIC = b"FTC1"
+_LITTLE, _BIG = 1, 2
+_NATIVE_ENDIAN = _LITTLE if sys.byteorder == "little" else _BIG
+_BLOCK_HEADER = struct.Struct("<4sBxxxIII")
+
+
+class FlatEncodeError(ValueError):
+    """A trace field does not fit the flat encoding's integer ranges.
+
+    Raised by :func:`pack_traces` for out-of-range fields (an address
+    outside u32, a quoted TTL or flow id outside i64, a monitor string
+    over 4 GiB).  Callers fall back to the object path — an encode
+    failure may cost speed, never correctness.
+    """
+
+
+@dataclass
+class FlatTraces:
+    """A parsed trace list as parallel columns.
+
+    Per trace: ``monitor_off`` (n+1 cumulative byte offsets into
+    ``monitors``), ``dst``, ``flow``, and ``hop_start`` (n+1 cumulative
+    hop indices).  Per hop: ``hop_flags`` (bit 0 = responded),
+    ``hop_addr`` (0 when unresponsive), ``hop_quoted``, ``hop_rtt``.
+    Memory is a handful of flat buffers regardless of trace count —
+    forked workers inherit them copy-on-write without the per-object
+    refcount writes that make large object heaps fork-hostile.
+    """
+
+    monitor_off: array
+    monitors: bytes
+    dst: array
+    flow: array
+    hop_start: array
+    hop_flags: array
+    hop_addr: array
+    hop_quoted: array
+    hop_rtt: array
+
+    def __len__(self) -> int:
+        return len(self.dst)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hop_flags)
+
+    @property
+    def nbytes(self) -> int:
+        """Total buffer size in bytes (the ``perf.flat.*`` accounting)."""
+        return (
+            len(self.monitors)
+            + sum(
+                column.itemsize * len(column)
+                for column in (
+                    self.monitor_off,
+                    self.dst,
+                    self.flow,
+                    self.hop_start,
+                    self.hop_flags,
+                    self.hop_addr,
+                    self.hop_quoted,
+                    self.hop_rtt,
+                )
+            )
+        )
+
+    # -- binary block -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a self-describing binary block.
+
+        Layout: a 16-byte header (magic, endianness tag, trace count,
+        hop count, monitor-blob length) followed by the columns in
+        declaration order, each a raw native-endian array dump.  O(total
+        bytes); produces the ``.mapitc`` v2 payload and the shard blobs
+        pickled back from workers.
+        """
+        header = _BLOCK_HEADER.pack(
+            _BLOCK_MAGIC,
+            _NATIVE_ENDIAN,
+            len(self.dst),
+            len(self.hop_flags),
+            len(self.monitors),
+        )
+        parts = [header, self.monitor_off.tobytes(), self.monitors]
+        parts.extend(
+            column.tobytes()
+            for column in (
+                self.dst,
+                self.flow,
+                self.hop_start,
+                self.hop_flags,
+                self.hop_addr,
+                self.hop_quoted,
+                self.hop_rtt,
+            )
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FlatTraces":
+        """Decode a :meth:`to_bytes` block (O(total bytes), C-speed
+        ``array.frombytes`` per column; byte-swapped when the block was
+        written on an opposite-endian host).
+
+        Raises :class:`ValueError` on a malformed or truncated block —
+        cache readers treat that as a verification failure.
+        """
+        if len(blob) < _BLOCK_HEADER.size:
+            raise ValueError("flat trace block shorter than its header")
+        magic, endian, n_traces, n_hops, monitors_len = _BLOCK_HEADER.unpack_from(blob)
+        if magic != _BLOCK_MAGIC:
+            raise ValueError("flat trace block has a bad magic")
+        if endian not in (_LITTLE, _BIG):
+            raise ValueError("flat trace block has a bad endianness tag")
+        swap = endian != _NATIVE_ENDIAN
+        offset = _BLOCK_HEADER.size
+
+        def take(typecode: str, count: int, itemsize: int) -> array:
+            nonlocal offset
+            column = array(typecode)
+            end = offset + count * itemsize
+            if end > len(blob):
+                raise ValueError("flat trace block truncated")
+            column.frombytes(blob[offset:end])
+            if swap and itemsize > 1:
+                column.byteswap()
+            offset = end
+            return column
+
+        monitor_off = take(U32, n_traces + 1, 4)
+        monitors_end = offset + monitors_len
+        if monitors_end > len(blob):
+            raise ValueError("flat trace block truncated")
+        monitors = bytes(blob[offset:monitors_end])
+        offset = monitors_end
+        flat = cls(
+            monitor_off=monitor_off,
+            monitors=monitors,
+            dst=take(U32, n_traces, 4),
+            flow=take(I64, n_traces, 8),
+            hop_start=take(U32, n_traces + 1, 4),
+            hop_flags=take(U8, n_hops, 1),
+            hop_addr=take(U32, n_hops, 4),
+            hop_quoted=take(I64, n_hops, 8),
+            hop_rtt=take(F64, n_hops, 8),
+        )
+        if offset != len(blob):
+            raise ValueError("flat trace block has trailing bytes")
+        return flat
+
+
+def _check_u32(value: int, what: str) -> int:
+    if not 0 <= value <= _U32_MAX:
+        raise FlatEncodeError(f"{what} {value!r} does not fit in u32")
+    return value
+
+
+def _check_i64(value: int, what: str) -> int:
+    if not _I64_MIN <= value <= _I64_MAX:
+        raise FlatEncodeError(f"{what} {value!r} does not fit in i64")
+    return value
+
+
+def pack_traces(traces: Sequence[Trace]) -> FlatTraces:
+    """Encode parsed traces into columns.
+
+    O(total hops); one pass, no intermediate objects beyond the column
+    arrays.  Raises :class:`FlatEncodeError` when a field falls outside
+    the binary ranges (u32 addresses, i64 TTL/flow) — callers degrade
+    to the object path.
+    """
+    monitor_off = array(U32, [0])
+    monitor_parts: List[bytes] = []
+    monitors_len = 0
+    dst = array(U32)
+    flow = array(I64)
+    hop_start = array(U32, [0])
+    hop_flags = array(U8)
+    hop_addr = array(U32)
+    hop_quoted = array(I64)
+    hop_rtt = array(F64)
+    n_hops = 0
+    for trace in traces:
+        encoded = trace.monitor.encode("utf-8")
+        monitors_len += len(encoded)
+        _check_u32(monitors_len, "monitor offset")
+        monitor_parts.append(encoded)
+        monitor_off.append(monitors_len)
+        dst.append(_check_u32(trace.dst, "destination address"))
+        flow.append(_check_i64(trace.flow_id, "flow id"))
+        for hop in trace.hops:
+            if hop.address is None:
+                hop_flags.append(0)
+                hop_addr.append(0)
+            else:
+                hop_flags.append(_RESPONDED)
+                hop_addr.append(_check_u32(hop.address, "hop address"))
+            hop_quoted.append(_check_i64(hop.quoted_ttl, "quoted TTL"))
+            hop_rtt.append(float(hop.rtt_ms))
+        n_hops += len(trace.hops)
+        _check_u32(n_hops, "hop count")
+        hop_start.append(n_hops)
+    return FlatTraces(
+        monitor_off=monitor_off,
+        monitors=b"".join(monitor_parts),
+        dst=dst,
+        flow=flow,
+        hop_start=hop_start,
+        hop_flags=hop_flags,
+        hop_addr=hop_addr,
+        hop_quoted=hop_quoted,
+        hop_rtt=hop_rtt,
+    )
+
+
+def unpack_traces(
+    flat: FlatTraces, start: int = 0, end: Optional[int] = None
+) -> List[Trace]:
+    """Materialize ``flat[start:end]`` back into :class:`Trace` objects.
+
+    O(hops in range).  The inverse of :func:`pack_traces`: the returned
+    traces compare equal to the originals field-for-field (floats are
+    stored as IEEE doubles, so RTTs round-trip bit-exactly).
+    """
+    if end is None:
+        end = len(flat)
+    monitor_off, monitors = flat.monitor_off, flat.monitors
+    dst, flow, hop_start = flat.dst, flat.flow, flat.hop_start
+    flags, addr, quoted, rtt = (
+        flat.hop_flags,
+        flat.hop_addr,
+        flat.hop_quoted,
+        flat.hop_rtt,
+    )
+    traces: List[Trace] = []
+    for index in range(start, end):
+        monitor = monitors[monitor_off[index]:monitor_off[index + 1]].decode("utf-8")
+        first, last = hop_start[index], hop_start[index + 1]
+        hops = tuple(
+            Hop(
+                addr[i] if flags[i] & _RESPONDED else None,
+                quoted[i],
+                rtt[i],
+            )
+            for i in range(first, last)
+        )
+        traces.append(Trace(monitor, dst[index], hops, flow[index]))
+    return traces
+
+
+def concat_flat_bytes(blocks: Sequence[bytes]) -> bytes:
+    """Concatenate :meth:`FlatTraces.to_bytes` blocks into one block.
+
+    Pure column splicing (array extends plus cumulative-offset fixups,
+    all C-speed): the parent assembles one cache payload from per-shard
+    blobs without ever materializing a trace object.  O(total bytes).
+    """
+    parts = [FlatTraces.from_bytes(block) for block in blocks]
+    if not parts:
+        return pack_traces([]).to_bytes()
+    merged = parts[0]
+    for part in parts[1:]:
+        monitor_base = len(merged.monitors)
+        hop_base = merged.hop_start[-1]
+        merged.monitor_off.extend(
+            monitor_base + offset for offset in part.monitor_off[1:]
+        )
+        merged.monitors += part.monitors
+        merged.dst.extend(part.dst)
+        merged.flow.extend(part.flow)
+        merged.hop_start.extend(hop_base + offset for offset in part.hop_start[1:])
+        merged.hop_flags.extend(part.hop_flags)
+        merged.hop_addr.extend(part.hop_addr)
+        merged.hop_quoted.extend(part.hop_quoted)
+        merged.hop_rtt.extend(part.hop_rtt)
+    return merged.to_bytes()
+
+
+# ----------------------------------------------------------------------
+# the flat sanitize + neighbor-set kernel
+
+
+def accumulate_flat(
+    flat: FlatTraces,
+    start: int,
+    end: int,
+    forward: Dict[int, Set[int]],
+    backward: Dict[int, Set[int]],
+    seen: Set[int],
+    universe: Set[int],
+    is_special: Callable[[int], bool],
+) -> Tuple[int, int, int]:
+    """Sanitize and fold ``flat[start:end]`` into neighbor tables.
+
+    The columnar twin of ``sanitize_traces`` + ``accumulate_neighbors``
+    (§4.1 + §4.3), run in one pass over the hop columns without
+    constructing a single :class:`Hop`:
+
+    * responsive hops land in *universe* before any stripping (the
+      other-side heuristic deliberately sees discarded traces);
+    * quoted-TTL-0 hops become gaps and are counted as buggy removals
+      (counted even when the trace is later discarded, exactly like the
+      serial sanitizer);
+    * a trace with an interface cycle (same address twice, separated by
+      more than one position, over the *stripped* hops) is discarded;
+    * retained adjacency folds into *forward*/*backward* with special
+      addresses breaking adjacency and excluded from *seen*.
+
+    Returns ``(retained, discarded, buggy_hops_removed)``.  O(hops in
+    range); equality with the object kernel is property-tested in
+    ``tests/test_perf_flat.py``.
+    """
+    hop_start = flat.hop_start
+    flags, addr_column, quoted = flat.hop_flags, flat.hop_addr, flat.hop_quoted
+    retained = discarded = buggy = 0
+    for index in range(start, end):
+        first, last = hop_start[index], hop_start[index + 1]
+        addresses: List[Optional[int]] = []
+        buggy_here = 0
+        for i in range(first, last):
+            if flags[i] & _RESPONDED:
+                address = addr_column[i]
+                universe.add(address)
+                if quoted[i] == 0:
+                    buggy_here += 1
+                    addresses.append(None)
+                else:
+                    addresses.append(address)
+            else:
+                addresses.append(None)
+        buggy += buggy_here
+        last_position: Dict[int, int] = {}
+        cycle = False
+        for position, address in enumerate(addresses):
+            if address is None:
+                continue
+            previous = last_position.get(address)
+            if previous is not None and position - previous > 1:
+                cycle = True
+                break
+            last_position[address] = position
+        if cycle:
+            discarded += 1
+            continue
+        retained += 1
+        previous_address: Optional[int] = None
+        for address in addresses:
+            if address is None or is_special(address):
+                previous_address = None
+                continue
+            seen.add(address)
+            if previous_address is not None:
+                forward.setdefault(previous_address, set()).add(address)
+                backward.setdefault(address, set()).add(previous_address)
+            previous_address = address
+    return retained, discarded, buggy
+
+
+# ----------------------------------------------------------------------
+# counter-bundle codec
+
+
+def encode_table(table: Dict[int, Set[int]]) -> bytes:
+    """Pack a neighbor table as ``[address, count, members...]*`` u32 runs.
+
+    Keys and members are emitted sorted, so the blob is a pure function
+    of the table's *contents*.  O(entries + members log members).
+    """
+    packed = array(U32)
+    for address in sorted(table):
+        members = table[address]
+        packed.append(address)
+        packed.append(len(members))
+        packed.extend(sorted(members))
+    return packed.tobytes()
+
+
+def merge_table_blob(blob: bytes, into: Dict[int, Set[int]]) -> None:
+    """Union an :func:`encode_table` blob into *into* (O(members)).
+
+    Set union is commutative and associative, so merging shard blobs in
+    any order produces the members a serial fold would.
+    """
+    packed = array(U32)
+    packed.frombytes(blob)
+    index, length = 0, len(packed)
+    while index < length:
+        address, count = packed[index], packed[index + 1]
+        index += 2
+        members = into.get(address)
+        chunk = packed[index:index + count]
+        if members is None:
+            into[address] = set(chunk)
+        else:
+            members.update(chunk)
+        index += count
+
+
+def encode_addresses(addresses: Set[int]) -> bytes:
+    """Pack an address set as a sorted u32 array (O(n log n))."""
+    return array(U32, sorted(addresses)).tobytes()
+
+
+def merge_address_blob(blob: bytes, into: Set[int]) -> None:
+    """Union an :func:`encode_addresses` blob into *into* (O(n))."""
+    packed = array(U32)
+    packed.frombytes(blob)
+    into.update(packed)
+
+
+@dataclass
+class FlatGraphBundle:
+    """What one graph worker sends back across the fork boundary.
+
+    Four packed buffers (forward table, backward table, seen set,
+    pre-sanitize address universe) plus three ints — the whole bundle
+    pickles as plain ``bytes`` (near-memcpy), which is the point:
+    parsed traces never cross the boundary, only integer tallies do.
+    """
+
+    forward: bytes
+    backward: bytes
+    seen: bytes
+    universe: bytes
+    retained: int = 0
+    discarded: int = 0
+    buggy_hops_removed: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size crossing the fork boundary, in bytes."""
+        return (
+            len(self.forward)
+            + len(self.backward)
+            + len(self.seen)
+            + len(self.universe)
+        )
+
+
+def bundle_tables(
+    forward: Dict[int, Set[int]],
+    backward: Dict[int, Set[int]],
+    seen: Set[int],
+    universe: Set[int],
+    counts: Tuple[int, int, int],
+) -> FlatGraphBundle:
+    """Pack one shard's accumulated tables into a transfer bundle."""
+    retained, discarded, buggy = counts
+    return FlatGraphBundle(
+        forward=encode_table(forward),
+        backward=encode_table(backward),
+        seen=encode_addresses(seen),
+        universe=encode_addresses(universe),
+        retained=retained,
+        discarded=discarded,
+        buggy_hops_removed=buggy,
+    )
+
+
+def merge_graph_bundles(
+    bundles: Sequence[FlatGraphBundle],
+) -> Tuple[
+    Dict[int, Set[int]], Dict[int, Set[int]], Set[int], Set[int], Tuple[int, int, int]
+]:
+    """Merge shard bundles into canonical tables.
+
+    Returns ``(forward, backward, seen, universe, (retained, discarded,
+    buggy))`` with both tables rebuilt in sorted-key order — the same
+    canonical form the serial builder's consumers observe, so no worker
+    scheduling order can leak into results.  O(total members).
+    """
+    forward: Dict[int, Set[int]] = {}
+    backward: Dict[int, Set[int]] = {}
+    seen: Set[int] = set()
+    universe: Set[int] = set()
+    retained = discarded = buggy = 0
+    for bundle in bundles:
+        merge_table_blob(bundle.forward, forward)
+        merge_table_blob(bundle.backward, backward)
+        merge_address_blob(bundle.seen, seen)
+        merge_address_blob(bundle.universe, universe)
+        retained += bundle.retained
+        discarded += bundle.discarded
+        buggy += bundle.buggy_hops_removed
+    forward = {address: forward[address] for address in sorted(forward)}
+    backward = {address: backward[address] for address in sorted(backward)}
+    return forward, backward, seen, universe, (retained, discarded, buggy)
+
+
+# ----------------------------------------------------------------------
+# batched LPM resolution
+
+
+def graph_address_universe(graph) -> Set[int]:
+    """Every address an inference pass can ask the IP2AS mapper about:
+    neighbor-table keys plus every neighbor-set member (O(edges))."""
+    addresses: Set[int] = set()
+    for table in (graph.forward, graph.backward):
+        addresses.update(table)
+        for members in table.values():
+            addresses.update(members)
+    return addresses
+
+
+def resolve_origins(ip2as, addresses: Iterable[int]) -> Dict[int, int]:
+    """Resolve *addresses* through the LPM layers in one sorted batch.
+
+    Sorting groups trie walks through shared prefixes (warm node
+    caches) and makes the returned dict's iteration order canonical.
+    O(n log n + n · trie depth); results are exactly per-address
+    :meth:`~repro.bgp.ip2as.IP2AS.asn` calls — this is an amortization,
+    never a semantic change.
+    """
+    asn = ip2as.asn
+    return {address: asn(address) for address in sorted(set(addresses))}

@@ -6,7 +6,10 @@ records *membership*, not multiplicity — so a worker can fuse both
 stages over its shard and return partial N_F/N_B tables, and the parent
 merges them by set union.  Fusing matters: returning sanitized traces
 from workers would pickle the whole dataset back through the pool; the
-partial tables are far smaller.
+partial tables are far smaller — and they cross the boundary as packed
+``uint32`` buffers (:class:`repro.perf.flat.FlatGraphBundle`), so the
+result pickle is a handful of ``bytes`` objects, near-memcpy, instead
+of an object graph of dicts-of-sets.
 
 Determinism: set-union is commutative and associative, so the merged
 tables contain exactly the serial members for every address regardless
@@ -18,11 +21,21 @@ parallel graph reproducible byte-for-byte on its own terms.)  The
 shared tail :func:`repro.graph.neighbors.finish_interface_graph`
 computes other-sides and emits the same ``graph.built`` observability
 as the serial builder.
+
+Two worker kernels share the bundle shape:
+
+* :func:`_graph_shard` sanitizes a shard of parsed :class:`Trace`
+  objects with the object kernel (the cold path, where objects exist
+  anyway because parsing just produced them);
+* :func:`_flat_graph_shard` folds a trace-index range of a columnar
+  :class:`~repro.perf.flat.FlatTraces` block with
+  :func:`~repro.perf.flat.accumulate_flat` (the warm-cache path, which
+  never materializes a ``Hop``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 from repro.graph.neighbors import (
     InterfaceGraph,
@@ -31,48 +44,86 @@ from repro.graph.neighbors import (
 )
 from repro.net.special import default_special_registry
 from repro.obs.observer import NULL_OBS, Observability
+from repro.perf.flat import (
+    FlatGraphBundle,
+    FlatTraces,
+    accumulate_flat,
+    bundle_tables,
+    merge_graph_bundles,
+)
 from repro.perf.pool import Shard, fork_map, shared_payload
 from repro.traceroute.model import Trace
 from repro.traceroute.sanitize import sanitize_traces
 
-#: what one worker returns: partial forward/backward tables, the seen
-#: (retained, non-special) set, the pre-sanitize address universe, and
-#: the shard's (retained, discarded, buggy_hops_removed) counts
-_ShardGraph = Tuple[
-    Dict[int, Set[int]],
-    Dict[int, Set[int]],
-    Set[int],
-    Set[int],
-    Tuple[int, int, int],
-]
 
+def _graph_shard(shard: Shard) -> FlatGraphBundle:
+    """Sanitize one shard of parsed traces and fold it into a packed
+    partial-table bundle (runs in a worker process).
 
-def _graph_shard(shard: Shard) -> _ShardGraph:
-    """Sanitize one trace shard and fold it into partial neighbor tables
-    (runs in a worker process)."""
+    O(hops in shard); pickles back only the bundle's packed buffers.
+    """
     traces: Sequence[Trace] = shared_payload()
     start, end = shard
     report = sanitize_traces(traces[start:end])
     is_special = default_special_registry().is_special
-    forward: Dict[int, Set[int]] = {}
-    backward: Dict[int, Set[int]] = {}
-    seen: Set[int] = set()
+    forward = {}
+    backward = {}
+    seen = set()
     accumulate_neighbors(report.traces, forward, backward, seen, is_special)
     counts = (len(report.traces), report.discarded, report.buggy_hops_removed)
-    return forward, backward, seen, report.all_addresses, counts
+    return bundle_tables(forward, backward, seen, report.all_addresses, counts)
 
 
-def _merge_tables(partials: List[Dict[int, Set[int]]]) -> Dict[int, Set[int]]:
-    """Union partial neighbor tables into one, with sorted-key order."""
-    merged: Dict[int, Set[int]] = {}
-    for partial in partials:
-        for address, members in partial.items():
-            existing = merged.get(address)
-            if existing is None:
-                merged[address] = members
-            else:
-                existing.update(members)
-    return {address: merged[address] for address in sorted(merged)}
+def _flat_graph_shard(shard: Shard) -> FlatGraphBundle:
+    """Fold one trace-index range of a columnar block into a packed
+    partial-table bundle (runs in a worker process).
+
+    The copy-on-write payload is a :class:`FlatTraces` — a handful of
+    flat buffers, so the fork inherits it without touching per-object
+    refcounts.  O(hops in range); pickles back only packed buffers.
+    """
+    flat: FlatTraces = shared_payload()
+    start, end = shard
+    is_special = default_special_registry().is_special
+    forward = {}
+    backward = {}
+    seen = set()
+    universe = set()
+    counts = accumulate_flat(
+        flat, start, end, forward, backward, seen, universe, is_special
+    )
+    return bundle_tables(forward, backward, seen, universe, counts)
+
+
+def finish_graph_from_bundles(
+    bundles: List[FlatGraphBundle], obs: Observability = NULL_OBS
+) -> InterfaceGraph:
+    """Merge worker bundles and finish the interface graph.
+
+    Deterministic parent-side tail shared by every sharded builder:
+    set-union merge with sorted-key rebuild, the serial sanitize
+    gauges, ``perf.flat.*`` transfer accounting, and the shared
+    :func:`finish_interface_graph` (same ``graph.built`` event as the
+    serial builder).  O(total members) in the merged tables.
+    """
+    forward, backward, seen, universe, counts = merge_graph_bundles(bundles)
+    retained, discarded, buggy = counts
+    universe.update(seen)
+    if obs.enabled:
+        obs.gauge("sanitize.retained", retained)
+        obs.gauge("sanitize.discarded", discarded)
+        obs.gauge("sanitize.buggy_hops_removed", buggy)
+        obs.gauge("perf.flat.shards", len(bundles))
+        obs.inc(
+            "perf.flat.bundle_bytes", sum(bundle.nbytes for bundle in bundles)
+        )
+    return finish_interface_graph(
+        InterfaceGraph(forward=forward, backward=backward),
+        seen,
+        universe,
+        default_special_registry().is_special,
+        obs,
+    )
 
 
 def build_graph_parallel(
@@ -87,32 +138,36 @@ def build_graph_parallel(
     Equivalent to ``sanitize_traces`` + ``build_interface_graph`` with
     ``all_addresses=report.all_addresses``: same neighbor sets, same
     other-side table, same ``graph.built`` event — the sharding is
-    invisible downstream.  *shard_timeout* is the supervisor's
-    per-shard deadline (docs/ROBUSTNESS.md).
+    invisible downstream.  The trace list crosses into workers via the
+    copy-on-write fork payload (nothing pickled in); only packed
+    counter bundles are pickled out.  *shard_timeout* is the
+    supervisor's per-shard deadline (docs/ROBUSTNESS.md).
     """
     traces = traces if isinstance(traces, (list, tuple)) else list(traces)
     with obs.span("sanitize+neighbor_sets"):
         results = fork_map(
             _graph_shard, traces, len(traces), jobs, timeout=shard_timeout, obs=obs
         )
-    graph = InterfaceGraph(
-        forward=_merge_tables([r[0] for r in results]),
-        backward=_merge_tables([r[1] for r in results]),
-    )
-    seen: Set[int] = set()
-    universe: Set[int] = set()
-    retained = discarded = buggy = 0
-    for _, _, shard_seen, shard_all, counts in results:
-        seen.update(shard_seen)
-        universe.update(shard_all)
-        retained += counts[0]
-        discarded += counts[1]
-        buggy += counts[2]
-    universe.update(seen)
-    if obs.enabled:
-        obs.gauge("sanitize.retained", retained)
-        obs.gauge("sanitize.discarded", discarded)
-        obs.gauge("sanitize.buggy_hops_removed", buggy)
-    return finish_interface_graph(
-        graph, seen, universe, default_special_registry().is_special, obs
-    )
+    return finish_graph_from_bundles(results, obs)
+
+
+def build_graph_flat(
+    flat: FlatTraces,
+    jobs: int,
+    obs: Observability = NULL_OBS,
+    shard_timeout: Optional[float] = None,
+) -> InterfaceGraph:
+    """Build the interface graph straight from a columnar block.
+
+    The warm-cache fast path: shards the trace-index space across
+    *jobs* workers, each folding its range with the flat kernel — no
+    :class:`Trace`/:class:`Hop` objects are ever created on either side
+    of the fork.  Byte-identical downstream to the serial builder over
+    the decoded traces (``tests/test_perf_flat.py`` and the golden
+    suites hold the kernels equal).  *shard_timeout* as above.
+    """
+    with obs.span("sanitize+neighbor_sets"):
+        results = fork_map(
+            _flat_graph_shard, flat, len(flat), jobs, timeout=shard_timeout, obs=obs
+        )
+    return finish_graph_from_bundles(results, obs)

@@ -1,7 +1,7 @@
 """Sharded trace ingestion: the parallel twin of ``repro.robust.ingest``.
 
-The source file's lines are split into contiguous shards; each worker
-runs the same per-record pipeline as the serial ingester — blank/comment
+The source text is split into contiguous shards; each worker runs the
+same per-record pipeline as the serial ingester — blank/comment
 skipping, :func:`repro.robust.ingest.parse_record`, per-mode error
 handling — over its shard with *absolute* line numbers, and returns a
 compact partial result.  The parent concatenates partials in shard
@@ -10,6 +10,18 @@ exactly what one serial pass would have produced, then hands off to
 :func:`repro.robust.ingest.finalize_ingest` for the budget check,
 quarantine write, and observability — the shared tail guarantees the
 two ingesters are indistinguishable from the outside.
+
+Parsed traces never cross the fork boundary as objects.  Workers that
+must return their parse encode it as a columnar
+:class:`~repro.perf.flat.FlatTraces` block — one ``bytes`` object,
+near-memcpy to pickle — and the parent decodes (or, on the fused path,
+never decodes at all).  The fused path is
+:func:`stream_graph_from_file`: the ``run`` pipeline's loader, whose
+workers parse *and* sanitize *and* fold neighbor sets over their text
+shard in one pass, returning only a packed counter bundle
+(:class:`~repro.perf.flat.FlatGraphBundle`) plus, when a cache store
+is pending, their shard's columnar block.  One fork, object-free
+transfer, deterministic merge.
 
 Strict mode needs care: the serial ingester raises at the first
 malformed record.  Raising inside a pool worker would surface as a
@@ -23,9 +35,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.graph.neighbors import InterfaceGraph, accumulate_neighbors
+from repro.net.special import default_special_registry
 from repro.obs.observer import NULL_OBS, Observability
+from repro.perf.flat import (
+    FlatEncodeError,
+    FlatGraphBundle,
+    FlatTraces,
+    bundle_tables,
+    concat_flat_bytes,
+    pack_traces,
+    unpack_traces,
+)
+from repro.perf.graph import finish_graph_from_bundles
 from repro.perf.pool import Shard, fork_map, shared_payload
 from repro.robust.errors import (
     MAX_DETAILED_ERRORS,
@@ -37,12 +61,19 @@ from repro.robust.errors import (
 from repro.robust.ingest import FORMATS, MODES, finalize_ingest, parse_record
 from repro.traceroute.model import Trace
 from repro.traceroute.parse import TraceParseError, trace_format_for_path
+from repro.traceroute.sanitize import sanitize_traces
 
 
 @dataclass
 class _ShardResult:
-    """What one worker sends back: the parse outcome of its line range."""
+    """What one worker sends back: the parse outcome of its line range.
 
+    Traces travel as a columnar ``block`` (one picklable ``bytes``);
+    ``traces`` is only populated on the rare fallback when a parsed
+    field falls outside the flat encoding's integer ranges.
+    """
+
+    block: Optional[bytes] = None
     traces: List[Trace] = field(default_factory=list)
     parsed: int = 0
     malformed: int = 0
@@ -53,14 +84,25 @@ class _ShardResult:
     strict_error: Optional[Tuple[str, int, str]] = None
 
 
-def _ingest_shard(shard: Shard) -> _ShardResult:
-    """Parse one contiguous line range (runs in a worker process)."""
-    lines, format, source, mode = shared_payload()
-    start, end = shard
-    result = _ShardResult()
-    for offset in range(start, end):
-        line_number = offset + 1
-        line = lines[offset].strip()
+def _parse_lines(
+    result,
+    lines: List[str],
+    first_line_number: int,
+    format: str,
+    source: str,
+    mode: str,
+) -> Optional[List[Trace]]:
+    """The serial per-record loop over *lines*, tallying into *result*.
+
+    Returns the parsed traces, or ``None`` after recording a strict
+    error (the caller stops immediately, like the serial ingester).
+    O(lines); shared by the line-sharded and text-sharded workers so
+    there is exactly one copy of the policy semantics.
+    """
+    traces: List[Trace] = []
+    for offset, raw in enumerate(lines):
+        line_number = first_line_number + offset
+        line = raw.strip()
         if not line:
             continue
         if format == "text" and line.startswith("#"):
@@ -73,7 +115,7 @@ def _ingest_shard(shard: Shard) -> _ShardResult:
         except TraceParseError as exc:
             if mode == "strict":
                 result.strict_error = (exc.reason, line_number, line)
-                return result
+                return None
             result.malformed += 1
             if len(result.errors) < MAX_DETAILED_ERRORS:
                 result.errors.append(
@@ -83,7 +125,26 @@ def _ingest_shard(shard: Shard) -> _ShardResult:
                 result.rejects.append(line)
             continue
         result.parsed += 1
-        result.traces.append(trace)
+        traces.append(trace)
+    return traces
+
+
+def _ingest_shard(shard: Shard) -> _ShardResult:
+    """Parse one contiguous line range (runs in a worker process).
+
+    O(lines in shard); pickles back counts, capped errors, and one
+    columnar block — never a list of trace objects.
+    """
+    lines, format, source, mode = shared_payload()
+    start, end = shard
+    result = _ShardResult()
+    traces = _parse_lines(result, lines[start:end], start + 1, format, source, mode)
+    if traces is None:
+        return result
+    try:
+        result.block = pack_traces(traces).to_bytes()
+    except FlatEncodeError:
+        result.traces = traces
     return result
 
 
@@ -103,8 +164,12 @@ def ingest_traces_parallel(
 
     Drop-in equivalent of :func:`repro.robust.ingest.ingest_traces` for
     an in-memory line list: same traces, same report, same exceptions.
-    *shard_timeout* is the supervisor's per-shard deadline
-    (docs/ROBUSTNESS.md).
+    The line list reaches workers copy-on-write; each worker pickles
+    back a columnar block that the parent decodes in shard order
+    (O(total hops) rehydration, only paid when the caller needs trace
+    objects — the ``run`` pipeline uses :func:`stream_graph_from_file`
+    instead and never decodes).  *shard_timeout* is the supervisor's
+    per-shard deadline (docs/ROBUSTNESS.md).
     """
     if mode not in MODES:
         raise ValueError(f"unknown ingest mode {mode!r}; expected one of {MODES}")
@@ -122,30 +187,49 @@ def ingest_traces_parallel(
             obs=obs,
             budget=budget,
         )
-    strict_errors = [r.strict_error for r in results if r.strict_error is not None]
-    if strict_errors:
-        reason, line_number, text = min(strict_errors, key=lambda item: item[1])
-        raise TraceParseError(reason, line_number, text)
+    _raise_earliest_strict_error(results)
     report = IngestReport(source=source, mode=mode)
     traces: List[Trace] = []
     rejects: List[str] = []
-    # Shard order is line order, so plain concatenation reproduces the
-    # serial outcome — including which errors land inside the detailed
-    # cap: each shard returns at most MAX_DETAILED_ERRORS records, and
-    # truncating the in-order concatenation keeps exactly the first MAX.
-    for result in results:
-        report.parsed += result.parsed
-        report.malformed += result.malformed
-        report.skipped += result.skipped
-        traces.extend(result.traces)
-        rejects.extend(result.rejects)
-        remaining = MAX_DETAILED_ERRORS - len(report.errors)
-        if remaining > 0:
-            report.errors.extend(result.errors[:remaining])
+    for result in _merge_shard_tallies(results, report, rejects):
+        if result.block is not None:
+            traces.extend(unpack_traces(FlatTraces.from_bytes(result.block)))
+        else:
+            traces.extend(result.traces)
     finalize_ingest(
         report, rejects, budget=budget, quarantine_dir=quarantine_dir, obs=obs
     )
     return traces, report
+
+
+def _raise_earliest_strict_error(results) -> None:
+    """Re-raise the strict-mode error with the smallest line number —
+    the exact record a serial pass would have raised on."""
+    strict_errors = [r.strict_error for r in results if r.strict_error is not None]
+    if strict_errors:
+        reason, line_number, text = min(strict_errors, key=lambda item: item[1])
+        raise TraceParseError(reason, line_number, text)
+
+
+def _merge_shard_tallies(results, report: IngestReport, rejects: List[str]):
+    """Fold shard counts/errors/rejects into *report* in shard order.
+
+    Shard order is line order, so plain concatenation reproduces the
+    serial outcome — including which errors land inside the detailed
+    cap: each shard returns at most MAX_DETAILED_ERRORS records, and
+    truncating the in-order concatenation keeps exactly the first MAX.
+    Yields each result back so callers can splice their payloads in the
+    same order.  O(shards + errors + rejects).
+    """
+    for result in results:
+        report.parsed += result.parsed
+        report.malformed += result.malformed
+        report.skipped += result.skipped
+        rejects.extend(result.rejects)
+        remaining = MAX_DETAILED_ERRORS - len(report.errors)
+        if remaining > 0:
+            report.errors.extend(result.errors[:remaining])
+        yield result
 
 
 def ingest_trace_file_parallel(
@@ -184,3 +268,150 @@ def ingest_trace_file_parallel(
         obs=obs,
         shard_timeout=shard_timeout,
     )
+
+
+# ----------------------------------------------------------------------
+# the fused streaming loader (parse + sanitize + neighbor fold, one fork)
+
+
+@dataclass
+class _FusedShardResult(_ShardResult):
+    """A fused worker's return: ingest tallies plus the shard's packed
+    graph bundle.  ``block`` is populated only when the parent asked
+    for a cache payload (and the shard parsed clean)."""
+
+    bundle: Optional[FlatGraphBundle] = None
+
+
+def _fused_shard(shard: Shard) -> _FusedShardResult:
+    """Parse, sanitize, and fold one text shard (worker process).
+
+    The copy-on-write payload is the *whole source text* as one string
+    plus a char-offset → line-number map: a handful of objects, so the
+    fork never walks a million-element line list.  The shard tuple is a
+    character range aligned to line boundaries.  O(bytes in shard);
+    pickles back tallies, one packed counter bundle, and (only when a
+    store is pending) one columnar block.
+    """
+    text, line_starts, format, source, mode, want_block = shared_payload()
+    start, end = shard
+    result = _FusedShardResult()
+    segment = text[start:end]
+    lines = segment.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    traces = _parse_lines(result, lines, line_starts[start], format, source, mode)
+    if traces is None:
+        return result
+    if want_block and result.malformed == 0:
+        try:
+            result.block = pack_traces(traces).to_bytes()
+        except FlatEncodeError:
+            result.block = None
+    report = sanitize_traces(traces)
+    is_special = default_special_registry().is_special
+    forward = {}
+    backward = {}
+    seen = set()
+    accumulate_neighbors(report.traces, forward, backward, seen, is_special)
+    counts = (len(report.traces), report.discarded, report.buggy_hops_removed)
+    result.bundle = bundle_tables(
+        forward, backward, seen, report.all_addresses, counts
+    )
+    return result
+
+
+def _shard_spans(text: str, shards: int) -> Tuple[List[Shard], Dict[int, int]]:
+    """Split *text* into newline-aligned character ranges.
+
+    Returns the ranges plus a map from each range's start offset to its
+    absolute 1-based line number (computed with C-speed ``str.count``).
+    Ranges cover the text exactly once in order, so shard-order merges
+    equal a serial pass.  O(len(text)) for the boundary scans.
+    """
+    length = len(text)
+    if length == 0:
+        return [], {}
+    boundaries = {0}
+    for index in range(1, max(1, shards)):
+        newline = text.find("\n", length * index // shards)
+        if newline != -1 and newline + 1 < length:
+            boundaries.add(newline + 1)
+    starts = sorted(boundaries)
+    spans = [
+        (start, starts[i + 1] if i + 1 < len(starts) else length)
+        for i, start in enumerate(starts)
+    ]
+    line_starts = {start: text.count("\n", 0, start) + 1 for start, _ in spans}
+    return spans, line_starts
+
+
+def stream_graph_from_file(
+    path: Union[str, Path],
+    jobs: int,
+    *,
+    format: Optional[str] = None,
+    mode: str = "strict",
+    budget: Optional[ErrorBudget] = None,
+    quarantine_dir: Optional[Union[str, Path]] = None,
+    obs: Observability = NULL_OBS,
+    shard_timeout: Optional[float] = None,
+    want_payload: bool = False,
+) -> Tuple[InterfaceGraph, IngestReport, Optional[bytes]]:
+    """Parse a traces file and build its interface graph in one fork.
+
+    The ``run`` pipeline's hot path: each worker stream-parses its text
+    shard, sanitizes, and folds neighbor sets, returning a packed
+    counter bundle — parsed traces never cross the fork boundary in
+    either direction.  The parent re-raises strict errors (earliest
+    line), merges tallies in shard order, runs the shared
+    :func:`finalize_ingest` tail (same ``ingest.end`` event, budget
+    check, quarantine write), then merges bundles into the same
+    canonical graph — and same ``graph.built`` event — as the serial
+    ingest-then-build sequence.
+
+    With *want_payload* true (a cache store is pending) clean-parsing
+    workers also return their shard's columnar block; the returned
+    payload is the spliced whole-file block, or ``None`` when the parse
+    was dirty or any shard fell back.  O(file bytes) end to end;
+    pickled traffic is O(distinct addresses), not O(hops).
+    """
+    path = Path(path)
+    if format is None:
+        format = trace_format_for_path(path.name)
+    if mode not in MODES:
+        raise ValueError(f"unknown ingest mode {mode!r}; expected one of {MODES}")
+    if mode == "quarantine" and quarantine_dir is None:
+        quarantine_dir = path.parent / "quarantine"
+    if format not in FORMATS:
+        raise ValueError(f"unknown trace format {format!r}; expected one of {FORMATS}")
+    with open(path, errors="replace") as handle:
+        text = handle.read()
+    spans, line_starts = _shard_spans(text, max(1, jobs))
+    with obs.span("ingest+graph"):
+        results = fork_map(
+            _fused_shard,
+            (text, line_starts, format, path.name, mode, want_payload),
+            len(spans),
+            jobs,
+            shards=spans,
+            timeout=shard_timeout,
+            obs=obs,
+            budget=budget,
+        )
+        _raise_earliest_strict_error(results)
+        report = IngestReport(source=path.name, mode=mode)
+        rejects: List[str] = []
+        blocks: List[Optional[bytes]] = []
+        for result in _merge_shard_tallies(results, report, rejects):
+            blocks.append(result.block)
+        finalize_ingest(
+            report, rejects, budget=budget, quarantine_dir=quarantine_dir, obs=obs
+        )
+        graph = finish_graph_from_bundles(
+            [result.bundle for result in results if result.bundle is not None], obs
+        )
+    payload: Optional[bytes] = None
+    if want_payload and report.ok and all(block is not None for block in blocks):
+        payload = concat_flat_bytes([block for block in blocks if block is not None])
+    return graph, report, payload

@@ -60,7 +60,9 @@ def shard_ranges(count: int, shards: int) -> List[Shard]:
 
     Ranges are returned in order and cover every index exactly once, so
     an order-preserving concatenation of per-shard results equals the
-    serial result.  Sizes differ by at most one.
+    serial result.  Sizes differ by at most one.  O(shards); allocates
+    nothing that crosses a process boundary except the tuples
+    themselves.
     """
     shards = max(1, min(shards, count))
     base, extra = divmod(count, shards)
@@ -131,6 +133,14 @@ def fork_map(
     execution by the supervisor; *budget*, when armed, counts the
     rescued-shard fraction against the run's
     :class:`~repro.robust.errors.ErrorBudget`.
+
+    What pickles: *nothing* of the payload (copy-on-write through the
+    module global), one small shard tuple per task going out, and each
+    worker's return value coming back — keep returns to packed
+    ``bytes``/counter bundles (:mod:`repro.perf.flat`), as every byte
+    returned is pickled in the worker and unpickled in the parent.
+    Cost beyond the workers' own time: one ``fork`` per pool worker
+    plus O(total result bytes) for the return trip.
     """
     from repro.robust.supervise import (
         SuperviseConfig,

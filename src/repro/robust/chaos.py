@@ -21,8 +21,9 @@ output is byte-identical to the golden run.  Schedules:
     journal and cache writes fail with ``ENOSPC`` — durability
     degrades, the run itself completes;
 ``corrupt-cache``
-    a ``.mapitc`` entry is bit-flipped between runs — the warm run must
-    detect it and re-parse.
+    a *binary* (v2 struct-packed) ``.mapitc`` entry is bit-flipped
+    between runs — the warm run must detect the checksum mismatch and
+    re-parse.
 
 A passing run can be recorded as a small JSON *regression bundle*
 (preset, seed, schedules, golden sha256); replaying the bundle re-runs
@@ -293,7 +294,15 @@ def _schedule_enospc(
 def _schedule_corrupt_cache(
     root: Path, world: Path, golden_sha: str, seed: int, jobs: int
 ) -> ScheduleResult:
-    """Bit-flip a cache entry between runs -> warm run must re-parse."""
+    """Bit-flip a *binary* cache entry between runs -> warm re-parse.
+
+    Also pins the entry format: the cold run must have stored a v2
+    struct-packed entry (the layout this release writes), so the flip
+    lands in binary column data and the checksum verification — not a
+    JSON parse error — is what catches it.
+    """
+    from repro.perf.cache import BINARY_MAGIC
+
     cache_dir = root / "cache"
     cold = root / "out-cache-cold.json"
     code, _ = _run_to(world, cold, "--jobs", "1", "--cache", str(cache_dir))
@@ -305,6 +314,10 @@ def _schedule_corrupt_cache(
         return ScheduleResult("corrupt-cache", False, "no cache entry stored")
     entry = entries[0]
     data = bytearray(entry.read_bytes())
+    if not data.startswith(BINARY_MAGIC):
+        return ScheduleResult(
+            "corrupt-cache", False, "stored entry is not a v2 binary entry"
+        )
     position = len(data) // 2
     data[position] ^= 0xFF
     entry.write_bytes(bytes(data))

@@ -49,6 +49,9 @@ class BundleHealth:
     warnings: List[str] = field(default_factory=list)
     checksum_failures: List[str] = field(default_factory=list)
     ingest: Optional[IngestReport] = None
+    #: entry format version ("v1"/"v2") when traces came from a verified
+    #: bundle-cache hit; None on a cold parse or uncached load
+    cache_format: Optional[str] = None
 
     def record(self, name: str, status: str, detail: str = "") -> None:
         self.statuses.append(DatasetStatus(name, status, detail))
@@ -74,6 +77,8 @@ class BundleHealth:
         """Human-readable health summary (the CLI prints these)."""
         if self.ingest is not None:
             yield from self.ingest.summary_lines()
+        if self.cache_format is not None:
+            yield f"cache: hit (entry format {self.cache_format})"
         degraded = [s for s in self.statuses if s.status in ("degraded", "corrupt")]
         for status in degraded:
             yield f"warning: {status}"

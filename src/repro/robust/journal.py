@@ -301,7 +301,12 @@ def journaled_run(
                 effective_obs.inc("robust.journal.blob_corrupt")
                 graph = None
     if graph is None:
-        if jobs > 1:
+        if getattr(bundle, "graph", None) is not None:
+            # The fused loader already built (and instrumented) the
+            # graph at load time; journal it like a fresh build so a
+            # resume can replay it.
+            graph = bundle.graph
+        elif jobs > 1:
             from repro.perf.graph import build_graph_parallel
 
             graph = build_graph_parallel(

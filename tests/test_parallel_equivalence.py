@@ -185,6 +185,39 @@ class TestCacheEquivalence:
         assert counters["perf.cache.misses"] == 1
         assert len(list(cache.glob("*.mapitc"))) == 2
 
+    def test_v1_entry_warm_run_byte_identical(self, dataset, tmp_path, capsys):
+        """Golden byte-identity for legacy v1 entries read by new code:
+        a warm run over a fabricated old-format entry must produce the
+        same output and trace bytes as the cold (v2-writing) run."""
+        import hashlib
+
+        cache = tmp_path / "cache"
+        cold_out, cold_trace = tmp_path / "c.json", tmp_path / "c.jsonl"
+        _run(dataset, cold_out, cold_trace, "--cache", str(cache))
+        bundle_cache = BundleCache(cache)
+        source_sha = hashlib.sha256((dataset / "traces.txt").read_bytes()).hexdigest()
+        hit = bundle_cache.load_entry(source_sha, "text")
+        assert hit is not None and hit.entry_version == 2
+        TestBundleCacheUnit._write_v1_entry(
+            bundle_cache, source_sha, "text", hit.traces(), hit.parsed, hit.skipped
+        )
+        warm_out, warm_trace = tmp_path / "w.json", tmp_path / "w.jsonl"
+        metrics = tmp_path / "m.json"
+        _run(
+            dataset,
+            warm_out,
+            warm_trace,
+            "--cache",
+            str(cache),
+            "--metrics",
+            str(metrics),
+        )
+        assert warm_out.read_bytes() == cold_out.read_bytes()
+        assert warm_trace.read_bytes() == cold_trace.read_bytes()
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["perf.cache.hits"] == 1
+        assert counters["perf.cache.format.v1"] == 1
+
     def test_dirty_parse_not_cached(self, tmp_bundle, tmp_path, capsys):
         dataset = tmp_bundle(seed=3, copy=True)
         with open(dataset / "traces.txt", "a") as handle:
@@ -228,7 +261,21 @@ class TestBundleCacheUnit:
         assert not BundleCache(tmp_path).store("a" * 64, "text", [], report)
         assert list(tmp_path.iterdir()) == []
 
+    def test_stored_entries_are_binary_v2(self, tmp_path):
+        from repro.perf.cache import BINARY_MAGIC
+        from repro.robust.errors import IngestReport
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        report = IngestReport(source="traces.txt", parsed=len(traces))
+        cache = BundleCache(tmp_path)
+        assert cache.store("a" * 64, "text", traces, report)
+        raw = cache.entry_path("a" * 64, "text").read_bytes()
+        assert raw.startswith(BINARY_MAGIC)
+
     def test_header_tamper_is_invalid(self, tmp_path):
+        import struct
+
         from repro.robust.errors import IngestReport
         from repro.traceroute.parse import parse_text_traces
 
@@ -237,12 +284,78 @@ class TestBundleCacheUnit:
         cache = BundleCache(tmp_path)
         cache.store("a" * 64, "text", traces, report)
         path = cache.entry_path("a" * 64, "text")
-        raw = path.read_bytes()
-        header, _, payload = raw.partition(b"\n")
-        doctored = json.loads(header)
-        doctored["parsed"] = 999
-        path.write_bytes(json.dumps(doctored).encode() + b"\n" + payload)
+        raw = bytearray(path.read_bytes())
+        # doctor the struct header's parsed-count field (offset 12, u32)
+        struct.pack_into("<I", raw, 12, 999)
+        path.write_bytes(bytes(raw))
         assert cache.load("a" * 64, "text") is None
+
+    @staticmethod
+    def _write_v1_entry(cache, source_sha, format, traces, parsed, skipped=0):
+        """Fabricate an entry in the legacy v1 layout (JSON header line +
+        pickle of compact tuples) at the entry's canonical path."""
+        import hashlib
+        import pickle
+
+        from repro.perf.cache import MAGIC, _pack
+
+        payload = pickle.dumps(_pack(traces), protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "magic": MAGIC,
+            "version": 1,
+            "format": format,
+            "source_sha256": source_sha,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "parsed": parsed,
+            "skipped": skipped,
+        }
+        cache._ensure_directory()
+        cache.entry_path(source_sha, format).write_bytes(
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + payload
+        )
+
+    def test_v1_entry_reads_transparently(self, tmp_path):
+        from repro.obs.metrics import Metrics
+        from repro.obs.observer import Observability
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        metrics = Metrics()
+        cache = BundleCache(tmp_path, obs=Observability(metrics=metrics))
+        self._write_v1_entry(cache, "a" * 64, "text", traces, len(traces))
+        assert cache.load("a" * 64, "text") == (traces, len(traces), 0)
+        assert metrics.counters["perf.cache.hits"] == 1
+        assert metrics.counters["perf.cache.format.v1"] == 1
+        hit = cache.load_entry("a" * 64, "text")
+        assert hit.entry_version == 1 and hit.flat is None
+
+    def test_v1_entry_tamper_still_detected(self, tmp_path):
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        cache = BundleCache(tmp_path)
+        self._write_v1_entry(cache, "a" * 64, "text", traces, len(traces))
+        path = cache.entry_path("a" * 64, "text")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.load("a" * 64, "text") is None
+
+    def test_v2_hit_counts_format_metric(self, tmp_path):
+        from repro.obs.metrics import Metrics
+        from repro.obs.observer import Observability
+        from repro.robust.errors import IngestReport
+        from repro.traceroute.parse import parse_text_traces
+
+        traces = list(parse_text_traces(GOOD))
+        report = IngestReport(source="traces.txt", parsed=len(traces))
+        metrics = Metrics()
+        cache = BundleCache(tmp_path, obs=Observability(metrics=metrics))
+        assert cache.store("a" * 64, "text", traces, report)
+        hit = cache.load_entry("a" * 64, "text")
+        assert hit.entry_version == 2 and hit.flat is not None
+        assert hit.traces() == traces
+        assert metrics.counters["perf.cache.format.v2"] == 1
 
 
 class TestCacheHardening:
