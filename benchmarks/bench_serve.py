@@ -1,0 +1,144 @@
+"""Serve layer cost model: incremental quiesce vs. batch re-run.
+
+Not a paper table — engineering numbers for the `mapit serve` daemon
+(docs/SERVE.md). As a trace stream grows, a batch pipeline pays
+O(world) per refresh; the serve layer folds each arrival into live
+neighbor tables and re-infers only the dirty region. This benchmark
+streams a seeded world in chunks and, at each prefix, times
+
+* the incremental path: fold the chunk + one dirty-region quiesce;
+* the batch path: sanitize + graph + full MAP-IT over the whole prefix
+
+while asserting the two produce **byte-identical** results at every
+checkpoint (the same invariant `python -m repro.serve --sweep`
+enforces). It also reports raw fold throughput. Results go to
+``benchmarks/results/serve_incremental.txt``.
+
+Standalone mode (what the CI serve job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+exits non-zero on any equivalence violation.
+"""
+
+import sys
+import time
+
+from conftest import PAPER_SEED, publish
+
+from repro.core.config import MapItConfig
+from repro.core.mapit import MapIt
+from repro.diff.worlds import world_from_preset
+from repro.graph.neighbors import build_interface_graph
+from repro.serve.incremental import IncrementalIndex
+from repro.traceroute.sanitize import sanitize_traces
+
+
+def _batch(world, prefix, config):
+    """One cold batch run over the first *prefix* traces."""
+    report = sanitize_traces(world.traces[:prefix])
+    graph = build_interface_graph(report.traces, all_addresses=report.all_addresses)
+    mapit = MapIt(
+        graph, world.ip2as(), org=world.as2org, rel=world.relationships, config=config
+    )
+    result = mapit.run()
+    return mapit.engine.state.fingerprint(), result.to_json()
+
+
+def run_bench(preset: str = "small", seed: int = PAPER_SEED, chunks: int = 8):
+    """Stream one world in *chunks*; returns (rows, divergences)."""
+    world = world_from_preset(preset, seed)
+    config = MapItConfig()
+    index = IncrementalIndex(
+        world.ip2as(), org=world.as2org, rel=world.relationships, config=config
+    )
+    total = len(world.traces)
+    chunk = max(1, total // chunks)
+
+    fold_start = time.perf_counter()
+    warm = IncrementalIndex(
+        world.ip2as(), org=world.as2org, rel=world.relationships, config=config
+    )
+    for trace in world.traces:
+        warm.fold([trace])
+    fold_elapsed = time.perf_counter() - fold_start
+
+    rows = []
+    divergences = 0
+    position = 0
+    while position < total:
+        upper = min(position + chunk, total)
+        start = time.perf_counter()
+        index.fold(list(world.traces[position:upper]))
+        result = index.quiesce()
+        incremental_s = time.perf_counter() - start
+        position = upper
+
+        start = time.perf_counter()
+        batch_fp, batch_json = _batch(world, position, config)
+        batch_s = time.perf_counter() - start
+
+        identical = (
+            index.fingerprint() == batch_fp and result.to_json() == batch_json
+        )
+        if not identical:
+            divergences += 1
+        rows.append(
+            {
+                "prefix": f"{position}/{total}",
+                "fold+quiesce_ms": f"{incremental_s * 1000:.1f}",
+                "batch_ms": f"{batch_s * 1000:.1f}",
+                "speedup": f"{batch_s / incremental_s:.2f}x",
+                "inferences": len(result.inferences),
+                "identical": "yes" if identical else "NO",
+            }
+        )
+    rows.append(
+        {
+            "prefix": "(fold only)",
+            "fold+quiesce_ms": f"{fold_elapsed * 1000:.1f}",
+            "batch_ms": "-",
+            "speedup": f"{total / fold_elapsed:.0f} traces/s",
+            "inferences": "-",
+            "identical": "-",
+        }
+    )
+    return world, rows, divergences
+
+
+def test_serve_incremental_vs_batch():
+    """Pytest leg: publish the table; any divergence fails."""
+    world, rows, divergences = run_bench()
+    publish(
+        "serve_incremental",
+        f"Serve layer: incremental fold+quiesce vs cold batch re-run, "
+        f"{world.name} ({len(world.traces)} traces)",
+        rows,
+    )
+    assert divergences == 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="bench_serve")
+    parser.add_argument("--preset", default="small")
+    parser.add_argument("--seed", type=int, default=PAPER_SEED)
+    parser.add_argument("--chunks", type=int, default=8)
+    args = parser.parse_args(argv)
+    world, rows, divergences = run_bench(args.preset, args.seed, args.chunks)
+    publish(
+        "serve_incremental",
+        f"Serve layer: incremental fold+quiesce vs cold batch re-run, "
+        f"{world.name} ({len(world.traces)} traces)",
+        rows,
+    )
+    if divergences:
+        print(f"FAIL: {divergences} checkpoint(s) diverged from batch")
+        return 1
+    print("serve bench OK: every checkpoint byte-identical to batch")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

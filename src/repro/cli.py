@@ -6,6 +6,9 @@ reproduction experiments:
 * ``mapit simulate`` — generate a synthetic dataset directory;
 * ``mapit run`` — run MAP-IT over a dataset directory (real or
   synthetic) and print/write the inferred inter-AS link interfaces;
+* ``mapit serve`` — long-running incremental daemon: tail a trace
+  stream, re-infer only the dirty region at each quiesce, answer
+  queries over HTTP (docs/SERVE.md);
 * ``mapit evaluate`` — run and score against the directory's ground
   truth, per verification network;
 * ``mapit experiment`` — regenerate one of the paper's tables/figures
@@ -55,10 +58,21 @@ exit codes (docs/CLI.md has the full contract table):
        unreadable trace file, --resume id mismatch)
   3    ingest error budget exceeded: under --on-error lenient/quarantine,
        more than --max-error-rate of the records were malformed (strict
-       mode exits 3 on the first malformed record)
+       mode exits 3 on the first malformed record; serve counts shed
+       lines against the same budget)
   124  a shard exceeded --shard-timeout on every attempt, including the
        final inline one
-  130  interrupted (SIGINT/SIGTERM); workers are terminated promptly
+  130  interrupted (SIGINT/SIGTERM); workers are terminated promptly,
+       and a serve daemon drains its queue, quiesces, and writes a
+       final checkpoint before exiting
+
+serve (incremental daemon; see docs/SERVE.md):
+  mapit serve DATASET --follow FILE [--http PORT] [--socket PATH]
+                  tail FILE into the inference state; each quiesce is
+                  byte-identical to `mapit run` over the traces so far
+  mapit serve DATASET --follow FILE --once --json --output F
+                  batch-equivalence mode: fold to end-of-file and emit
+                  exactly what `mapit run --json --output F` would
 
 --on-error semantics (simulate/run/evaluate/explain/report):
   strict      abort on the first malformed record (default)
@@ -272,6 +286,39 @@ def _load_bundle_checked(args, obs=None, graph_only=False):
     return bundle
 
 
+def _emit_result(result, output: Optional[str], as_json: bool) -> None:
+    """Write a result the way ``mapit run`` always has.
+
+    ``mapit serve --once`` shares this writer, which is what makes the
+    serve-vs-batch equivalence a *byte* identity: both commands produce
+    their output through the very same code path.
+    """
+    out = open(output, "w") if output else sys.stdout
+    try:
+        if as_json:
+            print(result.to_json(indent=2), file=out)
+        else:
+            for inference in result.inferences:
+                print(inference, file=out)
+            if result.uncertain:
+                print("# uncertain inferences:", file=out)
+                for inference in result.uncertain:
+                    print(f"# {inference}", file=out)
+    finally:
+        if output:
+            out.close()
+
+
+def _print_result_summary(result) -> None:
+    summary = result.summary()
+    print(
+        f"{summary['inferences']} inferences on {summary['interfaces']} interfaces "
+        f"({summary['as_links']} AS links, {summary['uncertain']} uncertain, "
+        f"{summary['iterations']} iterations)",
+        file=sys.stderr,
+    )
+
+
 def _add_mapit_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--f", type=float, default=0.5, help="Alg 2 threshold f")
     parser.add_argument(
@@ -385,28 +432,213 @@ def cmd_run(args) -> int:
             )
     finally:
         _finish_obs(obs, args)
-    out = open(args.output, "w") if args.output else sys.stdout
-    try:
-        if args.json:
-            print(result.to_json(indent=2), file=out)
-        else:
-            for inference in result.inferences:
-                print(inference, file=out)
-            if result.uncertain:
-                print("# uncertain inferences:", file=out)
-                for inference in result.uncertain:
-                    print(f"# {inference}", file=out)
-    finally:
-        if args.output:
-            out.close()
-    summary = result.summary()
-    print(
-        f"{summary['inferences']} inferences on {summary['interfaces']} interfaces "
-        f"({summary['as_links']} AS links, {summary['uncertain']} uncertain, "
-        f"{summary['iterations']} iterations)",
-        file=sys.stderr,
-    )
+    _emit_result(result, args.output, args.json)
+    _print_result_summary(result)
     return 0
+
+
+def _serve_warm_start(daemon, traces_path, format: str, cache_dir) -> int:
+    """Fold the dataset's own traces file into a serve daemon.
+
+    A verified ``.mapitc`` v2 cache hit folds the columnar payload
+    directly (no object materialization, no re-parse); otherwise the
+    file streams through the normal ingest path.  Either way the
+    source's byte offset ends at end-of-file, so a later checkpoint
+    resumes past the warm base.  Returns traces folded.
+    """
+    from repro.serve.sources import FollowSource, read_file_size
+
+    name = str(traces_path)
+    offset = daemon.offsets.get(name, 0)
+    size = read_file_size(traces_path)
+    if offset >= size:
+        return 0  # a resumed checkpoint already covered the file
+    if offset == 0 and cache_dir:
+        from repro.io.atomic import file_sha256
+        from repro.perf.cache import BundleCache
+
+        hit = BundleCache(cache_dir, obs=daemon.obs).load_entry(
+            file_sha256(traces_path), format
+        )
+        if hit is not None and hit.flat is not None:
+            daemon.index.fold_flat(hit.flat, 0, len(hit.flat))
+            daemon.stats["ingested"] += hit.parsed + hit.skipped
+            daemon.stats["parsed"] += hit.parsed
+            daemon.stats["skipped"] += hit.skipped
+            daemon.stats["folds"] += hit.parsed
+            daemon.offsets[name] = size
+            return hit.parsed
+    source = FollowSource(traces_path, offset=offset)
+    return source.feed(daemon, once=True, sync=True)
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.obs import NULL_OBS
+    from repro.robust.errors import ErrorBudget
+    from repro.robust.journal import RunJournal
+    from repro.serve.api import QueryAPI, ServeHTTPServer
+    from repro.serve.checkpoint import serve_run_identity
+    from repro.serve.daemon import ServeDaemon
+    from repro.serve.incremental import IncrementalIndex
+    from repro.serve.sources import FollowSource, SocketSource
+    from repro.traceroute.parse import TraceParseError
+
+    journal_dir = args.journal or os.environ.get("MAPIT_JOURNAL") or None
+    if args.resume and not journal_dir:
+        print(
+            "error: --resume requires --journal (or $MAPIT_JOURNAL)",
+            file=sys.stderr,
+        )
+        return 2
+    obs = _build_obs(args)
+    handle = obs if obs is not None else NULL_OBS
+    http_server = None
+    socket_source = None
+    restore_handlers: Dict[int, object] = {}
+    exit_code = 0
+    try:
+        bundle = load_bundle(
+            args.dataset,
+            on_error=args.on_error,
+            max_error_rate=args.max_error_rate,
+            obs=handle,
+            skip_traces=True,
+        )
+        for line in bundle.health.summary_lines():
+            print(line, file=sys.stderr)
+        root = Path(args.dataset)
+        dataset_traces = None
+        for name in ("traces.txt", "traces.jsonl"):
+            if (root / name).exists():
+                dataset_traces = root / name
+                break
+        follow_paths = [Path(p) for p in (args.follow or [])]
+        stream_paths = ([dataset_traces] if dataset_traces else []) + follow_paths
+        formats = {
+            "jsonl" if path.suffix == ".jsonl" else "text" for path in stream_paths
+        }
+        if len(formats) > 1:
+            print(
+                "error: mixed text/jsonl sources; one serve session "
+                "streams one record format",
+                file=sys.stderr,
+            )
+            return 2
+        format = formats.pop() if formats else "jsonl"
+        config = _mapit_config(args)
+        index = IncrementalIndex(
+            bundle.ip2as,
+            org=bundle.as2org,
+            rel=bundle.relationships,
+            config=config,
+            obs=handle,
+        )
+        budget = (
+            ErrorBudget(args.max_error_rate) if args.on_error != "strict" else None
+        )
+        journal = None
+        if journal_dir:
+            run_id = serve_run_identity(args.dataset, config, format)
+            journal = RunJournal(journal_dir, run_id, obs=handle)
+            print(f"journal: serve run {run_id} in {journal_dir}", file=sys.stderr)
+        daemon = ServeDaemon(
+            index,
+            format=format,
+            on_error=args.on_error,
+            budget=budget,
+            journal=journal,
+            obs=handle,
+            quiesce_every=args.quiesce_every,
+            checkpoint_every=args.checkpoint_every,
+            queue_limit=args.queue_limit,
+        )
+        if args.resume:
+            if daemon.resume():
+                print(
+                    f"resume: restored checkpoint at {daemon.stats['folds']} folds",
+                    file=sys.stderr,
+                )
+            else:
+                print("resume: no usable checkpoint; starting cold", file=sys.stderr)
+        _, cache_dir, _ = _perf_settings(args)
+        try:
+            if dataset_traces is not None:
+                _serve_warm_start(daemon, dataset_traces, format, cache_dir)
+            if args.once:
+                for path in follow_paths:
+                    FollowSource(
+                        path,
+                        offset=daemon.offsets.get(str(path), 0),
+                        poll_interval=args.poll_interval,
+                    ).feed(daemon, once=True, sync=True)
+                snapshot = daemon.finalize()
+                _emit_result(snapshot.result, args.output, args.json)
+                _print_result_summary(snapshot.result)
+            else:
+                stop = threading.Event()
+
+                def _request_stop(signum, frame):
+                    stop.set()
+
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        restore_handlers[signum] = signal.signal(
+                            signum, _request_stop
+                        )
+                    except ValueError:  # pragma: no cover - non-main thread
+                        pass
+                for path in follow_paths:
+                    source = FollowSource(
+                        path,
+                        offset=daemon.offsets.get(str(path), 0),
+                        poll_interval=args.poll_interval,
+                    )
+                    threading.Thread(
+                        target=source.feed,
+                        args=(daemon,),
+                        kwargs={"stop": stop},
+                        daemon=True,
+                    ).start()
+                if args.socket:
+                    socket_source = SocketSource(args.socket, daemon)
+                    socket_source.start()
+                if args.http is not None:
+                    http_server = ServeHTTPServer(QueryAPI(daemon), port=args.http)
+                    http_server.start()
+                    print(
+                        f"serve: http on {http_server.host}:{http_server.port}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                print(
+                    "serve: streaming (SIGINT/SIGTERM drains, checkpoints, exits)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                daemon.run_loop(stop, idle_wait=args.poll_interval)
+                if stop.is_set():
+                    exit_code = EXIT_INTERRUPTED
+                if args.output or args.json:
+                    _emit_result(daemon.snapshot.result, args.output, args.json)
+        except ErrorBudgetExceeded as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            exit_code = EXIT_BUDGET_EXCEEDED
+        except TraceParseError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            exit_code = EXIT_BUDGET_EXCEEDED
+    finally:
+        if http_server is not None:
+            http_server.close()
+        if socket_source is not None:
+            socket_source.close()
+        for signum, handler in restore_handlers.items():
+            signal.signal(signum, handler)
+        _finish_obs(obs, args)
+    return exit_code
 
 
 def cmd_evaluate(args) -> int:
@@ -671,6 +903,103 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_options(run)
     _add_perf_options(run)
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="incremental inference daemon over a trace stream",
+        description=(
+            "Fold traces into the inference state as they arrive, "
+            "re-running only the dirty region of the graph at each "
+            "quiesce.  A quiesced serve state is byte-identical to "
+            "`mapit run` over the same traces (docs/SERVE.md)."
+        ),
+    )
+    serve.add_argument(
+        "dataset",
+        help=(
+            "dataset directory with the IP2AS mapping files; its own "
+            "traces file (if present) is folded as the warm base"
+        ),
+    )
+    serve.add_argument(
+        "--follow",
+        action="append",
+        metavar="FILE",
+        help="tail FILE for appended trace records (repeatable)",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="accept newline-delimited records on a unix socket at PATH",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help=(
+            "fold the dataset and --follow files to end-of-file, emit "
+            "the result, and exit (the batch-equivalence mode)"
+        ),
+    )
+    serve.add_argument("--output", help="write inferences here instead of stdout")
+    serve.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    serve.add_argument(
+        "--quiesce-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="re-run inference after every N folded traces (default 64; "
+        "an idle stream quiesces immediately)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint fold state to the journal every N folds "
+        "(default 0 = only at shutdown; requires --journal)",
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="journal serve checkpoints to DIR so a killed daemon can "
+        "--resume (default $MAPIT_JOURNAL or off)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the newest checkpoint from --journal and continue "
+        "from its source offsets",
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the query API on 127.0.0.1:PORT (0 = ephemeral; the "
+        "bound port is printed to stderr)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="bound the ingest queue at N lines; arrivals beyond it are "
+        "shed deterministically and counted (default 1024)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="file-tail polling interval (default 0.1)",
+    )
+    _add_mapit_options(serve)
+    _add_robust_options(serve)
+    _add_obs_options(serve)
+    _add_perf_options(serve)
+    serve.set_defaults(func=cmd_serve)
 
     evaluate = sub.add_parser("evaluate", help="run and score against ground truth")
     evaluate.add_argument("dataset", help="dataset directory with groundtruth.txt")

@@ -20,8 +20,9 @@ Counting rules, from the paper:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bgp.ip2as import IP2AS
 from repro.core.config import MapItConfig
@@ -94,6 +95,21 @@ class Engine:
         self.obs = obs if obs is not None else NULL_OBS
         self.state = MapItState()
         self._origin_cache: Dict[int, int] = {}
+        # Incremental (dirty-region) machinery, enabled by
+        # :meth:`enable_incremental` for the serve daemon.  ``_base_memo``
+        # caches, per candidate half, the outcome of the Alg 2 direct test
+        # evaluated against *original* BGP mappings only (the iteration-1
+        # pass-1 condition): either None (no inference) or the
+        # ``(local_as, remote_as, count, total)`` it would add.  The memo
+        # stays valid until the half's own neighbor-set membership changes,
+        # because the base test reads only that set and static datasets
+        # (ip2as / org / config).  ``_memo_positive`` indexes the non-None
+        # entries; ``_memo_stale`` the halves whose memo must be refreshed.
+        self._base_memo: Optional[Dict[Half, Optional[Tuple[int, int, int, int]]]] = None
+        self._memo_positive: Set[Half] = set()
+        self._memo_stale: Set[Half] = set()
+        self._candidate_list: Optional[List[Half]] = None
+        self._candidate_set: Set[Half] = set()
 
     # -- mappings -----------------------------------------------------------
 
@@ -135,6 +151,75 @@ class Engine:
             return asn
         return self.org.canonical(asn)
 
+    # -- incremental (dirty-region) mode -------------------------------------
+
+    @property
+    def incremental(self) -> bool:
+        """True once :meth:`enable_incremental` armed the memo tables."""
+        return self._base_memo is not None
+
+    def enable_incremental(self) -> None:
+        """Arm the dirty-region machinery (docs/SERVE.md).
+
+        After this, :meth:`candidate_halves` is cached and maintained by
+        :meth:`invalidate_halves`, and the add step's direct pass skips
+        halves whose memoized base decision is still valid.  Results are
+        byte-identical to non-incremental runs — the memo only elides
+        recomputation whose inputs are provably unchanged.
+        """
+        if self._base_memo is None:
+            self._base_memo = {}
+
+    def reset_incremental(self) -> None:
+        """Drop every memo and the candidate cache (still incremental).
+
+        Used after wholesale graph replacement (checkpoint restore):
+        the next run rebuilds the caches from the live tables, exactly
+        like the first incremental run did.
+        """
+        if self._base_memo is None:
+            return
+        self._base_memo = {}
+        self._memo_positive = set()
+        self._memo_stale = set()
+        self._candidate_list = None
+        self._candidate_set = set()
+
+    def invalidate_halves(self, halves: Iterable[Half]) -> int:
+        """Mark *halves* structurally dirty: their neighbor-set
+        membership changed, so their memoized base decisions are void
+        and their candidate eligibility must be re-judged.  Returns how
+        many candidate halves were actually invalidated.
+        """
+        if self._base_memo is None:
+            return 0
+        minimum = self.config.min_neighbors
+        stale = 0
+        for half in halves:
+            self._base_memo.pop(half, None)
+            self._memo_positive.discard(half)
+            if self._candidate_list is None:
+                continue
+            if half in self._candidate_set:
+                self._memo_stale.add(half)
+                stale += 1
+            elif len(self.graph.neighbors(half[0], half[1])) >= minimum:
+                self._candidate_set.add(half)
+                insort(self._candidate_list, half)
+                self._memo_stale.add(half)
+                stale += 1
+        return stale
+
+    def memoize_base(self, half: Half, decision: Optional[Tuple[int, int, int, int]]) -> None:
+        """Record the base (original-mapping) direct-test outcome for
+        *half* and clear its stale mark."""
+        self._base_memo[half] = decision
+        self._memo_stale.discard(half)
+        if decision is None:
+            self._memo_positive.discard(half)
+        else:
+            self._memo_positive.add(half)
+
     # -- candidates -----------------------------------------------------------
 
     def candidate_halves(self) -> List[Half]:
@@ -143,7 +228,12 @@ class Engine:
 
         Sorted for determinism; the algorithm's results do not depend
         on the order (section 4.4.5) but reproducible diagnostics do.
+        In incremental mode the list is computed once and maintained by
+        :meth:`invalidate_halves` — eligibility is monotone there
+        because serve ingestion only ever grows neighbor sets.
         """
+        if self._candidate_list is not None:
+            return self._candidate_list
         minimum = self.config.min_neighbors
         halves: List[Half] = []
         for address, members in self.graph.forward.items():
@@ -153,6 +243,10 @@ class Engine:
             if len(members) >= minimum:
                 halves.append((address, BACKWARD))
         halves.sort()
+        if self._base_memo is not None:
+            self._candidate_list = halves
+            self._candidate_set = set(halves)
+            self._memo_stale = set(halves)
         return halves
 
     # -- counting -----------------------------------------------------------

@@ -28,7 +28,9 @@ from repro.core.results import (
     MapItResult,
     STUB,
 )
+from repro.core.state import MapItState
 from repro.core.stub import stub_step
+from repro.graph.halves import Half
 from repro.graph.neighbors import InterfaceGraph, build_interface_graph
 from repro.obs.observer import Observability
 from repro.org.as2org import AS2Org
@@ -179,6 +181,34 @@ class MapIt:
             },
             checkpoints=self._checkpoints,
         )
+
+    # -- incremental entry point (docs/SERVE.md) -------------------------------
+
+    def run_incremental(self, dirty_halves: Iterable[Half] = ()) -> MapItResult:
+        """Re-run the multipass over a graph that grew since the last
+        call, recomputing only the dirty region.
+
+        *dirty_halves* are the interface halves whose neighbor-set
+        membership changed (as reported by
+        :func:`repro.perf.flat.accumulate_flat`).  The run restarts from
+        an empty :class:`~repro.core.state.MapItState` — iteration
+        counts, diagnostics, and the uncertain log are trajectory
+        properties, so only the batch trajectory reproduces the batch
+        result byte-for-byte — but the engine keeps its memo of base
+        direct-pass decisions, so each pass touches only the frontier:
+        hot halves (those that can see a visible override), stale halves
+        (structurally dirty), and memoized positives.  The returned
+        result is byte-identical to a fresh batch run over the same
+        graph.
+        """
+        engine = self.engine
+        engine.enable_incremental()
+        with engine.obs.span("serve/invalidate"):
+            stale = engine.invalidate_halves(dirty_halves)
+        engine.obs.inc("serve.halves.invalidated", stale)
+        engine.state = MapItState()
+        self._checkpoints = []
+        return self.run()
 
     # -- output ---------------------------------------------------------------
 

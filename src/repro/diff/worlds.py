@@ -28,13 +28,19 @@ from repro.io.bundle import load_bundle
 from repro.ixp.dataset import IXPDataset, IXPRecord
 from repro.org.as2org import AS2Org
 from repro.rel.relationships import RelationshipDataset
-from repro.sim.presets import dense_scenario, paper_scenario, small_scenario
+from repro.sim.presets import (
+    dense_scenario,
+    paper_scenario,
+    small_scenario,
+    tiny_scenario,
+)
 from repro.sim.scenario import Scenario
 from repro.traceroute.model import Trace
 from repro.traceroute.parse import traces_to_text_lines
 
 #: preset name -> scenario factory, as accepted by ``--preset``
 PRESETS = {
+    "tiny": tiny_scenario,
     "small": small_scenario,
     "paper": paper_scenario,
     "dense": dense_scenario,

@@ -257,6 +257,7 @@ def load_bundle(
     cache: Optional[Union[str, Path]] = None,
     shard_timeout: Optional[float] = None,
     graph_only: bool = False,
+    skip_traces: bool = False,
 ) -> InputBundle:
     """Load a dataset directory (see :mod:`repro.io` for the layout).
 
@@ -264,6 +265,12 @@ def load_bundle(
     source (``bgp/`` or ``cymru.txt``) are required; everything else is
     optional and defaults to empty datasets (recorded as warnings in
     the returned bundle's ``health``).
+
+    *skip_traces* loads only the mapping datasets: the traces file is
+    neither required nor read and the returned bundle's ``traces`` list
+    is empty.  The serve daemon uses this — its traces arrive over a
+    stream, so a serve dataset directory may legitimately carry no
+    traces file at all (docs/SERVE.md).
 
     *on_error* selects the trace-ingestion policy (``strict`` /
     ``lenient`` / ``quarantine``); *max_error_rate* arms an
@@ -294,30 +301,36 @@ def load_bundle(
         traces_path = traces_txt
     elif traces_jsonl.exists():
         traces_path = traces_jsonl
+    elif skip_traces:
+        traces_path = None
     else:
         raise FileNotFoundError(f"no traces.txt or traces.jsonl in {root}")
-    if on_error == "quarantine" and quarantine_dir is None:
-        quarantine_dir = root / "quarantine"
-    traces, ingest_report, graph = _ingest_traces_cached(
-        traces_path,
-        mode=on_error,
-        budget=budget,
-        quarantine_dir=quarantine_dir,
-        obs=obs,
-        jobs=jobs,
-        cache=cache,
-        shard_timeout=shard_timeout,
-        graph_only=graph_only,
-        health=health,
-    )
-    health.ingest = ingest_report
-    health.record(
-        traces_path.name,
-        "ok" if ingest_report.ok else "degraded",
-        ""
-        if ingest_report.ok
-        else f"{ingest_report.malformed} malformed record(s) rejected",
-    )
+    if skip_traces:
+        traces, graph = [], None
+        health.record("traces", "skipped", "stream-fed (serve)")
+    else:
+        if on_error == "quarantine" and quarantine_dir is None:
+            quarantine_dir = root / "quarantine"
+        traces, ingest_report, graph = _ingest_traces_cached(
+            traces_path,
+            mode=on_error,
+            budget=budget,
+            quarantine_dir=quarantine_dir,
+            obs=obs,
+            jobs=jobs,
+            cache=cache,
+            shard_timeout=shard_timeout,
+            graph_only=graph_only,
+            health=health,
+        )
+        health.ingest = ingest_report
+        health.record(
+            traces_path.name,
+            "ok" if ingest_report.ok else "degraded",
+            ""
+            if ingest_report.ok
+            else f"{ingest_report.malformed} malformed record(s) rejected",
+        )
 
     builder = IP2ASBuilder()
     bgp_dir = root / "bgp"

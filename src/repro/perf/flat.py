@@ -357,6 +357,7 @@ def accumulate_flat(
     seen: Set[int],
     universe: Set[int],
     is_special: Callable[[int], bool],
+    dirty: Optional[Set[Tuple[int, bool]]] = None,
 ) -> Tuple[int, int, int]:
     """Sanitize and fold ``flat[start:end]`` into neighbor tables.
 
@@ -377,6 +378,13 @@ def accumulate_flat(
     Returns ``(retained, discarded, buggy_hops_removed)``.  O(hops in
     range); equality with the object kernel is property-tested in
     ``tests/test_perf_flat.py``.
+
+    *dirty*, when given, collects the interface halves whose neighbor
+    set actually gained a member — ``(address, FORWARD)`` when a
+    forward set grew, ``(address, BACKWARD)`` when a backward set grew
+    — which is exactly the structural-dirtiness input
+    :meth:`repro.core.mapit.MapIt.run_incremental` needs (the serve
+    daemon's dirty-region tracking, docs/SERVE.md).
     """
     hop_start = flat.hop_start
     flags, addr_column, quoted = flat.hop_flags, flat.hop_addr, flat.hop_quoted
@@ -418,8 +426,18 @@ def accumulate_flat(
                 continue
             seen.add(address)
             if previous_address is not None:
-                forward.setdefault(previous_address, set()).add(address)
-                backward.setdefault(address, set()).add(previous_address)
+                if dirty is None:
+                    forward.setdefault(previous_address, set()).add(address)
+                    backward.setdefault(address, set()).add(previous_address)
+                else:
+                    members = forward.setdefault(previous_address, set())
+                    if address not in members:
+                        members.add(address)
+                        dirty.add((previous_address, True))
+                    members = backward.setdefault(address, set())
+                    if previous_address not in members:
+                        members.add(previous_address)
+                        dirty.add((address, False))
             previous_address = address
     return retained, discarded, buggy
 

@@ -23,7 +23,12 @@ output is byte-identical to the golden run.  Schedules:
 ``corrupt-cache``
     a *binary* (v2 struct-packed) ``.mapitc`` entry is bit-flipped
     between runs — the warm run must detect the checksum mismatch and
-    re-parse.
+    re-parse;
+``serve``
+    the incremental daemon is killed mid-ingest (after one durable
+    checkpoint; a later checkpoint write hits ``ENOSPC`` and degrades)
+    and resumed from the journal — the resumed output must be
+    byte-identical to the batch golden (docs/SERVE.md).
 
 A passing run can be recorded as a small JSON *regression bundle*
 (preset, seed, schedules, golden sha256); replaying the bundle re-runs
@@ -47,7 +52,14 @@ from repro.io.atomic import atomic_write_json, file_sha256
 from repro.robust.faults import ChaosInjector, FaultInjector, SimulatedCrash, chaos
 
 #: schedule names, in run order
-CHAOS_SCHEDULES = ("kill", "hang", "torn-journal", "enospc", "corrupt-cache")
+CHAOS_SCHEDULES = (
+    "kill",
+    "hang",
+    "torn-journal",
+    "enospc",
+    "corrupt-cache",
+    "serve",
+)
 
 #: regression-bundle format version
 BUNDLE_VERSION = 1
@@ -188,6 +200,7 @@ def run_chaos(
             "torn-journal": _schedule_torn_journal,
             "enospc": _schedule_enospc,
             "corrupt-cache": _schedule_corrupt_cache,
+            "serve": _schedule_serve,
         }
         for name in selected:
             outcome.results.append(
@@ -324,6 +337,63 @@ def _schedule_corrupt_cache(
     warm = root / "out-cache-warm.json"
     code, _ = _run_to(world, warm, "--jobs", "1", "--cache", str(cache_dir))
     return _compare("corrupt-cache", code, warm, golden_sha)
+
+
+def _schedule_serve(
+    root: Path, world: Path, golden_sha: str, seed: int, jobs: int
+) -> ScheduleResult:
+    """Kill the serve daemon mid-ingest, resume -> byte-identical.
+
+    The serve dataset is the world minus its traces file; the traces
+    stream in through ``--follow``.  The schedule crashes the daemon
+    after fold 12 — past the first durable checkpoint (fold 5, journal
+    seq 0) — while the *second* checkpoint's journal write (seq 1)
+    hits ``ENOSPC`` and degrades.  The resumed ``--once`` run must
+    restore the surviving checkpoint, refold the tail, and emit
+    exactly the batch golden bytes.
+    """
+    serve_dataset = root / "serve-dataset"
+    if serve_dataset.exists():
+        shutil.rmtree(serve_dataset)
+    shutil.copytree(world, serve_dataset)
+    (serve_dataset / "traces.txt").unlink()
+    journal_dir = root / "journal-serve"
+    output = root / "out-serve.json"
+    serve_args = [
+        "serve",
+        str(serve_dataset),
+        "--follow",
+        str(world / "traces.txt"),
+        "--once",
+        "--json",
+        "--output",
+        str(output),
+        "--journal",
+        str(journal_dir),
+        "--checkpoint-every",
+        "5",
+        "--quiesce-every",
+        "7",
+    ]
+    injector = ChaosInjector(
+        seed=seed,
+        serve_crash_after_folds=12,
+        journal_enospc_seqs=frozenset({1}),
+    )
+    crashed = False
+    try:
+        with chaos(injector):
+            _run_cli(serve_args)
+    except SimulatedCrash:
+        crashed = True
+    if not crashed:
+        return ScheduleResult(
+            "serve", False, "the daemon finished before the scheduled crash"
+        )
+    code, _, stderr = _run_cli([*serve_args, "--resume"])
+    if "resume: restored checkpoint" not in stderr:
+        return ScheduleResult("serve", False, "resume did not restore a checkpoint")
+    return _compare("serve", code, output, golden_sha)
 
 
 # ----------------------------------------------------------------------

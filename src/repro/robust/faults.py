@@ -322,7 +322,11 @@ class ChaosInjector:
         (fires once);
     ``crash_at_iteration``
         raise :class:`SimulatedCrash` after multipass iteration *k* is
-        journaled — the resume test's kill switch.
+        journaled — the resume test's kill switch;
+    ``serve_crash_after_folds``
+        raise :class:`SimulatedCrash` right after the serve daemon's
+        *k*-th trace fold — the serve schedule's kill switch (fires
+        once, so the resumed run streams through unharmed).
     """
 
     seed: int = 0
@@ -332,6 +336,7 @@ class ChaosInjector:
     journal_enospc_seqs: FrozenSet[int] = frozenset()
     cache_enospc: bool = False
     crash_at_iteration: Optional[int] = None
+    serve_crash_after_folds: Optional[int] = None
     _parent_pid: int = field(default_factory=os.getpid)
     _fired: Set[str] = field(default_factory=set)
 
@@ -367,6 +372,12 @@ class ChaosInjector:
             raise SimulatedCrash(
                 f"simulated crash after multipass iteration {iteration}"
             )
+
+    def maybe_crash_fold(self, folds: int) -> None:
+        """Model the serve daemon dying right after fold *k* (fires once)."""
+        if folds == self.serve_crash_after_folds and "serve_fold" not in self._fired:
+            self._fired.add("serve_fold")
+            raise SimulatedCrash(f"simulated crash after serve fold {folds}")
 
 
 #: the armed injector, if any; forked workers inherit it copy-on-write

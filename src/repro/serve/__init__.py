@@ -1,0 +1,27 @@
+"""``repro.serve``: the incremental inference daemon (``mapit serve``).
+
+The batch pipeline re-parses everything and re-runs the full multipass
+on every invocation.  This package turns that into a long-running
+service (docs/SERVE.md):
+
+* :class:`~repro.serve.incremental.IncrementalIndex` — persistent fold
+  state (neighbor tables, address universe, other-side table) plus a
+  dirty-region :class:`~repro.core.mapit.MapIt` that re-infers only
+  the frontier touched since the last quiesce, byte-identical to batch;
+* :class:`~repro.serve.daemon.ServeDaemon` — bounded ingest queue with
+  deterministic shedding, quiesce/checkpoint cadences, and atomically
+  swapped immutable snapshots for readers;
+* :mod:`~repro.serve.sources` — file-follow tailing and unix-socket
+  line ingestion;
+* :mod:`~repro.serve.api` — the snapshot-isolated query API (health,
+  links by address/AS, explain, metrics) and its stdlib HTTP transport;
+* :mod:`~repro.serve.verify` — the differential layer proving
+  serve ≡ batch over golden bundles and seeded world sweeps;
+* :mod:`~repro.serve.smoke` — the end-to-end kill/resume smoke the CI
+  serve job runs.
+"""
+
+from repro.serve.daemon import ServeDaemon, ServeSnapshot
+from repro.serve.incremental import IncrementalIndex
+
+__all__ = ["IncrementalIndex", "ServeDaemon", "ServeSnapshot"]

@@ -1,0 +1,72 @@
+"""CI entry points: ``python -m repro.serve --sweep`` / ``--smoke``.
+
+Two legs, both exiting non-zero on any violation:
+
+* ``--sweep`` — the property leg: seeded worlds replayed trace by
+  trace through the incremental engine, every prefix (at the chosen
+  cadence) compared byte-for-byte against a fresh batch run
+  (:mod:`repro.serve.verify`);
+* ``--smoke`` — the integration leg: a real daemon subprocess with
+  HTTP queries, a SIGKILL mid-stream, and a checkpoint resume that
+  must land byte-identical to the batch golden
+  (:mod:`repro.serve.smoke`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="serve equivalence checks (property sweep / daemon smoke)",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--sweep", action="store_true", help="run the world-sweep property leg"
+    )
+    mode.add_argument(
+        "--smoke", action="store_true", help="run the kill/resume daemon smoke"
+    )
+    parser.add_argument("--preset", default="tiny")
+    parser.add_argument("--worlds", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compare against batch every N prefixes (default 1 = all)",
+    )
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args(argv)
+
+    if args.sweep:
+        from repro.serve.verify import check_sweep
+
+        outcome = check_sweep(
+            args.preset, args.worlds, args.seed, check_every=args.check_every
+        )
+        for line in outcome.lines():
+            print(line)
+        return 0 if outcome.ok else 1
+
+    from repro.serve.smoke import SmokeError, run_smoke
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="mapit-serve-smoke-")
+    try:
+        for line in run_smoke(workdir, seed=args.seed):
+            print(line)
+    except SmokeError as error:
+        print(f"SMOKE FAILED: {error}", file=sys.stderr)
+        return 1
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

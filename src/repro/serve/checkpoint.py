@@ -1,0 +1,132 @@
+"""Serve checkpoints: durable fold state via the run journal.
+
+A serve checkpoint is one pickled blob appended to the same
+:class:`~repro.robust.journal.RunJournal` machinery batch runs use
+(``<dir>/<run-id>.serve-XXXXXX.blob`` + a checksummed journal line),
+capturing the daemon's fold state — neighbor tables, address universe,
+ingest counters — together with the byte offset reached in each
+followed source file.  Inference state is *not* checkpointed: it is a
+pure function of the graph and is recomputed on the first quiesce after
+a restore, which is exactly the batch trajectory, so recovery is
+byte-identical (the chaos serve schedule enforces this).
+
+The serve run id is keyed on the *mapping* datasets plus the config and
+stream format — the inputs that determine results for a given stream —
+so a journal can never be resumed against a different dataset or
+configuration by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.io.atomic import file_sha256
+from repro.robust.journal import RunJournal, run_identity
+
+#: bump when the checkpoint blob layout changes; old journals then key
+#: to a different run id and are simply not resumed
+CHECKPOINT_VERSION = 1
+
+#: journal unit name for serve checkpoints
+CHECKPOINT_UNIT = "serve-checkpoint"
+
+#: mapping files that contribute to the serve run identity
+_IDENTITY_FILES = (
+    "cymru.txt",
+    "ixp.txt",
+    "as2org.txt",
+    "relationships.txt",
+)
+
+
+def serve_run_identity(dataset: Union[str, Path], config: Any, format: str) -> str:
+    """The run id for a serve session over *dataset*'s mappings.
+
+    Hashes the content of every mapping file present (BGP dumps,
+    cymru, IXP, org, relationships) so a resumed session provably runs
+    against the same IP2AS world; the config and stream format
+    contribute through :func:`~repro.robust.journal.run_identity`.
+    """
+    root = Path(dataset)
+    digests = [f"serve:{CHECKPOINT_VERSION}"]
+    bgp_dir = root / "bgp"
+    if bgp_dir.is_dir():
+        for path in sorted(bgp_dir.glob("*.txt")):
+            digests.append(f"bgp/{path.name}:{file_sha256(path)}")
+    for name in _IDENTITY_FILES:
+        path = root / name
+        if path.exists():
+            digests.append(f"{name}:{file_sha256(path)}")
+    material = hashlib.sha256("\n".join(digests).encode()).hexdigest()
+    return run_identity(material, config, "serve", format)
+
+
+def checkpoint_blob(
+    fold_state: Dict[str, object],
+    offsets: Dict[str, int],
+    stats: Dict[str, int],
+    fingerprint: str,
+) -> bytes:
+    """Serialize one checkpoint (fold state + source offsets + stats)."""
+    return pickle.dumps(
+        {
+            "version": CHECKPOINT_VERSION,
+            "fold": fold_state,
+            "offsets": dict(offsets),
+            "stats": dict(stats),
+            "fingerprint": fingerprint,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def write_checkpoint(
+    journal: RunJournal,
+    seq: int,
+    fold_state: Dict[str, object],
+    offsets: Dict[str, int],
+    stats: Dict[str, int],
+    fingerprint: str,
+) -> bool:
+    """Append checkpoint *seq* to *journal*; returns whether it stuck.
+
+    A failed write (ENOSPC) disables the journal and costs only
+    durability — the daemon keeps serving, exactly like batch
+    journaling (docs/ROBUSTNESS.md).
+    """
+    blob = checkpoint_blob(fold_state, offsets, stats, fingerprint)
+    return journal.append_with_blob(
+        CHECKPOINT_UNIT,
+        f"serve{seq:06d}",
+        blob,
+        extra={"checkpoint": seq, "fingerprint": fingerprint},
+    )
+
+
+def load_latest_checkpoint(journal: RunJournal) -> Optional[Dict[str, Any]]:
+    """The newest intact checkpoint in *journal*, or None.
+
+    Walks the verified journal records newest-first and returns the
+    first whose blob passes its sha256 — a torn tail or corrupt blob
+    degrades to the previous checkpoint, never to a crash.
+    """
+    records = [
+        record for record in journal.read() if record.get("unit") == CHECKPOINT_UNIT
+    ]
+    for record in reversed(records):
+        payload = record.get("payload", {})
+        data = journal.load_blob(payload.get("blob", ""), payload.get("sha256", ""))
+        if data is None:
+            continue
+        try:
+            checkpoint = pickle.loads(data)
+        except Exception:  # noqa: BLE001 - a bad blob is just an older resume point
+            journal.obs.inc("robust.journal.blob_corrupt")
+            continue
+        if checkpoint.get("version") != CHECKPOINT_VERSION:
+            continue
+        return checkpoint
+    return None

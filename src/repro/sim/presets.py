@@ -97,6 +97,10 @@ def dense_config(seed: int = 0) -> ScenarioConfig:
     )
 
 
+def tiny_scenario(seed: int = 0) -> Scenario:
+    return build_scenario(tiny_config(seed))
+
+
 def small_scenario(seed: int = 0) -> Scenario:
     return build_scenario(small_config(seed))
 

@@ -64,7 +64,7 @@ class TestSweep:
             assert outcome.core_inferences == outcome.oracle_inferences > 0
 
     def test_presets_cover_all_factories(self):
-        assert set(PRESETS) == {"small", "paper", "dense"}
+        assert set(PRESETS) == {"tiny", "small", "paper", "dense"}
 
     def test_oracle_config_mapping_is_total(self):
         config = MapItConfig(f=0.7, min_neighbors=3, remove_rule="add_rule")

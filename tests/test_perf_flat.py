@@ -207,6 +207,56 @@ class TestFlatKernelOracle:
         assert list(forward) == sorted(forward)
         assert list(backward) == sorted(backward)
 
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dirty_reports_exactly_the_grown_halves(self, seed):
+        """The ``dirty`` out-param names precisely the (address, forward)
+        halves whose neighbor set gained a member — the serve layer's
+        dirty-region invalidation depends on this being exact."""
+        rng = random.Random(31_337 + seed)
+        traces = _random_traces(rng, n_traces=80)
+        is_special = (lambda a: a % 7 == 0)
+        flat = pack_traces(traces)
+
+        forward, backward = {}, {}
+        seen, universe = set(), set()
+        split = len(flat) // 2
+        accumulate_flat(
+            flat, 0, split, forward, backward, seen, universe, is_special
+        )
+        before_forward = {a: set(m) for a, m in forward.items()}
+        before_backward = {a: set(m) for a, m in backward.items()}
+
+        dirty = set()
+        accumulate_flat(
+            flat, split, len(flat), forward, backward, seen, universe,
+            is_special, dirty=dirty,
+        )
+
+        expected = set()
+        for address, members in forward.items():
+            if members != before_forward.get(address, set()):
+                expected.add((address, True))
+        for address, members in backward.items():
+            if members != before_backward.get(address, set()):
+                expected.add((address, False))
+        assert dirty == expected
+
+    def test_dirty_empty_on_refold(self):
+        """Re-folding the same block grows nothing: dirty stays empty."""
+        traces = _sample_traces()
+        flat = pack_traces(traces)
+        forward, backward = {}, {}
+        seen, universe = set(), set()
+        accumulate_flat(
+            flat, 0, len(flat), forward, backward, seen, universe, lambda a: False
+        )
+        dirty = set()
+        accumulate_flat(
+            flat, 0, len(flat), forward, backward, seen, universe,
+            lambda a: False, dirty=dirty,
+        )
+        assert dirty == set()
+
 
 class TestBundleCodec:
     def test_table_blob_round_trip(self):

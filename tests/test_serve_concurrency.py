@@ -1,0 +1,149 @@
+"""Snapshot isolation and deterministic shedding under concurrency.
+
+The serve consistency contract (docs/SERVE.md): readers are lock-free
+and must never observe a torn state — every response is assembled from
+exactly one published snapshot, so its (seq, fingerprint, counts)
+always match some quiesce that actually happened.  Shedding is
+deterministic drop-newest with the dropped count charged to the same
+ErrorBudget batch ingest uses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.config import MapItConfig
+from repro.diff.worlds import world_from_preset
+from repro.obs.metrics import Metrics
+from repro.obs.observer import Observability
+from repro.robust.errors import ErrorBudget, ErrorBudgetExceeded
+from repro.serve.api import QueryAPI
+from repro.serve.daemon import ServeDaemon
+from repro.serve.incremental import IncrementalIndex
+from repro.traceroute.parse import traces_to_text_lines
+
+
+def _daemon(world, **kwargs) -> ServeDaemon:
+    index = IncrementalIndex(
+        world.ip2as(), org=world.as2org, rel=world.relationships,
+        config=MapItConfig(),
+    )
+    return ServeDaemon(index, format="text", **kwargs)
+
+
+def test_no_torn_reads_under_concurrent_queries():
+    """Readers hammer the API while the pump folds and quiesces; every
+    response must match a snapshot the daemon actually published."""
+    world = world_from_preset("tiny", 0)
+    lines = list(traces_to_text_lines(world.traces))
+    daemon = _daemon(world, quiesce_every=3)
+    api = QueryAPI(daemon)
+
+    published = {}  # seq -> (fingerprint, inference count); seqs never reuse
+    publish_lock = threading.Lock()
+    original_quiesce = daemon.quiesce
+
+    def recording_quiesce():
+        snapshot = original_quiesce()
+        with publish_lock:
+            published[snapshot.seq] = (
+                snapshot.fingerprint,
+                len(snapshot.result.inferences),
+            )
+        return snapshot
+
+    daemon.quiesce = recording_quiesce
+
+    observations = []
+    errors = []
+    done = threading.Event()
+
+    def reader():
+        while not done.is_set():
+            try:
+                health = api.health()
+                fingerprint = api.fingerprint()
+                if health["seq"]:
+                    observations.append(
+                        (health["fingerprint"], health["seq"], health["inferences"])
+                    )
+                if fingerprint["seq"]:
+                    observations.append(
+                        (fingerprint["fingerprint"], fingerprint["seq"], None)
+                    )
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+                return
+
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    offset = 0
+    for line in lines:
+        offset += len(line) + 1
+        daemon.ingest_entry(line, "stream", offset)
+    daemon.finalize()
+    done.set()
+    for thread in readers:
+        thread.join(timeout=10)
+    assert not errors, errors
+    assert observations, "readers never observed a snapshot"
+    for fingerprint, seq, inferences in observations:
+        assert seq in published, "reader saw an unpublished seq"
+        known_fingerprint, known_count = published[seq]
+        assert fingerprint == known_fingerprint, (
+            "seq and fingerprint from different snapshots"
+        )
+        if inferences is not None:
+            assert inferences == known_count, (
+                "summary counts and fingerprint from different snapshots"
+            )
+
+
+def test_shed_is_deterministic_drop_newest():
+    """With a full queue and no pump, exactly the overflow is shed —
+    the oldest queued lines survive."""
+    world = world_from_preset("tiny", 0)
+    lines = list(traces_to_text_lines(world.traces))[:30]
+    metrics = Metrics()
+    obs = Observability(metrics=metrics)
+    daemon = _daemon(world, queue_limit=4, obs=obs)
+    accepted = [daemon.offer(line, "stream") for line in lines]
+    assert accepted == [True] * 4 + [False] * 26
+    assert daemon.stats["shed"] == 26
+    assert daemon.stats["ingested"] == 4
+    assert metrics.counters["serve.shed"] == 26
+    # the queue still holds the first four lines, in arrival order
+    assert daemon.pump() == 4
+    assert daemon.stats["folds"] == 4
+
+
+def test_shed_charges_the_error_budget():
+    """Shed lines count against the same budget malformed lines do;
+    the quiesce after crossing the threshold raises."""
+    world = world_from_preset("tiny", 0)
+    lines = list(traces_to_text_lines(world.traces))[:30]
+    daemon = _daemon(
+        world, queue_limit=4, budget=ErrorBudget(max_error_rate=0.1, min_records=20)
+    )
+    for line in lines:
+        daemon.offer(line, "stream")
+    daemon.pump()
+    with pytest.raises(ErrorBudgetExceeded) as excinfo:
+        daemon.quiesce()
+    assert excinfo.value.source == "serve"
+    assert excinfo.value.malformed == 26  # all shed, none malformed
+    assert excinfo.value.total == 30
+
+
+def test_queue_depth_is_thread_safe_gauge():
+    world = world_from_preset("tiny", 0)
+    lines = list(traces_to_text_lines(world.traces))[:10]
+    daemon = _daemon(world, queue_limit=64)
+    for line in lines:
+        daemon.offer(line, "stream")
+    assert daemon.queue_depth == 10
+    daemon.pump(max_records=4)
+    assert daemon.queue_depth == 6

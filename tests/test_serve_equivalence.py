@@ -1,0 +1,223 @@
+"""Serve-vs-batch equivalence: golden bundles, trace by trace.
+
+The serve contract (docs/SERVE.md): a quiesced incremental state is
+**byte-identical** — same §4.6 fingerprint, same result JSON — to a
+batch ``mapit run`` over exactly the traces folded so far, regardless
+of arrival order, checkpoint/restart boundaries, or transport.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import tempfile
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import MapItConfig
+from repro.diff.worlds import World, world_from_preset
+from repro.obs.observer import NULL_OBS
+from repro.robust.journal import RunJournal
+from repro.serve.daemon import ServeDaemon
+from repro.serve.incremental import IncrementalIndex
+from repro.serve.sources import SocketSource
+from repro.serve.verify import batch_state, check_world
+from repro.traceroute.parse import traces_to_text_lines
+
+
+@pytest.fixture(scope="module")
+def world() -> World:
+    return world_from_preset("tiny", 0)
+
+
+def _fresh_index(world: World, obs=NULL_OBS) -> IncrementalIndex:
+    return IncrementalIndex(
+        world.ip2as(),
+        org=world.as2org,
+        rel=world.relationships,
+        config=MapItConfig(),
+        obs=obs,
+    )
+
+
+def _serve_state(index: IncrementalIndex):
+    result = index.quiesce()
+    return index.fingerprint(), result.to_json(indent=2)
+
+
+def test_trace_by_trace_byte_identity(world):
+    """Every prefix of the stream quiesces to the batch state."""
+    divergence, checked = check_world(world, check_every=1)
+    assert divergence is None, divergence.summary()
+    assert checked == len(world.traces)
+
+
+def test_permuted_arrival_order(world):
+    """Folding is order-independent: a shuffled stream quiesces to the
+    same bytes as the canonical order (and as batch)."""
+    batch_fp, batch_json = batch_state(world, len(world.traces), MapItConfig())
+    shuffled = list(world.traces)
+    random.Random(7).shuffle(shuffled)
+    index = _fresh_index(world)
+    for trace in shuffled:
+        index.fold([trace])
+    fp, payload = _serve_state(index)
+    assert fp == batch_fp
+    assert payload == batch_json
+
+
+def test_chunked_folds_match_single_fold(world):
+    """Chunk boundaries are invisible: many small folds == one big one."""
+    whole = _fresh_index(world)
+    whole.fold(list(world.traces))
+    chunked = _fresh_index(world)
+    for start in range(0, len(world.traces), 13):
+        chunked.fold(list(world.traces[start : start + 13]))
+        chunked.quiesce()  # interleaved quiesces must not perturb state
+    assert _serve_state(whole) == _serve_state(chunked)
+
+
+def test_checkpoint_restart_midstream(world, tmp_path):
+    """Kill after a mid-stream checkpoint, restore into a fresh daemon,
+    fold the rest: byte-identical to batch over everything."""
+    lines = list(traces_to_text_lines(world.traces))
+    half = len(lines) // 2
+    journal = RunJournal(tmp_path / "journal", "serve-test")
+    first = ServeDaemon(
+        _fresh_index(world), format="text", journal=journal, quiesce_every=11
+    )
+    offset = 0
+    for line in lines[:half]:
+        offset += len(line) + 1
+        first.ingest_entry(line, "stream", offset)
+    first.quiesce()
+    assert first.checkpoint()
+    # the first daemon is now abandoned mid-stream (simulated kill)
+    second = ServeDaemon(
+        _fresh_index(world),
+        format="text",
+        journal=RunJournal(tmp_path / "journal", "serve-test"),
+        quiesce_every=11,
+    )
+    assert second.resume()
+    assert second.offsets["stream"] == offset
+    assert second.stats["folds"] == first.stats["folds"]
+    for line in lines[half:]:
+        offset += len(line) + 1
+        second.ingest_entry(line, "stream", offset)
+    snapshot = second.finalize()
+    batch_fp, batch_json = batch_state(world, len(world.traces), MapItConfig())
+    assert snapshot.fingerprint == batch_fp
+    assert snapshot.result.to_json(indent=2) == batch_json
+
+
+def test_socket_ingest_reaches_batch_state(world):
+    """Records arriving over the unix socket fold to the batch state."""
+    lines = list(traces_to_text_lines(world.traces))
+    daemon = ServeDaemon(_fresh_index(world), format="text", quiesce_every=10)
+    # consume from the queue on a pump thread while the socket feeds it
+    stop = threading.Event()
+    pump = threading.Thread(target=daemon.run_loop, args=(stop, 0.01), daemon=True)
+    pump.start()
+    with tempfile.TemporaryDirectory() as sockdir:
+        path = os.path.join(sockdir, "mapit.sock")
+        source = SocketSource(path, daemon)
+        source.start()
+        try:
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.connect(path)
+            client.sendall(("\n".join(lines) + "\n").encode())
+            client.close()
+            deadline = threading.Event()
+            for _ in range(2000):  # bounded wait, no wall clock needed
+                if daemon.stats["folds"] >= len(world.traces):
+                    break
+                deadline.wait(0.01)
+            assert daemon.stats["folds"] == len(world.traces)
+        finally:
+            stop.set()
+            pump.join(timeout=5)
+            source.close()
+    batch_fp, batch_json = batch_state(world, len(world.traces), MapItConfig())
+    assert daemon.snapshot.fingerprint == batch_fp
+    assert daemon.snapshot.result.to_json(indent=2) == batch_json
+
+
+def test_cli_serve_once_matches_run(tmp_bundle, tmp_path, capsys):
+    """``mapit serve --once --json`` writes exactly what ``mapit run
+    --json`` writes — same writer, same bytes."""
+    dataset = tmp_bundle(seed=3)
+    batch_out = tmp_path / "batch.json"
+    serve_out = tmp_path / "serve.json"
+    assert cli_main(["run", str(dataset), "--json", "--output", str(batch_out)]) == 0
+    assert (
+        cli_main(
+            ["serve", str(dataset), "--once", "--json", "--output", str(serve_out)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert serve_out.read_bytes() == batch_out.read_bytes()
+
+
+def test_cli_follow_file_named_like_dataset_traces(tmp_bundle, tmp_path, capsys):
+    """A followed file whose basename collides with the dataset's own
+    ``traces.txt`` is still read in full: source offsets are keyed by
+    full path, not basename.  (Regression: the follow source inherited
+    the warm start's end-of-file offset and silently skipped its
+    entire content.)"""
+    full = tmp_bundle(seed=3)
+    batch_out = tmp_path / "batch.json"
+    assert cli_main(["run", str(full), "--json", "--output", str(batch_out)]) == 0
+    partial = tmp_bundle(seed=3, copy=True)
+    lines = (partial / "traces.txt").read_text().splitlines(keepends=True)
+    half = len(lines) // 2
+    (partial / "traces.txt").write_text("".join(lines[:half]))
+    followdir = tmp_path / "extra"
+    followdir.mkdir()
+    follow = followdir / "traces.txt"  # the colliding basename
+    follow.write_text("".join(lines[half:]))
+    serve_out = tmp_path / "serve.json"
+    code = cli_main(
+        [
+            "serve",
+            str(partial),
+            "--follow",
+            str(follow),
+            "--once",
+            "--json",
+            "--output",
+            str(serve_out),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    assert serve_out.read_bytes() == batch_out.read_bytes()
+
+
+def test_cli_serve_budget_exit(tmp_bundle, tmp_path, capsys):
+    """A stream blowing the error budget exits 3, like batch ingest."""
+    dataset = tmp_bundle(seed=3)
+    stream = tmp_path / "stream.txt"
+    garbage = "\n".join("!!not-a-trace!!" for _ in range(40)) + "\n"
+    stream.write_text(garbage)
+    code = cli_main(
+        [
+            "serve",
+            str(dataset),
+            "--follow",
+            str(stream),
+            "--once",
+            "--on-error",
+            "lenient",
+            "--max-error-rate",
+            "0.01",
+            "--output",
+            str(tmp_path / "out.txt"),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 3
