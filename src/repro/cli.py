@@ -437,7 +437,9 @@ def cmd_run(args) -> int:
     return 0
 
 
-def _serve_warm_start(daemon, traces_path, format: str, cache_dir) -> int:
+def _serve_warm_start(
+    daemon: "ServeDaemon", traces_path, format: str, cache_dir
+) -> int:
     """Fold the dataset's own traces file into a serve daemon.
 
     A verified ``.mapitc`` v2 cache hit folds the columnar payload
@@ -461,15 +463,9 @@ def _serve_warm_start(daemon, traces_path, format: str, cache_dir) -> int:
             file_sha256(traces_path), format
         )
         if hit is not None and hit.flat is not None:
-            daemon.index.fold_flat(hit.flat, 0, len(hit.flat))
-            daemon.stats["ingested"] += hit.parsed + hit.skipped
-            daemon.stats["parsed"] += hit.parsed
-            daemon.stats["skipped"] += hit.skipped
-            daemon.stats["folds"] += hit.parsed
-            daemon.offsets[name] = size
-            return hit.parsed
+            return daemon.warm_fold(hit.flat, hit.parsed, hit.skipped, name, size)
     source = FollowSource(traces_path, offset=offset)
-    return source.feed(daemon, once=True, sync=True)
+    return source.replay(daemon)
 
 
 def cmd_serve(args) -> int:
@@ -559,7 +555,8 @@ def cmd_serve(args) -> int:
         if args.resume:
             if daemon.resume():
                 print(
-                    f"resume: restored checkpoint at {daemon.stats['folds']} folds",
+                    "resume: restored checkpoint at "
+                    f"{daemon.stats_view()['folds']} folds",
                     file=sys.stderr,
                 )
             else:
@@ -574,7 +571,7 @@ def cmd_serve(args) -> int:
                         path,
                         offset=daemon.offsets.get(str(path), 0),
                         poll_interval=args.poll_interval,
-                    ).feed(daemon, once=True, sync=True)
+                    ).replay(daemon)
                 snapshot = daemon.finalize()
                 _emit_result(snapshot.result, args.output, args.json)
                 _print_result_summary(snapshot.result)

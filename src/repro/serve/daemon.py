@@ -26,6 +26,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.results import MapItResult
+from repro.graph.othersides import OtherSideTable
 from repro.net.ipv4 import format_address
 from repro.obs.observer import NULL_OBS, Observability
 from repro.robust.errors import ErrorBudget
@@ -57,7 +58,15 @@ class ServeSnapshot:
     reader holding a snapshot sees an internally consistent world.
     """
 
-    __slots__ = ("seq", "fingerprint", "result", "stats", "by_address", "by_as")
+    __slots__ = (
+        "seq",
+        "fingerprint",
+        "result",
+        "stats",
+        "by_address",
+        "by_as",
+        "other_sides",
+    )
 
     def __init__(
         self,
@@ -65,11 +74,16 @@ class ServeSnapshot:
         fingerprint: str,
         result: Optional[MapItResult],
         stats: Dict[str, int],
+        other_sides: Optional[OtherSideTable] = None,
     ) -> None:
         self.seq = seq
         self.fingerprint = fingerprint
         self.result = result
         self.stats = stats
+        # the quiesce-time point-to-point table, captured by reference:
+        # the index swaps in a *fresh* table when the universe grows,
+        # so this one is immutable from the moment it lands here
+        self.other_sides = other_sides
         self.by_address: Dict[int, List[dict]] = {}
         self.by_as: Dict[int, List[dict]] = {}
         if result is not None:
@@ -82,6 +96,12 @@ class ServeSnapshot:
     @classmethod
     def empty(cls) -> "ServeSnapshot":
         return cls(0, "", None, {key: 0 for key in _STAT_KEYS})
+
+    def other_side(self, address: int) -> Optional[int]:
+        """The inferred point-to-point partner as of this snapshot."""
+        if self.other_sides is None:
+            return None
+        return self.other_sides.other_side.get(address)
 
     def summary(self) -> Dict[str, object]:
         """Headline fields every API response embeds."""
@@ -192,6 +212,41 @@ class ServeDaemon:
         self.obs.inc("serve.ingested")
         self._process(source, number, line, offset)
 
+    def warm_fold(
+        self, flat, parsed: int, skipped: int, source: str, offset: int
+    ) -> int:
+        """Fold a verified columnar cache payload as the warm base.
+
+        Runs on the pump thread before any reader starts, but keeps
+        the same locked-counter discipline as the live path so the
+        warm start is not a special case the concurrency rules exempt.
+        Returns traces folded.
+        """
+        self.index.fold_flat(flat, 0, len(flat))
+        self._bump("ingested", parsed + skipped)
+        self._bump("parsed", parsed)
+        self._bump("skipped", skipped)
+        self._bump("folds", parsed)
+        self.offsets[source] = offset
+        return parsed
+
+    def _bump(self, key: str, amount: int = 1) -> int:
+        """Locked counter increment; returns the new value.
+
+        ``stats`` is mutated from the reader side (:meth:`offer` sheds
+        and counts under the lock) *and* the pump side, so every pump
+        increment holds the same lock — the mutual-lock discipline
+        RACE001 checks.
+        """
+        with self._lock:
+            self.stats[key] += amount
+            return self.stats[key]
+
+    def stats_view(self) -> Dict[str, int]:
+        """A consistent copy of the counters, taken under the lock."""
+        with self._lock:
+            return dict(self.stats)
+
     def _process(self, source: str, number: int, raw: str, offset: Optional[int]) -> None:
         line = raw.strip()
         if offset is not None:
@@ -203,7 +258,7 @@ class ServeDaemon:
         except TraceParseError:
             if self.on_error == "strict":
                 raise
-            self.stats["malformed"] += 1
+            self._bump("malformed")
             self.obs.inc("serve.malformed")
             if self.obs.enabled:
                 self.obs.event(
@@ -211,19 +266,19 @@ class ServeDaemon:
                 )
             return
         if trace is None:
-            self.stats["skipped"] += 1
+            self._bump("skipped")
             self.obs.inc("serve.skipped")
             return
-        self.stats["parsed"] += 1
+        self._bump("parsed")
         self.obs.inc("serve.parsed")
         self.index.fold([trace])
-        self.stats["folds"] += 1
+        folds = self._bump("folds")
         self.obs.inc("serve.folds")
         self._folds_since_quiesce += 1
         self._folds_since_checkpoint += 1
         chaos = active_chaos()
         if chaos is not None:
-            chaos.maybe_crash_fold(self.stats["folds"])
+            chaos.maybe_crash_fold(folds)
         if self.quiesce_every and self._folds_since_quiesce >= self.quiesce_every:
             self.quiesce()
         if (
@@ -244,11 +299,16 @@ class ServeDaemon:
         """
         self._folds_since_quiesce = 0
         result = self.index.quiesce()
-        self.stats["quiesces"] += 1
+        self._bump("quiesces")
         self.obs.inc("serve.quiesces")
         fingerprint = self.index.fingerprint()
+        stats = self.stats_view()
         snapshot = ServeSnapshot(
-            self.snapshot.seq + 1, fingerprint, result, dict(self.stats)
+            self.snapshot.seq + 1,
+            fingerprint,
+            result,
+            stats,
+            other_sides=self.index.graph.other_sides,
         )
         # One reference assignment: atomic under the GIL, so readers
         # always see either the old or the new complete snapshot.
@@ -260,17 +320,15 @@ class ServeDaemon:
                 "serve.quiesce",
                 seq=snapshot.seq,
                 fingerprint=fingerprint,
-                folds=self.stats["folds"],
+                folds=stats["folds"],
                 inferences=len(result.inferences),
                 uncertain=len(result.uncertain),
                 iterations=result.iterations,
             )
         if self.budget is not None:
-            considered = (
-                self.stats["parsed"] + self.stats["malformed"] + self.stats["shed"]
-            )
+            considered = stats["parsed"] + stats["malformed"] + stats["shed"]
             self.budget.check(
-                "serve", self.stats["malformed"] + self.stats["shed"], considered
+                "serve", stats["malformed"] + stats["shed"], considered
             )
         return snapshot
 
@@ -279,23 +337,24 @@ class ServeDaemon:
         if self.journal is None:
             return False
         self._folds_since_checkpoint = 0
-        seq = self.stats["checkpoints"]
+        stats = self.stats_view()
+        seq = stats["checkpoints"]
         stuck = write_checkpoint(
             self.journal,
             seq,
             self.index.export_state(),
             self.offsets,
-            self.stats,
+            stats,
             self.snapshot.fingerprint,
         )
         if stuck:
-            self.stats["checkpoints"] += 1
+            self._bump("checkpoints")
             self.obs.inc("serve.checkpoints")
             if self.obs.enabled:
                 self.obs.event(
                     "serve.checkpoint",
                     seq=seq,
-                    folds=self.stats["folds"],
+                    folds=stats["folds"],
                     offsets=dict(self.offsets),
                 )
         return stuck
@@ -315,15 +374,17 @@ class ServeDaemon:
             return False
         self.index.restore_state(checkpoint["fold"])
         self.offsets = dict(checkpoint["offsets"])
-        for key in _STAT_KEYS:
-            self.stats[key] = int(checkpoint["stats"].get(key, 0))
-        self._line_numbers = {}
+        with self._lock:
+            for key in _STAT_KEYS:
+                self.stats[key] = int(checkpoint["stats"].get(key, 0))
+            self._line_numbers = {}
+            folds = self.stats["folds"]
         self._folds_since_quiesce = 0
         self._folds_since_checkpoint = 0
         if self.obs.enabled:
             self.obs.event(
                 "serve.resume",
-                folds=self.stats["folds"],
+                folds=folds,
                 offsets=dict(self.offsets),
                 fingerprint=checkpoint.get("fingerprint", ""),
             )
@@ -357,19 +418,28 @@ class ServeDaemon:
         self.finalize()
         if self.obs.enabled:
             self.obs.event(
-                "serve.shutdown", folds=self.stats["folds"], seq=self.snapshot.seq
+                "serve.shutdown",
+                folds=self.stats_view()["folds"],
+                seq=self.snapshot.seq,
             )
 
     # -- query support ----------------------------------------------------------
 
     def note_query(self) -> None:
-        self.queries += 1
+        # handler threads run this concurrently; unlocked += loses counts
+        with self._lock:
+            self.queries += 1
         self.obs.inc("serve.queries")
 
     def explain_records(self, address: int) -> Dict[str, object]:
-        """Snapshot-derived explain payload for one interface address."""
+        """Snapshot-derived explain payload for one interface address.
+
+        Every field — records *and* the other-side judgement — comes
+        from the captured snapshot, never the live index: handler
+        threads must not read structures the pump is folding into.
+        """
         snapshot = self.snapshot
-        other = self.index.graph.other_side(address)
+        other = snapshot.other_side(address)
         return {
             "address": format_address(address),
             "records": snapshot.by_address.get(address, []),

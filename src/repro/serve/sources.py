@@ -101,19 +101,30 @@ class FollowSource:
         daemon: ServeDaemon,
         stop: Optional[threading.Event] = None,
         once: bool = False,
-        sync: bool = False,
     ) -> int:
-        """Pump this source into *daemon*; returns lines delivered.
+        """Pump this source into *daemon*'s queue; returns lines offered.
 
-        ``sync=True`` bypasses the queue (the ``--once`` path), so
-        every line folds in arrival order with no shedding.
+        This is the follow-thread entry point, and the only daemon
+        method it touches is the locked :meth:`ServeDaemon.offer` —
+        parsing, folding, and cadence all stay on the pump thread
+        (the thread-role contract RACE001/RACE002 enforce).
         """
         delivered = 0
         for line, offset in self.lines(stop=stop, once=once):
-            if sync:
-                daemon.ingest_entry(line, self.name, offset)
-            else:
-                daemon.offer(line, self.name, offset)
+            daemon.offer(line, self.name, offset)
+            delivered += 1
+        return delivered
+
+    def replay(self, daemon: ServeDaemon, stop: Optional[threading.Event] = None) -> int:
+        """Synchronously fold the file into *daemon* (the ``--once``
+        and warm-start path): no queue, no shedding, arrival order.
+
+        Must run on the pump thread — it calls straight into
+        :meth:`ServeDaemon.ingest_entry`, which folds.
+        """
+        delivered = 0
+        for line, offset in self.lines(stop=stop, once=True):
+            daemon.ingest_entry(line, self.name, offset)
             delivered += 1
         return delivered
 
@@ -138,12 +149,16 @@ class SocketSource:
         self._listener.bind(str(self.path))
         self._listener.listen(8)
         self._stop = threading.Event()
+        # appended from the accept thread, joined from the closing
+        # thread — every touch goes through the lock
         self._threads: list = []
+        self._threads_lock = threading.Lock()
 
     def start(self) -> None:
         thread = threading.Thread(target=self._accept_loop, daemon=True)
         thread.start()
-        self._threads.append(thread)
+        with self._threads_lock:
+            self._threads.append(thread)
 
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
@@ -155,7 +170,8 @@ class SocketSource:
                 target=self._read_connection, args=(connection,), daemon=True
             )
             thread.start()
-            self._threads.append(thread)
+            with self._threads_lock:
+                self._threads.append(thread)
 
     def _read_connection(self, connection: socket.socket) -> None:
         buffer = b""
@@ -182,7 +198,9 @@ class SocketSource:
     def close(self) -> None:
         self._stop.set()
         self._listener.close()
-        for thread in self._threads:
+        with self._threads_lock:
+            pending = list(self._threads)
+        for thread in pending:
             thread.join(timeout=1.0)
         if self.path.exists():
             try:

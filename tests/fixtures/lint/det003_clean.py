@@ -1,0 +1,21 @@
+"""Deterministic producers DET003 must accept: fingerprints and cache
+keys derived purely from input data; timers used only for timing."""
+
+import hashlib
+import time
+
+
+def state_fingerprint(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def make_cache_key(path: str, size: int) -> str:
+    return hashlib.sha256(f"{path}:{size}".encode()).hexdigest()
+
+
+def timed_parse(payload: bytes, obs) -> str:
+    started = time.perf_counter()
+    fingerprint = state_fingerprint(payload)
+    # timing is observability, not output: never enters the artifact
+    obs.gauge("parse.seconds", time.perf_counter() - started)
+    return fingerprint

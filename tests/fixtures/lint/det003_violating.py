@@ -1,0 +1,29 @@
+"""Seeded DET003 violations: wall-clock values flowing two calls deep
+into fingerprint and cache-key producers."""
+
+import hashlib
+import time
+
+
+def _now() -> float:
+    return time.time()
+
+
+def _salt() -> str:
+    # one hop: the nondeterminism rides through this helper
+    return str(_now())
+
+
+def state_fingerprint(payload: bytes) -> str:
+    # two calls deep: time.time() -> _now -> _salt -> this digest
+    digest = hashlib.sha256(payload + _salt().encode())
+    return digest.hexdigest()
+
+
+def make_cache_key(payload: bytes, salt: str) -> str:
+    return hashlib.sha256(payload + salt.encode()).hexdigest()
+
+
+def refresh(payload: bytes) -> str:
+    # tainted argument into a cache-key sink call
+    return make_cache_key(payload, _salt())

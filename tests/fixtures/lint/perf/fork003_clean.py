@@ -1,0 +1,41 @@
+"""Fork-boundary returns FORK003 must accept: primitives, tuples of
+primitives, and packed columnar types."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class FlatTraces:
+    """Stand-in for the packed columnar type (name is the allowlist)."""
+
+    def __init__(self, block: bytes) -> None:
+        self.block = block
+
+    def __len__(self) -> int:
+        return len(self.block)
+
+
+@dataclass
+class ShardCounts:
+    parsed: int = 0
+    malformed: int = 0
+    block: Optional[bytes] = None
+
+
+def packed_worker(shard) -> FlatTraces:
+    return FlatTraces(bytes(shard))
+
+
+def tuple_worker(shard) -> Tuple[int, bytes]:
+    return len(shard), bytes(shard)
+
+
+def counts_worker(shard) -> ShardCounts:
+    return ShardCounts(parsed=len(shard))
+
+
+def ingest(shards, fork_map):
+    packed = fork_map(packed_worker, shards)
+    pairs = fork_map(tuple_worker, shards)
+    counts = fork_map(counts_worker, shards)
+    return packed, pairs, counts

@@ -1,0 +1,34 @@
+"""Seeded FORK003 violations: unpacked objects crossing the fork
+boundary — the exact shape of the pickling regression."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ParsedHop:
+    address: int
+    ttl: int
+
+
+@dataclass
+class ShardOutcome:
+    parsed: int = 0
+    hops: List[ParsedHop] = field(default_factory=list)
+
+
+def dict_worker(shard):
+    # an unpacked dict return: pickle cost scales with entries
+    return {"lines": list(shard), "count": len(shard)}
+
+
+def object_worker(shard) -> ShardOutcome:
+    outcome = ShardOutcome()
+    outcome.parsed = len(shard)
+    return outcome
+
+
+def ingest(shards, fork_map):
+    totals = fork_map(dict_worker, shards)
+    outcomes = fork_map(object_worker, shards)
+    return totals, outcomes

@@ -1,0 +1,46 @@
+"""The sanctioned patterns RACE001/RACE002 must not flag: locked
+counters on both sides and single-reference snapshot publication."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.stats = {"folds": 0}
+        self.snapshot: dict = {}
+
+    def pump(self) -> None:
+        with self._lock:
+            self.stats["folds"] += 1
+
+    def publish(self) -> None:
+        with self._lock:
+            view = dict(self.stats)
+        # single reference assignment: the sanctioned swap
+        self.snapshot = view
+
+    def report(self) -> dict:
+        # readers only touch the immutable published snapshot
+        snapshot = self.snapshot
+        return snapshot
+
+    def bump(self) -> None:
+        with self._lock:
+            self.stats["folds"] += 1
+
+
+def reader_loop(pipeline: Pipeline) -> None:
+    pipeline.report()
+
+
+def bump_loop(pipeline: Pipeline) -> None:
+    pipeline.bump()
+
+
+def start(pipeline: Pipeline) -> None:
+    threading.Thread(target=reader_loop, args=(pipeline,), daemon=True).start()
+    for _ in range(4):
+        threading.Thread(target=bump_loop, args=(pipeline,), daemon=True).start()
+    pipeline.pump()
+    pipeline.publish()

@@ -1,0 +1,34 @@
+"""Seeded RACE001/RACE002 violations: shared state crossing thread
+roles with neither the snapshot-swap pattern nor a mutual lock."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self.stats = {"folds": 0}
+        self.snapshot: dict = {}
+
+    def pump(self) -> None:
+        # in-place mutation from the main role, unlocked
+        self.stats["folds"] += 1
+
+    def report(self) -> dict:
+        # read from the reader role, unlocked, and not via a snapshot
+        return dict(self.stats)
+
+
+def reader_loop(pipeline: Pipeline) -> None:
+    pipeline.report()
+
+
+def bump_loop(pipeline: Pipeline) -> None:
+    # unlocked read-modify-write from a multi-instance thread role
+    pipeline.stats["folds"] += 1
+
+
+def start(pipeline: Pipeline) -> None:
+    threading.Thread(target=reader_loop, args=(pipeline,), daemon=True).start()
+    for _ in range(4):
+        threading.Thread(target=bump_loop, args=(pipeline,), daemon=True).start()
+    pipeline.pump()

@@ -6,6 +6,14 @@ only on *new* violations.  Every entry carries a ``justification`` —
 an empty justification is itself a lint failure, so nothing can be
 grandfathered silently.
 
+Format **v2** is line-number independent twice over: the fingerprint
+hashes the whitespace-collapsed source snippet (not a line number),
+and the entry records that ``snippet`` (not a ``line``) so the file
+itself does not churn when unrelated edits shift code around.  A v1
+file (strip-only normalization, ``line`` field) is migrated
+transparently: v1 entries are matched against the current findings'
+*legacy* fingerprints, and the next ``--update-baseline`` writes v2.
+
 ``python -m tools.mapitlint --update-baseline`` rewrites the file from
 the current findings, preserving justifications for fingerprints that
 survive.  Entries whose fingerprint no longer matches anything are
@@ -18,28 +26,33 @@ import json
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-from tools.mapitlint.findings import Finding
+from tools.mapitlint.findings import Finding, legacy_fingerprint, normalize_snippet
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def default_path() -> Path:
     return Path(__file__).resolve().parent / "baseline.json"
 
 
-def load(path: Path) -> Dict[str, Dict[str, str]]:
-    """fingerprint -> entry dict; empty when the file does not exist."""
+def load(path: Path) -> Tuple[Dict[str, Dict[str, str]], int]:
+    """(fingerprint -> entry, format version); empty v2 when absent."""
     if not path.is_file():
-        return {}
+        return {}, BASELINE_VERSION
     data = json.loads(path.read_text(encoding="utf-8"))
     entries = {}
     for entry in data.get("entries", []):
         entries[entry["fingerprint"]] = entry
-    return entries
+    return entries, int(data.get("version", 1))
 
 
 def save(path: Path, findings: List[Finding], existing: Dict[str, Dict[str, str]]) -> None:
-    """Write *findings* as the new baseline, keeping old justifications."""
+    """Write *findings* as a v2 baseline, keeping old justifications.
+
+    *existing* must already be keyed by current fingerprints (the CLI
+    migrates v1 keys before calling), so justifications survive both
+    ordinary rewrites and the v1→v2 format migration.
+    """
     entries = []
     for finding in findings:
         old = existing.get(finding.fingerprint, {})
@@ -48,13 +61,61 @@ def save(path: Path, findings: List[Finding], existing: Dict[str, Dict[str, str]
                 "fingerprint": finding.fingerprint,
                 "rule": finding.rule,
                 "path": finding.path,
-                "line": finding.line,
+                "snippet": normalize_snippet(finding.snippet),
                 "message": finding.message,
                 "justification": old.get("justification", ""),
             }
         )
     payload = {"version": BASELINE_VERSION, "entries": entries}
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def legacy_fingerprints(findings: List[Finding]) -> Dict[str, str]:
+    """current fingerprint -> v1 fingerprint for every finding.
+
+    Recomputes the v1 occurrence indices with v1's strip-only
+    normalization, so a v1 baseline written by the old linter matches
+    exactly the findings it used to match.
+    """
+    seen: Dict[tuple, int] = {}
+    mapping: Dict[str, str] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        stripped = finding.snippet.strip()
+        key = (finding.rule, finding.path, stripped)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        mapping[finding.fingerprint] = legacy_fingerprint(
+            finding.rule, finding.path, finding.snippet, occurrence
+        )
+    return mapping
+
+
+def migrate(
+    findings: List[Finding], entries: Dict[str, Dict[str, str]], version: int
+) -> Dict[str, Dict[str, str]]:
+    """Re-key a v1 baseline by current fingerprints.
+
+    Entries already matching a current fingerprint stay as-is; the
+    rest are matched through the findings' legacy fingerprints.  A v1
+    entry matching nothing either way is kept under its old key so it
+    is reported stale rather than silently dropped.
+    """
+    if version >= BASELINE_VERSION:
+        return entries
+    legacy = legacy_fingerprints(findings)
+    migrated: Dict[str, Dict[str, str]] = {}
+    claimed = set()
+    for current, old in legacy.items():
+        if current in entries:
+            migrated[current] = entries[current]
+            claimed.add(current)
+        elif old in entries:
+            migrated[current] = dict(entries[old], fingerprint=current)
+            claimed.add(old)
+    for fingerprint, entry in entries.items():
+        if fingerprint not in claimed and fingerprint not in migrated:
+            migrated[fingerprint] = entry
+    return migrated
 
 
 def apply(

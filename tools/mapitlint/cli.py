@@ -4,15 +4,22 @@ Exit codes: 0 clean (modulo baseline), 1 findings (new findings, an
 unjustified or stale baseline entry, or a scan error), 2 usage error.
 ``--format json`` emits one machine-readable document on stdout for
 CI artifact collection.
+
+``--changed`` narrows the *report* to files that differ from the git
+merge base (plus uncommitted and untracked files) while still parsing
+the whole project — the race/taint rules need every module to judge
+any one of them — so a ``--changed`` run agrees exactly with the
+full run on the files it reports.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from tools.mapitlint import baseline as baseline_mod
 from tools.mapitlint.engine import run_lint
@@ -28,14 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m tools.mapitlint",
         description=(
             "AST-based invariant checker for MAP-IT: determinism, "
-            "fork-safety, error hygiene, and docs/code sync"
+            "fork-safety, thread-role races, error hygiene, and "
+            "docs/code sync"
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=None,
-        help="files or directories to scan (default: src)",
+        help="files or directories to scan (default: src tools)",
     )
     parser.add_argument(
         "--format",
@@ -78,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the current findings and exit",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report only findings in files changed since the git merge "
+            "base (whole project is still analyzed)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-base",
+        default="origin/main",
+        metavar="REF",
+        help="ref to diff against for --changed (default: origin/main)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-rule wall time (always present in --format json)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
@@ -94,6 +121,33 @@ def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
     return ids
 
 
+def _git_lines(root: Path, *argv: str) -> List[str]:
+    out = subprocess.run(
+        ["git", "-C", str(root), *argv],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    return [line for line in out.splitlines() if line.strip()]
+
+
+def changed_files(root: Path, base: str) -> Set[str]:
+    """Repo-relative posix paths of ``*.py`` files changed vs *base*.
+
+    Diffs against ``merge-base(base, HEAD)`` (falling back to *base*
+    itself when the merge base cannot be computed, e.g. unrelated
+    histories), then adds untracked files so a brand-new module is
+    linted before its first commit.
+    """
+    try:
+        merge_base = _git_lines(root, "merge-base", base, "HEAD")[0]
+    except (subprocess.CalledProcessError, IndexError):
+        merge_base = base
+    names = _git_lines(root, "diff", "--name-only", merge_base)
+    names += _git_lines(root, "ls-files", "--others", "--exclude-standard")
+    return {name for name in names if name.endswith(".py")}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -103,6 +157,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule_class.rule_id}  {rule_class.name}: {rule_class.description}")
         return 0
 
+    if args.update_baseline and args.changed:
+        parser.error("--update-baseline needs the full finding set; drop --changed")
+
     root = Path(args.root).resolve() if args.root else repo_root()
     select = _split_ids(args.select)
     disable = _split_ids(args.disable)
@@ -111,7 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if rule_id.upper() not in known:
             parser.error(f"unknown rule id {rule_id!r} (known: {', '.join(sorted(known))})")
 
-    raw_paths = args.paths or ["src"]
+    raw_paths = args.paths or ["src", "tools"]
     paths = []
     for raw in raw_paths:
         path = Path(raw)
@@ -121,12 +178,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"no such path: {raw}")
         paths.append(path)
 
-    findings, errors, scanned = run_lint(paths, root, select=select, disable=disable)
+    changed: Optional[Set[str]] = None
+    if args.changed:
+        try:
+            changed = changed_files(root, args.changed_base)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            parser.error(f"--changed requires a working git repo: {exc}")
+
+    timings: Dict[str, float] = {}
+    findings, errors, scanned = run_lint(
+        paths, root, select=select, disable=disable, changed=changed, timings=timings
+    )
 
     baseline_path = (
         Path(args.baseline).resolve() if args.baseline else baseline_mod.default_path()
     )
-    entries = {} if args.no_baseline else baseline_mod.load(baseline_path)
+    if args.no_baseline:
+        entries: Dict[str, Dict[str, str]] = {}
+    else:
+        entries, version = baseline_mod.load(baseline_path)
+        entries = baseline_mod.migrate(findings, entries, version)
 
     if args.update_baseline:
         baseline_mod.save(baseline_path, findings, entries)
@@ -136,6 +207,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     new, grandfathered, stale, unjustified = baseline_mod.apply(findings, entries)
+    if changed is not None:
+        # A --changed run only sees a slice of the findings, so a
+        # baseline entry matching nothing proves nothing — stale
+        # detection belongs to full runs.
+        stale = []
 
     if args.format == "json":
         document = {
@@ -150,6 +226,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "stale": len(stale),
                 "unjustified": len(unjustified),
                 "scanned": scanned,
+                "changed_only": changed is not None,
+                "rule_timings_ms": {
+                    rule: round(ms, 3) for rule, ms in sorted(timings.items())
+                },
             },
         }
         print(json.dumps(document, indent=2, sort_keys=True))
@@ -168,6 +248,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"UNJUSTIFIED BASELINE: {entry['fingerprint']} ({entry['rule']} "
                 f"{entry['path']}) needs a justification"
             )
+        if args.timings:
+            for rule, ms in sorted(timings.items(), key=lambda kv: -kv[1]):
+                print(f"TIMING: {rule} {ms:.1f} ms")
         if new or stale or unjustified or errors:
             print(
                 f"mapitlint: {len(new)} new finding(s), {len(stale)} stale and "

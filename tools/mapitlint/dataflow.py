@@ -1,0 +1,319 @@
+"""Bounded intraprocedural reaching-definitions and interprocedural taint.
+
+The engine is deliberately small: DET003 needs to know whether a
+wall-clock or entropy value can *reach* a fingerprint, journal record,
+cache key, or snapshot field — it does not need a full may/must
+dataflow framework.  Two pieces:
+
+* **Reaching definitions (intraprocedural).**  A forward pass over a
+  function's statements in source order, with strong updates: the last
+  assignment to a local wins, so ``x = time.time(); x = 0`` leaves
+  ``x`` clean.  The pass runs twice to approximate loop back-edges
+  (a definition late in a loop body reaches uses earlier in the next
+  iteration) — two passes reach a fixpoint for any single-level cycle,
+  which is all the codebase's hot loops contain.
+
+* **Taint summaries (interprocedural, depth-bounded).**  Each function
+  gets a memoised summary: does its return value carry source taint,
+  and which parameters flow through to the return?  Summaries are
+  computed to ``MAX_DEPTH`` call levels (the acceptance bar is "two
+  calls deep into a fingerprint"); beyond the bound a call is treated
+  as clean — precision over completeness, so findings stay
+  suppressible and low-noise.
+
+Taint propagates through arithmetic, f-strings, ``str()``/formatting,
+tuples, and *unknown* calls with a tainted argument (``str(now)`` is
+as tainted as ``now``).  Every :class:`TaintOrigin` carries the hop
+chain from source to the point of use, so a finding can name both
+ends.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from tools.mapitlint.project import FunctionInfo, ProjectModel
+
+#: interprocedural summary depth (source → helper → helper → sink)
+MAX_DEPTH = 3
+
+#: marker origin kind for parameter-flow summaries
+PARAM = "param"
+SOURCE = "source"
+
+
+@dataclass
+class TaintOrigin:
+    """Where a tainted value came from, with the hop chain to here."""
+
+    kind: str  # SOURCE or PARAM
+    description: str  # "time.time()" or the parameter name
+    path: str  # repo-relative path of the source expression
+    line: int
+    #: interprocedural hops walked from the origin, oldest first:
+    #: (path, line, "via repro.x.y.helper()")
+    chain: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def hopped(self, path: str, line: int, label: str) -> "TaintOrigin":
+        return TaintOrigin(
+            kind=self.kind,
+            description=self.description,
+            path=self.path,
+            line=self.line,
+            chain=self.chain + [(path, line, label)],
+        )
+
+    def describe_route(self) -> str:
+        route = f"{self.description} at {self.path}:{self.line}"
+        for path, line, label in self.chain:
+            route += f" -> {label} ({path}:{line})"
+        return route
+
+
+@dataclass
+class FunctionSummary:
+    """What a function's return value carries."""
+
+    #: source taint returned unconditionally of arguments
+    returns: Optional[TaintOrigin] = None
+    #: parameter names whose taint flows into the return value
+    param_flow: Set[str] = field(default_factory=set)
+
+
+class TaintEngine:
+    """Taint queries over one :class:`ProjectModel`.
+
+    *is_source* is the rule's policy hook: given the module and a Call
+    node, return a short description ("time.time()") when the call
+    produces nondeterministic data, else None.  The engine owns all
+    propagation; the rule owns what counts as a source and a sink.
+    """
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        is_source: Callable[[object, ast.Call], Optional[str]],
+    ) -> None:
+        self.project = project
+        self.is_source = is_source
+        self._summaries: Dict[Tuple[str, int], FunctionSummary] = {}
+
+    # -- summaries ----------------------------------------------------------
+
+    def summary(self, qname: str, depth: int = MAX_DEPTH) -> FunctionSummary:
+        """Memoised return-taint summary for *qname* at *depth*."""
+        key = (qname, depth)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        self._summaries[key] = FunctionSummary()  # cycle guard: assume clean
+        info = self.project.functions.get(qname)
+        if info is None or depth <= 0:
+            return self._summaries[key]
+        env = self._param_env(info)
+        env = self.reach(info, env, depth - 1)
+        summary = FunctionSummary()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            origin = self.expr_taint(info, node.value, env, depth - 1)
+            if origin is None:
+                continue
+            if origin.kind == PARAM:
+                summary.param_flow.add(origin.description)
+            elif summary.returns is None:
+                summary.returns = origin
+        self._summaries[key] = summary
+        return summary
+
+    def _param_env(self, info: FunctionInfo) -> Dict[str, TaintOrigin]:
+        env: Dict[str, TaintOrigin] = {}
+        args = info.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if arg.arg in ("self", "cls"):
+                continue
+            env[arg.arg] = TaintOrigin(
+                kind=PARAM,
+                description=arg.arg,
+                path=info.module.relpath,
+                line=info.node.lineno,
+            )
+        return env
+
+    # -- reaching definitions -----------------------------------------------
+
+    def reach(
+        self,
+        info: FunctionInfo,
+        initial: Optional[Dict[str, TaintOrigin]] = None,
+        depth: int = MAX_DEPTH,
+    ) -> Dict[str, TaintOrigin]:
+        """Tainted locals at function exit: two forward passes with
+        strong updates over the statement list in source order."""
+        env: Dict[str, TaintOrigin] = dict(initial or {})
+        for _ in range(2):  # second pass approximates loop back-edges
+            self._walk_block(info, info.node.body, env, depth)
+        return env
+
+    def _walk_block(
+        self,
+        info: FunctionInfo,
+        body: List[ast.stmt],
+        env: Dict[str, TaintOrigin],
+        depth: int,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                origin = self.expr_taint(info, stmt.value, env, depth)
+                for target in stmt.targets:
+                    self._bind(target, origin, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                origin = self.expr_taint(info, stmt.value, env, depth)
+                self._bind(stmt.target, origin, env)
+            elif isinstance(stmt, ast.AugAssign):
+                origin = self.expr_taint(info, stmt.value, env, depth)
+                if origin is not None:
+                    self._bind(stmt.target, origin, env)
+                # an untainted increment leaves existing taint in place
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                origin = self.expr_taint(info, stmt.iter, env, depth)
+                self._bind(stmt.target, origin, env)
+                self._walk_block(info, stmt.body, env, depth)
+                self._walk_block(info, stmt.orelse, env, depth)
+            elif isinstance(stmt, ast.While):
+                self._walk_block(info, stmt.body, env, depth)
+                self._walk_block(info, stmt.orelse, env, depth)
+            elif isinstance(stmt, ast.If):
+                # both branches' defs reach the join (may-taint union)
+                then_env = dict(env)
+                self._walk_block(info, stmt.body, then_env, depth)
+                else_env = dict(env)
+                self._walk_block(info, stmt.orelse, else_env, depth)
+                for name in set(then_env) | set(else_env):
+                    origin = then_env.get(name) or else_env.get(name)
+                    if origin is not None:
+                        env[name] = origin
+                    else:
+                        env.pop(name, None)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        origin = self.expr_taint(info, item.context_expr, env, depth)
+                        self._bind(item.optional_vars, origin, env)
+                self._walk_block(info, stmt.body, env, depth)
+            elif isinstance(stmt, ast.Try):
+                self._walk_block(info, stmt.body, env, depth)
+                for handler in stmt.handlers:
+                    self._walk_block(info, handler.body, env, depth)
+                self._walk_block(info, stmt.orelse, env, depth)
+                self._walk_block(info, stmt.finalbody, env, depth)
+            # nested defs are separate scopes: their own summary covers them
+
+    @staticmethod
+    def _bind(
+        target: ast.AST, origin: Optional[TaintOrigin], env: Dict[str, TaintOrigin]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if origin is not None:
+                env[target.id] = origin
+            else:
+                env.pop(target.id, None)  # strong update: clean def kills taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                TaintEngine._bind(element, origin, env)
+        elif isinstance(target, ast.Starred):
+            TaintEngine._bind(target.value, origin, env)
+        # attribute/subscript stores tracked by the rule's sink logic
+
+    # -- expression taint ---------------------------------------------------
+
+    def expr_taint(
+        self,
+        info: FunctionInfo,
+        node: Optional[ast.AST],
+        env: Dict[str, TaintOrigin],
+        depth: int = MAX_DEPTH,
+    ) -> Optional[TaintOrigin]:
+        """The origin a tainted expression carries, else None."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_taint(info, node, env, depth)
+        if isinstance(node, ast.Attribute):
+            # attribute reads are untracked (self.* state is the race
+            # rules' domain); but taint on the owner expression (e.g.
+            # ``time.time().hex`` is unreachable syntax here) is kept
+            return self.expr_taint(info, node.value, env, depth)
+        if isinstance(node, ast.Lambda):
+            return None
+        # generic propagation: any tainted child taints the expression
+        for child in ast.iter_child_nodes(node):
+            origin = self.expr_taint(info, child, env, depth)
+            if origin is not None:
+                return origin
+        return None
+
+    def _call_taint(
+        self,
+        info: FunctionInfo,
+        node: ast.Call,
+        env: Dict[str, TaintOrigin],
+        depth: int,
+    ) -> Optional[TaintOrigin]:
+        source = self.is_source(info.module, node)
+        if source is not None:
+            return TaintOrigin(
+                kind=SOURCE,
+                description=source,
+                path=info.module.relpath,
+                line=node.lineno,
+            )
+        callee = self.project.resolve_call(info, node)
+        arg_taints: List[Tuple[Optional[str], TaintOrigin]] = []
+        for index, arg in enumerate(node.args):
+            origin = self.expr_taint(info, arg, env, depth)
+            if origin is not None:
+                arg_taints.append((self._param_name(callee, index), origin))
+        for keyword in node.keywords:
+            origin = self.expr_taint(info, keyword.value, env, depth)
+            if origin is not None:
+                arg_taints.append((keyword.arg, origin))
+        if isinstance(callee, FunctionInfo) and depth > 0:
+            summary = self.summary(callee.qname, depth)
+            label = f"return of {callee.qname}()"
+            if summary.returns is not None:
+                return summary.returns.hopped(
+                    info.module.relpath, node.lineno, label
+                )
+            for param, origin in arg_taints:
+                if param is not None and param in summary.param_flow:
+                    return origin.hopped(info.module.relpath, node.lineno, label)
+            return None  # resolved callee proven clean at this depth
+        if isinstance(callee, FunctionInfo):
+            return None  # depth exhausted: treat as clean (bounded precision)
+        # unknown callee (str, round, "".join, stdlib): a tainted
+        # argument taints the result; method calls also propagate the
+        # receiver's taint (tainted_list.copy())
+        if arg_taints:
+            return arg_taints[0][1]
+        if isinstance(node.func, ast.Attribute):
+            return self.expr_taint(info, node.func.value, env, depth)
+        return None
+
+    @staticmethod
+    def _param_name(callee, index: int) -> Optional[str]:
+        if not isinstance(callee, FunctionInfo):
+            return None
+        args = callee.node.args
+        names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+        if names and names[0] in ("self", "cls") and callee.cls is not None:
+            names = names[1:]
+        if 0 <= index < len(names):
+            return names[index]
+        return None

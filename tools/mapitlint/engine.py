@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from tools.mapitlint.findings import Finding, assign_fingerprints, sort_findings
-from tools.mapitlint.registry import Rule, all_rules
+from tools.mapitlint.registry import Rule, all_rules, known_ids
 
 PRAGMA = re.compile(
     r"#\s*mapitlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+?|all)\s*(?:--|$)"
@@ -79,6 +80,16 @@ class LintContext:
 
     root: Path  # repo root, for doc lookups by cross-file rules
     modules: List[ModuleInfo] = field(default_factory=list)
+    _project: Optional[object] = None
+
+    def project(self):
+        """The whole-program model over every scanned module, built
+        lazily on first use and shared by all project-level rules."""
+        if self._project is None:
+            from tools.mapitlint.project import build_project
+
+            self._project = build_project(self)
+        return self._project
 
     def module(self, relpath_suffix: str) -> Optional[ModuleInfo]:
         """The scanned module whose relpath ends with *relpath_suffix*."""
@@ -119,6 +130,27 @@ def parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]:
     return line_pragmas, file_pragmas
 
 
+def _extend_decorator_pragmas(
+    tree: ast.Module, line_pragmas: Dict[int, Set[str]]
+) -> None:
+    """A pragma on (or above) a decorator also governs the ``def`` line.
+
+    Decorated functions put their findings on the ``def`` line while
+    the natural place to write the pragma is next to the decorator —
+    honour both spellings by copying decorator-range pragmas down.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if not node.decorator_list:
+            continue
+        first = min(dec.lineno for dec in node.decorator_list)
+        for line in range(first, node.lineno):
+            rules = line_pragmas.get(line)
+            if rules:
+                line_pragmas.setdefault(node.lineno, set()).update(rules)
+
+
 def load_module(path: Path, root: Path) -> ModuleInfo:
     """Parse *path* into a :class:`ModuleInfo` (raises SyntaxError)."""
     text = path.read_text(encoding="utf-8")
@@ -129,6 +161,7 @@ def load_module(path: Path, root: Path) -> ModuleInfo:
     except ValueError:
         relpath = path.as_posix()
     line_pragmas, file_pragmas = parse_pragmas(lines)
+    _extend_decorator_pragmas(tree, line_pragmas)
     return ModuleInfo(
         path=path,
         relpath=relpath,
@@ -147,6 +180,7 @@ def collect_files(paths: Iterable[Path]) -> List[Path]:
         if path.is_file() and path.suffix == ".py":
             files.add(path)
         elif path.is_dir():
+            # mapitlint: disable=DET001 -- accumulated into a set and sorted below
             for candidate in path.rglob("*.py"):
                 if any(part in SKIP_DIRS for part in candidate.parts):
                     continue
@@ -154,19 +188,53 @@ def collect_files(paths: Iterable[Path]) -> List[Path]:
     return sorted(files)
 
 
+def _validate_pragmas(ctx: LintContext, errors: List[str]) -> None:
+    """A pragma naming a rule id that does not exist is a scan error.
+
+    A typo in a pragma would otherwise suppress nothing while *looking*
+    suppressed — the worst failure mode a linter can have — so unknown
+    ids are reported loudly instead of silently accepted.
+    """
+    known = set(known_ids()) | {"all"}
+    for module in ctx.modules:
+        for line in sorted(module.line_pragmas):
+            for rule_id in sorted(module.line_pragmas[line] - known):
+                errors.append(
+                    f"{module.relpath}:{line}: unknown rule id {rule_id!r} "
+                    "in mapitlint pragma (see --list-rules)"
+                )
+        for rule_id in sorted(module.file_pragmas - known):
+            errors.append(
+                f"{module.relpath}: unknown rule id {rule_id!r} in "
+                "mapitlint disable-file pragma (see --list-rules)"
+            )
+
+
 def run_lint(
     paths: Sequence[Path],
     root: Path,
     select: Optional[Sequence[str]] = None,
     disable: Optional[Sequence[str]] = None,
+    changed: Optional[Set[str]] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[Finding], List[str], int]:
     """Run every enabled rule over *paths*.
 
     Returns ``(findings, errors, scanned)`` where *errors* are
     human-readable scan problems (unreadable or syntactically invalid
-    files) and *scanned* is the number of files parsed.  The findings
-    are pragma-filtered, fingerprinted, and sorted; baseline
-    subtraction is the caller's job.
+    files, pragmas naming unknown rules) and *scanned* is the number of
+    files parsed.  The findings are pragma-filtered, fingerprinted, and
+    sorted; baseline subtraction is the caller's job.
+
+    *changed* (repo-relative posix paths) keeps only findings in those
+    files — applied *after* fingerprinting over the full run, so the
+    retained findings carry exactly the fingerprints a full run
+    assigns (occurrence indices depend on the complete finding list).
+    Every requested file is still parsed either way: the whole-program
+    rules need the full project model to judge any single file.
+
+    *timings*, when given, is filled with per-rule wall milliseconds —
+    the CI signal that a rule's analysis cost regressed.
     """
     ctx = LintContext(root=root)
     errors: List[str] = []
@@ -175,6 +243,7 @@ def run_lint(
             ctx.modules.append(load_module(path, root))
         except (OSError, SyntaxError, UnicodeDecodeError) as exc:
             errors.append(f"{path}: {type(exc).__name__}: {exc}")
+    _validate_pragmas(ctx, errors)
 
     selected = {rule.upper() for rule in select} if select else None
     disabled = {rule.upper() for rule in disable} if disable else set()
@@ -188,6 +257,7 @@ def run_lint(
 
     findings: List[Finding] = []
     for rule in rules:
+        started = time.perf_counter()
         for module in ctx.modules:
             for finding in rule.check_module(module, ctx):
                 if not finding.snippet:
@@ -202,6 +272,10 @@ def run_lint(
                 if module.suppressed(rule.rule_id, finding.line):
                     continue
             findings.append(finding)
+        if timings is not None:
+            timings[rule.rule_id] = (time.perf_counter() - started) * 1000.0
 
     assign_fingerprints(findings)
+    if changed is not None:
+        findings = [finding for finding in findings if finding.path in changed]
     return sort_findings(findings), errors, len(ctx.modules)

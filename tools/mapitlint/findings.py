@@ -18,7 +18,14 @@ from typing import Dict, List
 
 @dataclass
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Whole-program rules that relate two locations (a race's writer and
+    reader, a taint source and sink, a worker field and its fork-map
+    call site) put the secondary location in ``related``; it rides
+    along in reports but stays out of the fingerprint, so a finding's
+    identity is its primary location alone.
+    """
 
     rule: str
     path: str  # repo-relative posix path
@@ -27,6 +34,7 @@ class Finding:
     message: str
     snippet: str = ""
     fingerprint: str = ""
+    related: str = ""  # secondary location ("path:line (context)")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -37,10 +45,21 @@ class Finding:
             "message": self.message,
             "snippet": self.snippet,
             "fingerprint": self.fingerprint,
+            "related": self.related,
         }
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        base = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.related:
+            base += f" [related: {self.related}]"
+        return base
+
+
+def normalize_snippet(snippet: str) -> str:
+    """The fingerprint's view of a source line: all whitespace runs
+    collapsed to single spaces, so re-indenting a block (or re-wrapping
+    inner spacing) does not churn the baseline."""
+    return " ".join(snippet.split())
 
 
 def _raw_fingerprint(rule: str, path: str, normalized: str, occurrence: int) -> str:
@@ -48,6 +67,12 @@ def _raw_fingerprint(rule: str, path: str, normalized: str, occurrence: int) -> 
         f"{rule}|{path}|{normalized}|{occurrence}".encode("utf-8")
     ).hexdigest()
     return digest[:16]
+
+
+def legacy_fingerprint(rule: str, path: str, snippet: str, occurrence: int) -> str:
+    """The v1 fingerprint (strip-only normalization) — kept so baseline
+    migration can match entries written before whitespace collapsing."""
+    return _raw_fingerprint(rule, path, snippet.strip(), occurrence)
 
 
 def assign_fingerprints(findings: List[Finding]) -> None:
@@ -58,7 +83,7 @@ def assign_fingerprints(findings: List[Finding]) -> None:
     """
     seen: Dict[tuple, int] = {}
     for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
-        normalized = finding.snippet.strip()
+        normalized = normalize_snippet(finding.snippet)
         key = (finding.rule, finding.path, normalized)
         occurrence = seen.get(key, 0)
         seen[key] = occurrence + 1

@@ -1,0 +1,708 @@
+"""The whole-program model: symbols, imports, calls, types, thread roles.
+
+Per-file AST rules can check local shape; the invariants PR 8's serve
+daemon actually depends on are *relational*: which thread runs this
+function, what type flows out of that worker, where does this value
+end up.  :class:`ProjectModel` answers those questions over every
+module the engine scanned:
+
+* a **symbol table** — every module-level class and function, keyed by
+  dotted name (``repro.serve.daemon.ServeDaemon.quiesce``), with each
+  class's base names, methods, and inferred attribute types (from
+  ``__init__`` assignments, annotated parameters, and class-level
+  annotations);
+* an **import graph** — per-module local-name → dotted-target maps, so
+  ``ServeDaemon`` in one file resolves to the class defined in
+  another;
+* a **call graph** — caller → resolved callee edges, including method
+  calls through inferred receiver types (``self.daemon.quiesce()``);
+* **thread roles** — entry points that run concurrently with the main
+  thread (``threading.Thread(target=...)`` targets, ``do_*`` methods
+  of ``BaseHTTPRequestHandler`` subclasses, ``signal.signal``
+  handlers) and everything reachable from them within a bounded number
+  of call levels.
+
+Everything here is deliberately *bounded and heuristic* — no fixpoint
+iteration, no alias analysis.  Precision over completeness: a relation
+the model cannot resolve is dropped, never guessed, so rules built on
+it stay low-noise and suppressible (docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: call-graph depth for thread-role reachability (the pump → quiesce
+#: and handler → API → daemon chains are 3 edges deep; one for margin)
+ROLE_DEPTH = 4
+
+#: stdlib synchronisation types whose methods are safe from any thread
+SYNC_TYPES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Event",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Barrier",
+    "queue.Queue",
+    "queue.SimpleQueue",
+}
+
+#: the two names that make an attribute a lock guard
+LOCK_TYPES = {"threading.Lock", "threading.RLock"}
+
+#: method names that mutate a builtin container in place
+MUTATOR_METHODS = {
+    "append", "appendleft", "extend", "extendleft", "insert", "remove",
+    "pop", "popleft", "popitem", "clear", "add", "discard", "update",
+    "setdefault", "sort", "reverse", "__setitem__", "put", "put_nowait",
+}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_dotted_name(relpath: str) -> str:
+    """``src/repro/serve/daemon.py`` → ``repro.serve.daemon``."""
+    path = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method."""
+
+    qname: str  # dotted: repro.serve.daemon.ServeDaemon.quiesce
+    module: object  # engine.ModuleInfo (duck-typed to avoid the import)
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    cls: Optional["ClassInfo"] = None
+    #: parameter name -> resolved annotation qname (or None)
+    param_types: Dict[str, Optional[str]] = field(default_factory=dict)
+    return_type: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One module-level class."""
+
+    qname: str
+    module: object
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)  # resolved base qnames
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> resolved type qname / builtin tag ("dict", ...)
+    attr_types: Dict[str, Optional[str]] = field(default_factory=dict)
+    is_dataclass: bool = False
+    #: dataclass field name -> annotation AST node (declaration order)
+    fields: Dict[str, ast.AST] = field(default_factory=dict)
+    field_lines: Dict[str, int] = field(default_factory=dict)
+
+    def inherits(self, base_suffix: str, project: "ProjectModel", depth: int = 3) -> bool:
+        """True when any (transitive, bounded) base name ends with
+        *base_suffix* — matches both resolved project classes and
+        unresolved stdlib names like ``BaseHTTPRequestHandler``."""
+        if depth <= 0:
+            return False
+        for base in self.bases:
+            if base.split(".")[-1] == base_suffix:
+                return True
+            parent = project.classes.get(base)
+            if parent is not None and parent.inherits(base_suffix, project, depth - 1):
+                return True
+        return False
+
+    def method(self, name: str, project: "ProjectModel", depth: int = 3) -> Optional[FunctionInfo]:
+        """Look *name* up on this class, then (bounded) on its bases."""
+        if name in self.methods:
+            return self.methods[name]
+        if depth <= 0:
+            return None
+        for base in self.bases:
+            parent = project.classes.get(base)
+            if parent is not None:
+                found = parent.method(name, project, depth - 1)
+                if found is not None:
+                    return found
+        return None
+
+
+@dataclass
+class Role:
+    """One source of concurrency: a thread entry and what it reaches."""
+
+    role_id: str  # "thread:src/repro/cli.py:600", "handler:...", "signal:..."
+    kind: str  # "thread" | "handler" | "signal"
+    #: qnames of functions this role executes (entry + bounded closure)
+    functions: Set[str] = field(default_factory=set)
+    #: True when many instances of this role run concurrently with each
+    #: other (HTTP handler threads; Thread() constructed inside a loop)
+    multi: bool = False
+    #: the class owning the entry point (its own instance attributes
+    #: are per-thread for single-receiver roles)
+    entry_class: Optional[str] = None
+
+
+class ProjectModel:
+    """Whole-program facts over one scanned module set."""
+
+    def __init__(self, modules: Sequence[object]) -> None:
+        self.modules = list(modules)
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module relpath -> {local name -> dotted target}
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: module relpath -> dotted module name
+        self.module_names: Dict[str, str] = {}
+        self._calls: Optional[Dict[str, Set[str]]] = None
+        self._roles: Optional[List[Role]] = None
+        self._mutating: Dict[str, bool] = {}
+        self._analysis_cache: Dict[str, object] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        for module in self.modules:
+            dotted = module_dotted_name(module.relpath)
+            self.module_names[module.relpath] = dotted
+            self.imports[module.relpath] = self._import_map(module, dotted)
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{dotted}.{stmt.name}" if dotted else stmt.name
+                    self.functions[qname] = FunctionInfo(qname, module, stmt)
+                elif isinstance(stmt, ast.ClassDef):
+                    qname = f"{dotted}.{stmt.name}" if dotted else stmt.name
+                    self.classes[qname] = self._class_info(module, stmt, qname)
+        # second pass: resolve bases, annotations, and attribute types
+        # (every symbol must exist before anything is resolved)
+        for info in self.classes.values():
+            info.bases = [
+                resolved
+                for base in info.node.bases
+                for resolved in [self.resolve_name(info.module, _dotted(base) or "")]
+                if resolved
+            ]
+        for info in self.classes.values():
+            for method in info.methods.values():
+                self._annotate_function(method)
+        for info in self.functions.values():
+            self._annotate_function(info)
+        # attr inference reads __init__ param_types, so it runs last
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+
+    def _import_map(self, module, dotted: str) -> Dict[str, str]:
+        package = dotted.rsplit(".", 1)[0] if "." in dotted else ""
+        imports: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = dotted.split(".")[: -node.level]
+                    base = ".".join(prefix_parts + ([base] if base else []))
+                    _ = package  # relative imports resolve against the module path
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports[local] = f"{base}.{alias.name}" if base else alias.name
+        return imports
+
+    def _class_info(self, module, node: ast.ClassDef, qname: str) -> ClassInfo:
+        info = ClassInfo(qname=qname, module=module, node=node)
+        for decorator in node.decorator_list:
+            name = _dotted(decorator) or _dotted(getattr(decorator, "func", decorator))
+            if name and name.split(".")[-1] == "dataclass":
+                info.is_dataclass = True
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(f"{qname}.{stmt.name}", module, stmt, cls=info)
+                info.methods[stmt.name] = method
+                self.functions[method.qname] = method
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                info.fields[stmt.target.id] = stmt.annotation
+                info.field_lines[stmt.target.id] = stmt.lineno
+        return info
+
+    def _annotate_function(self, info: FunctionInfo) -> None:
+        args = info.node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is not None:
+                info.param_types[arg.arg] = self._resolve_annotation(
+                    info.module, arg.annotation
+                )
+            else:
+                info.param_types.setdefault(arg.arg, None)
+        if info.node.returns is not None:
+            info.return_type = self._resolve_annotation(info.module, info.node.returns)
+
+    def _resolve_annotation(self, module, node: ast.AST) -> Optional[str]:
+        """Resolve an annotation to a qname, unwrapping Optional[...]."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):
+            head = _dotted(node.value)
+            if head and head.split(".")[-1] == "Optional":
+                return self._resolve_annotation(module, node.slice)
+            return None  # containers resolve per-rule, not here
+        name = _dotted(node)
+        if not name:
+            return None
+        return self.resolve_name(module, name)
+
+    def _infer_attr_types(self, info: ClassInfo) -> None:
+        # class-level annotations first (e.g. ``api: QueryAPI``)
+        for attr, annotation in info.fields.items():
+            info.attr_types[attr] = self._resolve_annotation(info.module, annotation)
+        init = info.methods.get("__init__")
+        if init is None:
+            return
+        for stmt in ast.walk(init.node):
+            target = None
+            value = None
+            annotation = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if annotation is not None:
+                resolved = self._resolve_annotation(info.module, annotation)
+                if resolved is None:
+                    resolved = self._builtin_kind(annotation)
+                info.attr_types.setdefault(attr, None)
+                if resolved is not None:
+                    info.attr_types[attr] = resolved
+                continue
+            if attr in info.attr_types and info.attr_types[attr] is not None:
+                continue
+            info.attr_types[attr] = self._infer_expr_type_in(init, value)
+
+    def _builtin_kind(self, node: ast.AST) -> Optional[str]:
+        name = _dotted(node)
+        if isinstance(node, ast.Subscript):
+            name = _dotted(node.value)
+        if not name:
+            return None
+        tail = name.split(".")[-1]
+        return {
+            "Dict": "dict", "dict": "dict", "List": "list", "list": "list",
+            "Set": "set", "set": "set", "Deque": "deque", "deque": "deque",
+            "int": "int", "str": "str", "float": "float", "bool": "bool",
+            "bytes": "bytes",
+        }.get(tail)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_name(self, module, dotted: str) -> Optional[str]:
+        """Resolve a source-level dotted name to a project/stdlib qname."""
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        imports = self.imports.get(module.relpath, {})
+        head = parts[0]
+        if head in imports:
+            full = ".".join([imports[head]] + parts[1:])
+        else:
+            module_name = self.module_names.get(module.relpath, "")
+            full = f"{module_name}.{dotted}" if module_name else dotted
+            if full not in self.classes and full not in self.functions:
+                # not module-local: keep the raw spelling (stdlib names
+                # like threading.Lock resolve through this path)
+                full = dotted
+        return full
+
+    def lookup(self, qname: Optional[str]):
+        """The ClassInfo/FunctionInfo a qname denotes, else None."""
+        if qname is None:
+            return None
+        if qname in self.classes:
+            return self.classes[qname]
+        if qname in self.functions:
+            return self.functions[qname]
+        return None
+
+    def class_of(self, qname: Optional[str]) -> Optional[ClassInfo]:
+        entry = self.lookup(qname)
+        return entry if isinstance(entry, ClassInfo) else None
+
+    # -- expression typing --------------------------------------------------
+
+    def local_types(self, info: FunctionInfo) -> Dict[str, Optional[str]]:
+        """name -> type qname for a function's locals (single pass)."""
+        key = f"locals:{info.qname}"
+        cached = self._analysis_cache.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        env: Dict[str, Optional[str]] = dict(info.param_types)
+        if info.cls is not None:
+            env["self"] = info.cls.qname
+            env["cls"] = info.cls.qname
+        for stmt in ast.walk(info.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and target.id not in env:
+                    env[target.id] = self._type_of(info, stmt.value, env)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.id not in env:
+                    env[stmt.target.id] = self._resolve_annotation(
+                        info.module, stmt.annotation
+                    )
+        self._analysis_cache[key] = env
+        return env
+
+    def _infer_expr_type_in(self, info: FunctionInfo, node: Optional[ast.AST]):
+        env: Dict[str, Optional[str]] = dict(info.param_types)
+        if info.cls is not None:
+            env["self"] = info.cls.qname
+        return self._type_of(info, node, env)
+
+    def _type_of(
+        self, info: FunctionInfo, node: Optional[ast.AST], env: Dict[str, Optional[str]]
+    ) -> Optional[str]:
+        """Bounded expression typing; None when unknown."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, int):
+                return "int"
+            if isinstance(value, str):
+                return "str"
+            if isinstance(value, bytes):
+                return "bytes"
+            if isinstance(value, float):
+                return "float"
+            return None
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return "dict"
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return "list"
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(node, ast.Attribute):
+            owner = self._type_of(info, node.value, env)
+            owner_class = self.class_of(owner)
+            if owner_class is not None:
+                return owner_class.attr_types.get(node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            callee = self.resolve_call(info, node, env)
+            if isinstance(callee, ClassInfo):
+                return callee.qname
+            if isinstance(callee, FunctionInfo):
+                return callee.return_type
+            raw = _dotted(node.func)
+            if raw:
+                resolved = self.resolve_name(info.module, raw)
+                if resolved in SYNC_TYPES or resolved in LOCK_TYPES:
+                    return resolved
+                tail = (resolved or raw).split(".")[-1]
+                if tail in ("dict", "list", "set", "deque", "defaultdict", "Counter"):
+                    return "deque" if tail == "deque" else tail
+            return None
+        return None
+
+    def expr_type(
+        self, info: FunctionInfo, node: Optional[ast.AST], env=None
+    ) -> Optional[str]:
+        """Public typing entry point for rules."""
+        if env is None:
+            env = self.local_types(info)
+        return self._type_of(info, node, env)
+
+    def resolve_call(self, info: FunctionInfo, node: ast.Call, env=None):
+        """The ClassInfo/FunctionInfo a call dispatches to, else None."""
+        if env is None:
+            env = self.local_types(info)
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.lookup(self.resolve_name(info.module, func.id))
+        if isinstance(func, ast.Attribute):
+            # classmethod-style Class.method or module.attr chains
+            raw = _dotted(func)
+            if raw:
+                resolved = self.lookup(self.resolve_name(info.module, raw))
+                if resolved is not None:
+                    return resolved
+            owner = self._type_of(info, func.value, env)
+            owner_class = self.class_of(owner)
+            if owner_class is not None:
+                method = owner_class.method(func.attr, self)
+                if method is not None:
+                    return method
+        return None
+
+    def resolve_callable_ref(self, info: FunctionInfo, node: ast.AST):
+        """Resolve a *reference* to a callable (a Thread target, a
+        worker handed to fork_map) without calling it."""
+        env = self.local_types(info)
+        if isinstance(node, ast.Name):
+            resolved = self.lookup(self.resolve_name(info.module, node.id))
+            if resolved is not None:
+                return resolved
+            # nested function defined in this scope: no project symbol
+            return None
+        if isinstance(node, ast.Attribute):
+            raw = _dotted(node)
+            if raw:
+                resolved = self.lookup(self.resolve_name(info.module, raw))
+                if resolved is not None:
+                    return resolved
+            owner = self._type_of(info, node.value, env)
+            owner_class = self.class_of(owner)
+            if owner_class is not None:
+                return owner_class.method(node.attr, self)
+        return None
+
+    # -- call graph ---------------------------------------------------------
+
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """caller qname -> set of resolved callee qnames."""
+        if self._calls is not None:
+            return self._calls
+        edges: Dict[str, Set[str]] = {}
+        for info in self.functions.values():
+            callees: Set[str] = set()
+            env = self.local_types(info)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(info, node, env)
+                if isinstance(callee, FunctionInfo):
+                    callees.add(callee.qname)
+                elif isinstance(callee, ClassInfo):
+                    init = callee.method("__init__", self)
+                    if init is not None:
+                        callees.add(init.qname)
+            edges[info.qname] = callees
+        self._calls = edges
+        return edges
+
+    def reachable(self, entries: Sequence[str], depth: int = ROLE_DEPTH) -> Set[str]:
+        """Functions reachable from *entries* within *depth* call edges."""
+        edges = self.call_graph()
+        seen: Set[str] = set(entries)
+        frontier = set(entries)
+        for _ in range(depth):
+            next_frontier: Set[str] = set()
+            for qname in frontier:
+                for callee in edges.get(qname, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        next_frontier.add(callee)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return seen
+
+    # -- thread roles -------------------------------------------------------
+
+    def roles(self) -> List[Role]:
+        """Every inferred concurrency role, with its bounded closure."""
+        if self._roles is not None:
+            return self._roles
+        roles: List[Role] = []
+        for module in self.modules:
+            parents = module.parent_map()
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                raw = _dotted(node.func) or ""
+                resolved = self.resolve_name(module, raw) or raw
+                if resolved.split(".")[-1] == "Thread" and (
+                    resolved.startswith("threading") or raw == "Thread"
+                ):
+                    role = self._thread_role(module, node, parents)
+                    if role is not None:
+                        roles.append(role)
+                elif resolved in ("signal.signal", "signal.setitimer") or raw in (
+                    "signal.signal",
+                ):
+                    role = self._signal_role(module, node)
+                    if role is not None:
+                        roles.append(role)
+        for info in self.classes.values():
+            if info.inherits("BaseHTTPRequestHandler", self):
+                entries = [m.qname for m in info.methods.values()]
+                role = Role(
+                    role_id=f"handler:{info.qname}",
+                    kind="handler",
+                    multi=True,
+                    entry_class=info.qname,
+                )
+                role.functions = self.reachable(entries)
+                roles.append(role)
+        self._roles = roles
+        return roles
+
+    def _enclosing_function(self, module, node: ast.AST) -> Optional[FunctionInfo]:
+        parents = module.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for info in self.functions.values():
+                    if info.node is current and info.module is module:
+                        return info
+                return None
+            current = parents.get(current)
+        return None
+
+    def _in_loop(self, module, node: ast.AST) -> bool:
+        parents = module.parent_map()
+        current = parents.get(node)
+        while current is not None and not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if isinstance(current, (ast.For, ast.While, ast.AsyncFor)):
+                return True
+            current = parents.get(current)
+        return False
+
+    def _thread_role(self, module, node: ast.Call, parents) -> Optional[Role]:
+        target = None
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                target = keyword.value
+        if target is None and node.args:
+            target = node.args[0]
+        if target is None:
+            return None
+        caller = self._enclosing_function(module, node)
+        if caller is None:
+            return None
+        resolved = self.resolve_callable_ref(caller, target)
+        role = Role(
+            role_id=f"thread:{module.relpath}:{node.lineno}",
+            kind="thread",
+            multi=self._in_loop(module, node),
+        )
+        if isinstance(resolved, FunctionInfo):
+            role.functions = self.reachable([resolved.qname])
+            if resolved.cls is not None:
+                role.entry_class = resolved.cls.qname
+        return role
+
+    def _signal_role(self, module, node: ast.Call) -> Optional[Role]:
+        if len(node.args) < 2:
+            return None
+        handler = node.args[1]
+        caller = self._enclosing_function(module, node)
+        if caller is None:
+            return None
+        resolved = self.resolve_callable_ref(caller, handler)
+        if not isinstance(resolved, FunctionInfo):
+            return None
+        role = Role(
+            role_id=f"signal:{module.relpath}:{node.lineno}", kind="signal"
+        )
+        role.functions = self.reachable([resolved.qname])
+        if resolved.cls is not None:
+            role.entry_class = resolved.cls.qname
+        return role
+
+    # -- mutation summaries -------------------------------------------------
+
+    def method_mutates_self(self, qname: str, depth: int = 2) -> bool:
+        """Does this method write any ``self.*`` state (bounded)?"""
+        cached = self._mutating.get(qname)
+        if cached is not None:
+            return cached
+        self._mutating[qname] = False  # cycle guard
+        info = self.functions.get(qname)
+        if info is None or info.cls is None:
+            return False
+        result = False
+        for node in ast.walk(info.node):
+            if self._writes_self(node):
+                result = True
+                break
+            if (
+                depth > 0
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                callee = info.cls.method(node.func.attr, self)
+                if callee is not None and self.method_mutates_self(
+                    callee.qname, depth - 1
+                ):
+                    result = True
+                    break
+        self._mutating[qname] = result
+        return result
+
+    @staticmethod
+    def _writes_self(node: ast.AST) -> bool:
+        """True for statements that store through ``self``."""
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                targets = [node.func.value]
+        for target in targets:
+            base = target
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                if isinstance(target, ast.Name):
+                    continue
+                return True
+        return False
+
+    # -- shared analysis cache ---------------------------------------------
+
+    def cached(self, key: str, build):
+        """Memoise an expensive analysis shared by several rules."""
+        if key not in self._analysis_cache:
+            self._analysis_cache[key] = build()
+        return self._analysis_cache[key]
+
+
+def build_project(ctx) -> ProjectModel:
+    """The engine hook: one :class:`ProjectModel` per lint run."""
+    return ProjectModel(ctx.modules)

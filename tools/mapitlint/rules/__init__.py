@@ -9,9 +9,12 @@ from tools.mapitlint.rules import (  # noqa: F401 - imports register the plugins
     cli001,
     det001,
     det002,
+    det003,
     err001,
     fork001,
     fork002,
+    fork003,
     obs001,
     ora001,
+    race001,
 )

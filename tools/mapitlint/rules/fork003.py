@@ -1,0 +1,278 @@
+"""FORK003 — fork-boundary returns must come from the packed allowlist.
+
+PR 7's 0.32x→0.96x parallel-speedup fix was entirely about what
+crosses the fork boundary: workers that pickled per-object trace lists
+spent more time serialising than parsing, and the cure was columnar
+packed types (one ``bytes``-backed block, near-memcpy to pickle).
+This rule makes the regression structural: every worker handed to
+:func:`repro.perf.pool.fork_map` / ``supervised_pool_map`` is resolved
+through the project call graph and its *return type* is checked
+against the allowlist —
+
+* primitives (``int``/``str``/``bytes``/``bool``/``float``/``None``)
+  and tuples/containers of primitives;
+* the packed columnar types (``FlatTraces``, ``FlatGraphBundle``) and
+  anything reduced to ``bytes`` via ``.to_bytes()``;
+* fixed-field dataclasses whose fields are themselves allowlisted —
+  a ``List[SomeProjectClass]`` field is a violation *regardless* of
+  that class's own fields, because per-element object pickling is
+  exactly the cost that regressed.
+
+A ``dict``/``set`` literal or an arbitrary project object returned
+from a worker is flagged at the return (or at the offending dataclass
+field), with the ``fork_map`` call site attached as the related sink.
+Unresolvable workers and unknown types get the benefit of the doubt —
+precision over completeness.  Suppress a measured exception with
+``# mapitlint: disable=FORK003 -- <why>`` or a justified baseline
+entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.project import ClassInfo, FunctionInfo, ProjectModel
+from tools.mapitlint.registry import Rule, register
+from tools.mapitlint.rules._helpers import call_name
+
+#: columnar packed types cleared to cross the boundary whole
+PACKED_ALLOWLIST = {"FlatTraces", "FlatGraphBundle"}
+
+#: calls that dispatch a worker across the fork boundary (first arg)
+BOUNDARY_CALLS = {"fork_map", "supervised_pool_map"}
+
+PRIMITIVES = {"int", "str", "bytes", "bool", "float", "complex", "None", "NoneType"}
+
+#: container heads whose *elements* are checked
+CONTAINERS = {"List", "list", "Sequence", "Tuple", "tuple", "Dict", "dict",
+              "Set", "set", "FrozenSet", "frozenset", "Optional", "Iterable"}
+
+
+def _annotation_violations(
+    project: ProjectModel,
+    module,
+    node: Optional[ast.AST],
+    depth: int = 3,
+    in_container: bool = False,
+) -> List[str]:
+    """Reasons this annotation is not fork-boundary safe (empty = OK).
+
+    Inside a container, *any* non-packed project class is a violation —
+    per-element object pickling is the regression itself, however
+    simple each element's fields are.  At the top level a dataclass is
+    given to the field-by-field audit instead.
+    """
+    if node is None or depth <= 0:
+        return []
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return []
+        if isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return []
+    if isinstance(node, ast.Subscript):
+        head = _tail_name(node.value)
+        if head in CONTAINERS:
+            elements = (
+                list(node.slice.elts)
+                if isinstance(node.slice, ast.Tuple)
+                else [node.slice]
+            )
+            problems: List[str] = []
+            # Optional/Tuple wrap, they don't multiply: only true
+            # element containers force the per-element argument
+            elementwise = head not in ("Optional", "Tuple", "tuple")
+            for element in elements:
+                problems.extend(
+                    _annotation_violations(
+                        project,
+                        module,
+                        element,
+                        depth - 1,
+                        in_container or elementwise,
+                    )
+                )
+            return problems
+        return []  # unknown generic: benefit of the doubt
+    tail = _tail_name(node)
+    if tail is None or tail in PRIMITIVES or tail in PACKED_ALLOWLIST:
+        return []
+    if tail in ("object", "Any", "Ellipsis"):
+        return []
+    resolved = project.resolve_name(module, _dotted_of(node) or tail)
+    cls = project.class_of(resolved)
+    if cls is None:
+        return []  # stdlib / unresolved: benefit of the doubt
+    if cls.node.name in PACKED_ALLOWLIST:
+        return []
+    if cls.is_dataclass and not in_container:
+        return []  # audited field-by-field by the result-class check
+    if in_container:
+        return [
+            f"a container of {cls.node.name} objects pickles every "
+            "element individually — the exact per-object cost the "
+            "packed columnar types exist to avoid"
+        ]
+    return [
+        f"{cls.node.name} objects pickle per-field at every boundary "
+        "crossing; return a packed columnar type or primitives"
+    ]
+
+
+def _tail_name(node: ast.AST) -> Optional[str]:
+    dotted = _dotted_of(node)
+    return dotted.rsplit(".", 1)[-1] if dotted else None
+
+
+def _dotted_of(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _class_field_violations(
+    project: ProjectModel, cls: ClassInfo, seen: set
+) -> List[Tuple[str, str, int, str]]:
+    """(path, field, line, reason) for every boundary-unsafe field of a
+    dataclass result type, bases included, each field reported once."""
+    if cls.qname in seen:
+        return []
+    seen.add(cls.qname)
+    problems: List[Tuple[str, str, int, str]] = []
+    for name in sorted(cls.fields):
+        for reason in _annotation_violations(project, cls.module, cls.fields[name]):
+            problems.append(
+                (
+                    cls.module.relpath,
+                    f"{cls.node.name}.{name}",
+                    cls.field_lines.get(name, cls.node.lineno),
+                    reason,
+                )
+            )
+    for base in cls.bases:
+        parent = project.class_of(base)
+        if parent is not None:
+            problems.extend(_class_field_violations(project, parent, seen))
+    return problems
+
+
+def _worker_result_class(
+    project: ProjectModel, worker: FunctionInfo
+) -> Optional[ClassInfo]:
+    """The project class a worker's return statements produce, if one
+    resolves (annotation first, then light local typing)."""
+    if worker.return_type is not None:
+        cls = project.class_of(worker.return_type)
+        if cls is not None:
+            return cls
+    env = project.local_types(worker)
+    for node in ast.walk(worker.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            cls = project.class_of(project.expr_type(worker, node.value, env))
+            if cls is not None:
+                return cls
+    return None
+
+
+@register
+class ForkBoundaryTypes(Rule):
+    rule_id = "FORK003"
+    name = "fork-boundary-packed-types"
+    description = (
+        "worker return values crossing the fork boundary must be packed "
+        "columnar types, primitives, or fixed-field dataclasses thereof"
+    )
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        project = ctx.project()
+        reported_fields: set = set()
+        for qname in sorted(project.functions):
+            info = project.functions[qname]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name is None or name.rsplit(".", 1)[-1] not in BOUNDARY_CALLS:
+                    continue
+                if not node.args:
+                    continue
+                worker = project.resolve_callable_ref(info, node.args[0])
+                if not isinstance(worker, FunctionInfo):
+                    continue  # dynamic dispatch: benefit of the doubt
+                sink = f"{info.module.relpath}:{node.lineno} ({name} call site)"
+                yield from self._check_worker(project, worker, sink, reported_fields)
+
+    def _check_worker(
+        self,
+        project: ProjectModel,
+        worker: FunctionInfo,
+        sink: str,
+        reported_fields: set,
+    ) -> Iterator[Finding]:
+        module = worker.module
+        # 1. literal dict/set returns: the unpacked-objects regression
+        #    in its most direct form
+        for node in ast.walk(worker.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, (ast.Dict, ast.DictComp, ast.Set, ast.SetComp)):
+                kind = "dict" if isinstance(value, (ast.Dict, ast.DictComp)) else "set"
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"worker {worker.qname} returns an unpacked {kind} "
+                        "across the fork boundary; pickle cost scales with "
+                        "entries — return a packed columnar type "
+                        "(FlatTraces/FlatGraphBundle), bytes, or a tuple of "
+                        "primitives"
+                    ),
+                    related=sink,
+                )
+        # 2. annotated/inferred return type against the allowlist
+        if worker.node.returns is not None:
+            for reason in _annotation_violations(project, module, worker.node.returns):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.relpath,
+                    line=worker.node.lineno,
+                    col=worker.node.col_offset,
+                    message=(
+                        f"worker {worker.qname} is declared to return a "
+                        f"boundary-unsafe type: {reason}"
+                    ),
+                    related=sink,
+                )
+        # 3. dataclass result types: audit every field (bases included)
+        result_cls = _worker_result_class(project, worker)
+        if result_cls is not None and result_cls.node.name not in PACKED_ALLOWLIST:
+            for path, fieldname, line, reason in _class_field_violations(
+                project, result_cls, set()
+            ):
+                dedup = (path, fieldname)
+                if dedup in reported_fields:
+                    continue
+                reported_fields.add(dedup)
+                yield Finding(
+                    rule=self.rule_id,
+                    path=path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"fork-boundary result field {fieldname} "
+                        f"(returned by {worker.qname}): {reason}"
+                    ),
+                    related=sink,
+                )

@@ -1,0 +1,374 @@
+"""RACE001/RACE002 — thread-role races on shared attributes.
+
+The serve daemon's concurrency contract (docs/SERVE.md) is narrow:
+mutable state is owned by exactly one role — the pump folds and
+quiesces, reader threads only ``offer`` under the daemon lock — and
+everything readers consume is published by a *single reference swap*
+of an immutable snapshot.  These rules check that contract over the
+whole program, using the project model's inferred **thread roles**
+(``threading.Thread(target=...)`` call sites, HTTP handler classes,
+``signal.signal`` handlers) and bounded call-graph reachability.
+
+* **RACE001** (cross-role): an attribute is mutated *in place*
+  (``+=``, subscript store, ``.append``, a method known to write
+  ``self``) in one role while a different role touches the same
+  attribute, and the two sides do not both hold a lock.  A plain
+  ``self.attr = fresh_object`` is the sanctioned swap and never flags;
+  the lock requirement is mutual — a locked writer does not make an
+  unlocked reader safe (dict iteration during a locked mutation still
+  tears).
+* **RACE002** (multi-instance self-race): code that many instances of
+  one role run concurrently — HTTP handler threads, threads spawned in
+  a loop — performs an unlocked read-modify-write or unlocked
+  assignment on an attribute of a *shared* object (an object of a
+  class other than the role's own per-instance entry class).
+
+Deliberate precision bounds (docs/STATIC_ANALYSIS.md): threading
+synchronisation primitives, classes under ``repro/obs/`` (advisory
+metrics tolerate torn reads by design), writes inside the owning
+class's ``__init__`` (construction precedes sharing), and pairs inside
+a single function (one worker object per thread is the idiom — a
+function racing itself across roles would need two roles sharing one
+instance, which the sanctioned patterns never do) are all exempt.
+Suppress a reviewed exception with
+``# mapitlint: disable=RACE001 -- <why>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from tools.mapitlint.findings import Finding
+from tools.mapitlint.project import (
+    LOCK_TYPES,
+    MUTATOR_METHODS,
+    SYNC_TYPES,
+    ClassInfo,
+    FunctionInfo,
+    ProjectModel,
+    Role,
+)
+from tools.mapitlint.registry import Rule, register
+
+#: the implicit role of every function no thread/handler/signal reaches
+MAIN_ROLE = Role(role_id="main", kind="main")
+
+#: access kinds
+READ = "read"
+SWAP = "swap"  # plain reference assignment: the sanctioned publish
+INPLACE = "inplace"  # mutation observable through an existing reference
+
+
+@dataclass
+class Access:
+    """One touch of a (class, attribute) pair inside one function."""
+
+    cls: str  # owning class qname
+    attr: str
+    kind: str  # READ | SWAP | INPLACE
+    rmw: bool  # read-modify-write (augmented assignment)
+    locked: bool
+    func: str  # accessing function qname
+    path: str
+    line: int
+    col: int
+
+
+def _is_lock_expr(project: ProjectModel, info: FunctionInfo, node: ast.AST) -> bool:
+    """Does ``with <node>:`` take a lock?  By type when resolvable,
+    by the ``lock`` naming convention otherwise."""
+    typed = project.expr_type(info, node)
+    if typed in LOCK_TYPES:
+        return True
+    if isinstance(node, ast.Attribute):
+        return "lock" in node.attr.lower()
+    if isinstance(node, ast.Name):
+        return "lock" in node.id.lower()
+    return False
+
+
+def _locked_ids(project: ProjectModel, info: FunctionInfo) -> set:
+    """ids of AST nodes lexically inside a lock-holding ``with``."""
+    locked: set = set()
+
+    def visit(node: ast.AST, inside: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(_is_lock_expr(project, info, item.context_expr) for item in node.items):
+                inside = True
+        if inside:
+            locked.add(id(node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, inside)
+
+    visit(info.node, False)
+    return locked
+
+
+def _attr_base(node: ast.AST) -> ast.AST:
+    """Strip subscripts: ``self.stats["x"]`` → the ``self.stats`` attribute."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _record(
+    project: ProjectModel,
+    info: FunctionInfo,
+    env: Dict[str, Optional[str]],
+    attr_node: ast.Attribute,
+    kind: str,
+    rmw: bool,
+    locked: bool,
+) -> Optional[Access]:
+    owner_type = project.expr_type(info, attr_node.value, env)
+    owner = project.class_of(owner_type)
+    if owner is None:
+        return None
+    if "/obs/" in "/" + owner.module.relpath:
+        return None  # advisory metrics tolerate torn reads by design
+    attr = attr_node.attr
+    if "lock" in attr.lower():
+        return None
+    attr_type = owner.attr_types.get(attr)
+    if attr_type in LOCK_TYPES or attr_type in SYNC_TYPES:
+        return None
+    if owner.method(attr, project) is not None:
+        return None  # method/property access, not shared data
+    if info.cls is owner and info.name == "__init__":
+        return None  # construction precedes sharing
+    return Access(
+        cls=owner.qname,
+        attr=attr,
+        kind=kind,
+        rmw=rmw,
+        locked=locked,
+        func=info.qname,
+        path=info.module.relpath,
+        line=attr_node.lineno,
+        col=attr_node.col_offset,
+    )
+
+
+def _collect_function(project: ProjectModel, info: FunctionInfo) -> List[Access]:
+    env = project.local_types(info)
+    locked_ids = _locked_ids(project, info)
+    accesses: List[Access] = []
+    consumed: set = set()  # attribute nodes already classified as writes
+
+    def add_write(attr_node: ast.AST, kind: str, rmw: bool, locked: bool) -> None:
+        if not isinstance(attr_node, ast.Attribute):
+            return
+        consumed.add(id(attr_node))
+        access = _record(project, info, env, attr_node, kind, rmw, locked)
+        if access is not None:
+            accesses.append(access)
+
+    def classify_target(target: ast.AST, rmw: bool, locked: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                classify_target(element, rmw, locked)
+            return
+        if isinstance(target, ast.Starred):
+            classify_target(target.value, rmw, locked)
+            return
+        if isinstance(target, ast.Subscript):
+            # self.stats["x"] = v mutates the container self.stats
+            add_write(_attr_base(target), INPLACE, rmw, locked)
+            return
+        if isinstance(target, ast.Attribute):
+            # the outer attribute is rebound: a swap (sanctioned) —
+            # unless augmented, which reads the old value first
+            add_write(target, INPLACE if rmw else SWAP, rmw, locked)
+            # ...but self.graph.other_sides = x also mutates self.graph
+            if isinstance(target.value, ast.Attribute):
+                add_write(target.value, INPLACE, False, locked)
+
+    for node in ast.walk(info.node):
+        locked = id(node) in locked_ids
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                classify_target(target, False, locked)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            classify_target(node.target, False, locked)
+        elif isinstance(node, ast.AugAssign):
+            classify_target(node.target, True, locked)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                classify_target(_attr_base(target), False, locked)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if not isinstance(receiver, ast.Attribute):
+                continue
+            if node.func.attr in MUTATOR_METHODS:
+                add_write(receiver, INPLACE, False, locked)
+            # A call to a *project* method that mutates its receiver
+            # (self.index.fold(...)) is deliberately not re-flagged
+            # here: the writes inside the callee are recorded on the
+            # callee's own class with full role attribution, and one
+            # finding per mutation beats one per call site.
+
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in consumed
+        ):
+            access = _record(
+                project, info, env, node, READ, False, id(node) in locked_ids
+            )
+            if access is not None:
+                accesses.append(access)
+    return accesses
+
+
+@dataclass
+class RaceAnalysis:
+    """Shared between RACE001 and RACE002 via the project cache."""
+
+    #: (class qname, attr) -> accesses in deterministic order
+    by_key: Dict[Tuple[str, str], List[Access]]
+    #: function qname -> roles running it (MAIN_ROLE when unroled)
+    role_map: Dict[str, List[Role]]
+
+    def roles_of(self, func: str) -> List[Role]:
+        return self.role_map.get(func) or [MAIN_ROLE]
+
+
+def _analyze(project: ProjectModel) -> RaceAnalysis:
+    by_key: Dict[Tuple[str, str], List[Access]] = {}
+    for qname in sorted(project.functions):
+        for access in _collect_function(project, project.functions[qname]):
+            by_key.setdefault((access.cls, access.attr), []).append(access)
+    for accesses in by_key.values():
+        accesses.sort(key=lambda a: (a.path, a.line, a.col, a.func))
+    role_map: Dict[str, List[Role]] = {}
+    for role in project.roles():
+        for func in role.functions:
+            role_map.setdefault(func, []).append(role)
+    for roles in role_map.values():
+        roles.sort(key=lambda r: r.role_id)
+    return RaceAnalysis(by_key=by_key, role_map=role_map)
+
+
+def race_analysis(ctx) -> RaceAnalysis:
+    project = ctx.project()
+    return project.cached("race-analysis", lambda: _analyze(project))
+
+
+def _cross_roles(a: List[Role], b: List[Role]) -> Optional[Tuple[Role, Role]]:
+    """A pair of distinct roles proving *a* and *b* can run concurrently."""
+    for ra in a:
+        for rb in b:
+            if ra.role_id != rb.role_id:
+                return ra, rb
+    return None
+
+
+def _role_label(role: Role) -> str:
+    if role.kind == "main":
+        return "the main thread"
+    entry = f" of {role.entry_class.rsplit('.', 1)[-1]}" if role.entry_class else ""
+    plural = "s" if role.multi else ""
+    return f"{role.kind} thread{plural}{entry} ({role.role_id})"
+
+
+@register
+class CrossRoleRace(Rule):
+    rule_id = "RACE001"
+    name = "cross-role-shared-mutation"
+    description = (
+        "attribute mutated in place in one thread role and touched from "
+        "another without a mutual lock or a snapshot-reference swap"
+    )
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        analysis = race_analysis(ctx)
+        for key in sorted(analysis.by_key):
+            accesses = analysis.by_key[key]
+            emitted = False
+            for write in accesses:
+                if emitted or write.kind != INPLACE:
+                    continue
+                for other in accesses:
+                    if other.func == write.func:
+                        continue  # per-instance worker-object idiom
+                    if write.locked and other.locked:
+                        continue
+                    pair = _cross_roles(
+                        analysis.roles_of(write.func), analysis.roles_of(other.func)
+                    )
+                    if pair is None:
+                        continue
+                    writer_role, other_role = pair
+                    cls_name, attr = key[0].rsplit(".", 1)[-1], key[1]
+                    verb = "accesses" if other.kind == READ else "also writes"
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=write.path,
+                        line=write.line,
+                        col=write.col,
+                        message=(
+                            f"{cls_name}.{attr} is mutated in place in "
+                            f"{_role_label(writer_role)} by {write.func} "
+                            f"while {other.func} ({_role_label(other_role)}) "
+                            f"{verb} it without a mutual lock; publish "
+                            "readers a fresh object via a single reference "
+                            "swap or hold one lock on both sides "
+                            "(docs/SERVE.md)"
+                        ),
+                        related=f"{other.path}:{other.line} ({other.func})",
+                    )
+                    emitted = True
+                    break
+
+
+@register
+class MultiInstanceRace(Rule):
+    rule_id = "RACE002"
+    name = "multi-instance-self-race"
+    description = (
+        "unlocked read-modify-write or assignment on shared state from a "
+        "role that runs many instances concurrently"
+    )
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        analysis = race_analysis(ctx)
+        for key in sorted(analysis.by_key):
+            for access in analysis.by_key[key]:
+                if access.kind == READ or access.locked:
+                    continue
+                for role in analysis.roles_of(access.func):
+                    if not role.multi or role.entry_class == access.cls:
+                        continue
+                    cls_name, attr = key[0].rsplit(".", 1)[-1], key[1]
+                    if access.rmw:
+                        what = "read-modify-write"
+                        hint = (
+                            "concurrent increments lose updates; take the "
+                            "owning object's lock"
+                        )
+                    elif access.kind == INPLACE:
+                        what = "in-place mutation"
+                        hint = "take the owning object's lock"
+                    else:
+                        what = "assignment"
+                        hint = (
+                            "last writer silently wins; take the owning "
+                            "object's lock or route through the single "
+                            "pump role"
+                        )
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=access.path,
+                        line=access.line,
+                        col=access.col,
+                        message=(
+                            f"unlocked {what} of shared {cls_name}.{attr} in "
+                            f"{_role_label(role)}: many instances run this "
+                            f"concurrently — {hint} (docs/SERVE.md)"
+                        ),
+                        related=f"role {role.role_id}",
+                    )
+                    break
