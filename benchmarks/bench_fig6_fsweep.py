@@ -1,29 +1,65 @@
-"""Fig 6: the impact of the f parameter.
+"""Fig 6: the impact of the f parameter, driven through ``mapit sweep``.
 
-Sweeps f from 0.0 to 1.0 in steps of 0.1 and scores each run against
-all three verification networks.  Expected shape (paper section 5.3):
-precision is worst at low f, improves toward the middle of the range,
-and degrades again at f >= 0.9 where MAP-IT can no longer refine its
-mappings; recall is roughly flat at low f and collapses at high f.
+A thin driver over the sweep orchestrator: one experiment-kind sweep
+over the paper world with f from 0.0 to 1.0 in steps of 0.1, scores
+read back from the per-cell result documents.  Expected shape (paper
+section 5.3): precision is worst at low f, improves toward the middle
+of the range, and degrades again at f >= 0.9 where MAP-IT can no
+longer refine its mappings; recall is roughly flat at low f and
+collapses at high f.
 """
 
-from conftest import publish
+from conftest import PAPER_SEED, publish
 
-from repro.eval.fsweep import sweep_f
+from repro.sweep import SweepGrid, SweepPlan, run_sweep
+
+F_VALUES = tuple(round(0.1 * step, 1) for step in range(11))
 
 
-def test_fig6_f_sweep(benchmark, paper_experiment):
-    result = benchmark.pedantic(
-        sweep_f, args=(paper_experiment,), rounds=1, iterations=1
+def _run(tmp_root):
+    grid = SweepGrid.build(["paper"], [PAPER_SEED], F_VALUES, "experiment")
+    plan = SweepPlan(
+        grid=grid,
+        workdir=tmp_root / "work",
+        out_dir=tmp_root / "out",
+        journal_dir=tmp_root / "journal",
+        jobs=1,
     )
-    publish("fig6_fsweep", "Fig 6: precision/recall vs f", result.rows())
+    outcome = run_sweep(plan)
+    import json
 
-    for label in paper_experiment.labels():
-        recall = dict(result.series(label, "recall"))
-        tp_low = result.scores[0.1][label].tp
-        tp_high = result.scores[1.0][label].tp
+    by_f = {}
+    for cell in grid.cells():
+        path = plan.out_dir / "cells" / f"{cell.cell_id}.json"
+        by_f[cell.f] = json.loads(path.read_text())["scores"]
+    return by_f
+
+
+def test_fig6_f_sweep(benchmark, tmp_path_factory):
+    tmp_root = tmp_path_factory.mktemp("fig6")
+    by_f = benchmark.pedantic(_run, args=(tmp_root,), rounds=1, iterations=1)
+
+    labels = sorted(by_f[0.5])
+    rows = [
+        {
+            "f": f,
+            "network": label,
+            "tp": by_f[f][label]["tp"],
+            "fp": by_f[f][label]["fp"],
+            "fn": by_f[f][label]["fn"],
+            "precision": round(by_f[f][label]["precision"], 3),
+            "recall": round(by_f[f][label]["recall"], 3),
+        }
+        for f in sorted(by_f)
+        for label in labels
+    ]
+    publish("fig6_fsweep", "Fig 6: precision/recall vs f", rows)
+
+    for label in labels:
+        tp_low = by_f[0.1][label]["tp"]
+        tp_high = by_f[1.0][label]["tp"]
         # Recall at f=1.0 must not exceed the low-f recall (collapse).
         assert tp_high <= tp_low, label
     # Precision at the paper's recommended f=0.5 is high everywhere.
-    for label, score in result.scores[0.5].items():
-        assert score.precision > 0.75, (label, str(score))
+    for label, score in by_f[0.5].items():
+        assert score["precision"] > 0.75, (label, score)

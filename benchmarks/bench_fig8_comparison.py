@@ -1,40 +1,65 @@
-"""Fig 8: MAP-IT versus existing approaches.
+"""Fig 8: MAP-IT versus existing approaches, via ``mapit sweep``.
 
-Runs the Simple heuristic, the Convention heuristic, the two
-ITDK-style router-graph pipelines, and MAP-IT (f=0.5) over one trace
-dataset and scores all five against every verification network.
-Expected shape (paper section 5.6): MAP-IT's precision dominates every
+A thin driver over the sweep orchestrator: one compare-kind sweep cell
+at f=0.5 over the paper world runs the Simple heuristic, the
+Convention heuristic, the two ITDK-style router-graph pipelines, and
+MAP-IT, scoring all five against every verification network.  Expected
+shape (paper section 5.6): MAP-IT's precision dominates every
 comparator on every network; Convention beats Simple on the tier-1s
 but loses on the R&E network (customer-space-numbered transit links);
 the ITDK variants land between the per-trace heuristics and MAP-IT.
 """
 
-from conftest import publish
+from conftest import PAPER_SEED, publish
 
-from repro.eval.compare import (
-    CONVENTION,
-    ITDK_KAPAR,
-    ITDK_MIDAR,
-    MAPIT,
-    SIMPLE,
-    compare_methods,
-)
+from repro.eval.compare import CONVENTION, ITDK_KAPAR, ITDK_MIDAR, MAPIT, SIMPLE
+from repro.sweep import SweepGrid, SweepPlan, run_sweep
 
 
-def test_fig8_method_comparison(benchmark, paper_experiment):
-    comparison = benchmark.pedantic(
-        compare_methods, args=(paper_experiment,), rounds=1, iterations=1
+def _run(tmp_root):
+    grid = SweepGrid.build(["paper"], [PAPER_SEED], [0.5], "compare")
+    plan = SweepPlan(
+        grid=grid,
+        workdir=tmp_root / "work",
+        out_dir=tmp_root / "out",
+        journal_dir=tmp_root / "journal",
+        jobs=1,
     )
-    publish("fig8_comparison", "Fig 8: precision/recall by method", comparison.rows())
+    run_sweep(plan)
+    import json
 
-    scores = comparison.scores
-    for label in paper_experiment.labels():
-        mapit = scores[MAPIT][label].precision
+    cell_id = grid.cells()[0].cell_id
+    path = plan.out_dir / "cells" / f"{cell_id}.json"
+    return json.loads(path.read_text())["methods"]
+
+
+def test_fig8_method_comparison(benchmark, tmp_path_factory):
+    tmp_root = tmp_path_factory.mktemp("fig8")
+    methods = benchmark.pedantic(_run, args=(tmp_root,), rounds=1, iterations=1)
+
+    labels = sorted(methods[MAPIT])
+    rows = [
+        {
+            "method": method,
+            "network": label,
+            "tp": methods[method][label]["tp"],
+            "fp": methods[method][label]["fp"],
+            "fn": methods[method][label]["fn"],
+            "precision": round(methods[method][label]["precision"], 3),
+            "recall": round(methods[method][label]["recall"], 3),
+        }
+        for method in sorted(methods)
+        for label in labels
+    ]
+    publish("fig8_comparison", "Fig 8: precision/recall by method", rows)
+
+    for label in labels:
+        mapit = methods[MAPIT][label]["precision"]
         for method in (SIMPLE, CONVENTION, ITDK_MIDAR, ITDK_KAPAR):
-            assert mapit > scores[method][label].precision, (label, method)
+            assert mapit > methods[method][label]["precision"], (label, method)
     # Convention's provider-space assumption backfires on the R&E
     # network but helps on the commodity tier-1s.
-    assert scores[CONVENTION]["I2"].recall <= scores[SIMPLE]["I2"].recall
+    assert methods[CONVENTION]["I2"]["recall"] <= methods[SIMPLE]["I2"]["recall"]
     # Per-trace heuristics are drastically less precise than MAP-IT.
-    for label in paper_experiment.labels():
-        assert scores[SIMPLE][label].precision < 0.6
+    for label in labels:
+        assert methods[SIMPLE][label]["precision"] < 0.6

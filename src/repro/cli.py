@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from repro import MapItConfig
@@ -41,6 +42,11 @@ from repro.sim.scenario import build_scenario
 
 _PRESETS = {"small": small_config, "paper": paper_config, "dense": dense_config}
 _CHAOS_PRESETS = {"tiny": tiny_config, "small": small_config, "paper": paper_config}
+#: every preset `mapit sweep` accepts: scenario worlds plus the
+#: shard-generated stress tiers (repro.sweep.grid owns the registries)
+_SWEEP_PRESETS = (
+    "tiny", "small", "paper", "dense", "stress-smoke", "stress", "stress-large"
+)
 
 #: exit code for an ingest whose malformed fraction exceeded the budget
 EXIT_BUDGET_EXCEEDED = 3
@@ -55,7 +61,8 @@ exit codes (docs/CLI.md has the full contract table):
   0    success
   1    unexpected internal error (uncaught exception)
   2    usage or data error (missing ground truth, no verification ASNs,
-       unreadable trace file, --resume id mismatch)
+       unreadable trace file, --resume id mismatch — run or sweep,
+       negative --jobs)
   3    ingest error budget exceeded: under --on-error lenient/quarantine,
        more than --max-error-rate of the records were malformed (strict
        mode exits 3 on the first malformed record; serve counts shed
@@ -85,9 +92,21 @@ observability (run/evaluate/experiment):
   --metrics FILE  write the counters/gauges/timers registry as JSON
   --profile       add span timing events (dur_ms) to the trace
 
-performance (run/evaluate/explain/report; see docs/PERFORMANCE.md):
+sweep (grid orchestration; see docs/CLI.md and docs/PERFORMANCE.md):
+  mapit sweep WORKDIR --preset paper --seed 0 --seed 1 --f 0.1 --f 0.5
+                  expand the (preset, seed, f) grid, fan the cells across
+                  the worker pool, checkpoint each completed cell in the
+                  journal; re-run with --resume SWEEP_ID after a kill and
+                  the per-cell results are byte-identical
+  mapit sweep WORKDIR --preset stress --jobs 1
+                  stress tier: generate a 10k-AS world shard-by-shard
+                  (never fully resident) and fold it streaming
+
+performance (run/evaluate/explain/report/sweep; see docs/PERFORMANCE.md):
   --jobs N        shard parsing and graph construction across N worker
-                  processes (default $MAPIT_JOBS or 1); results identical
+                  processes (default $MAPIT_JOBS or 1); results identical.
+                  N=0 (or MAPIT_JOBS=0) means all cores; negative N is a
+                  usage error (exit 2)
   --cache DIR     reuse parsed traces from DIR when the source file's
                   sha256 matches (default $MAPIT_CACHE or off)
   --no-cache      always parse from source
@@ -176,16 +195,31 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _jobs_type(text: str) -> int:
+    """argparse type for ``--jobs``: non-negative int, 0 = all cores.
+
+    Negative values are a usage error (exit 2) rather than a silent
+    clamp — a typo like ``--jobs -4`` should not quietly serialize.
+    """
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
 def _add_perf_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("performance")
     group.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_type,
         default=None,
         metavar="N",
         help=(
             "shard trace parsing and graph construction across N worker "
-            "processes (results are identical; default $MAPIT_JOBS or 1)"
+            "processes (results are identical; 0 = all cores; default "
+            "$MAPIT_JOBS or 1)"
         ),
     )
     group.add_argument(
@@ -215,10 +249,10 @@ def _add_perf_options(parser: argparse.ArgumentParser) -> None:
 
 def _perf_settings(args):
     """Resolve (jobs, cache_dir, shard_timeout) from flags and env."""
-    from repro.perf.pool import default_jobs
+    from repro.perf.pool import resolve_jobs
     from repro.robust.supervise import default_shard_timeout
 
-    jobs = args.jobs if args.jobs is not None else default_jobs()
+    jobs = resolve_jobs(args.jobs)
     cache = None
     if not args.no_cache:
         cache = args.cache or os.environ.get("MAPIT_CACHE") or None
@@ -227,7 +261,7 @@ def _perf_settings(args):
         if args.shard_timeout is not None
         else default_shard_timeout()
     )
-    return max(1, jobs), cache, timeout
+    return jobs, cache, timeout
 
 
 def _build_obs(args):
@@ -811,12 +845,14 @@ def cmd_inspect_trace(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    from repro.perf.pool import resolve_jobs
     from repro.robust.chaos import replay_bundle, run_chaos, write_bundle
 
+    jobs = resolve_jobs(args.jobs)
     if args.replay:
         try:
             outcome = replay_bundle(
-                args.replay, jobs=args.jobs, workdir=args.workdir
+                args.replay, jobs=jobs, workdir=args.workdir
             )
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: unreadable chaos bundle: {exc}", file=sys.stderr)
@@ -829,7 +865,7 @@ def cmd_chaos(args) -> int:
             preset=args.preset,
             seed=args.seed,
             schedules=schedules,
-            jobs=args.jobs,
+            jobs=jobs,
             workdir=args.workdir,
         )
     for line in outcome.lines():
@@ -839,6 +875,63 @@ def cmd_chaos(args) -> int:
     if args.record:
         write_bundle(args.record, outcome)
         print(f"recorded regression bundle at {args.record}", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import SweepGrid, SweepMismatchError, SweepPlan, run_sweep
+
+    try:
+        grid = SweepGrid.build(
+            args.preset or ["tiny"],
+            args.seed or [0],
+            args.f or [0.5],
+            kind=args.kind,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    jobs, cache, shard_timeout = _perf_settings(args)
+    workdir = Path(args.workdir)
+    if cache is None and not args.no_cache:
+        cache = workdir / "cache"
+    plan = SweepPlan(
+        grid=grid,
+        workdir=workdir,
+        out_dir=Path(args.out) if args.out else workdir / "results",
+        journal_dir=Path(args.journal) if args.journal else workdir / "journal",
+        cache_dir=Path(cache) if cache else None,
+        jobs=jobs,
+        shard_timeout=shard_timeout,
+        shard_size=args.shard_size,
+        enable_stub_heuristic=not args.no_stub_heuristic,
+        remove_rule=args.remove_rule,
+        resume=args.resume,
+    )
+    from repro.sweep import sweep_identity
+
+    # Printed before any work so a killed sweep's id is on record for
+    # --resume (the journal filename carries it too).
+    print(
+        f"sweep {sweep_identity(grid, plan.base_config)} "
+        f"(journal: {plan.journal_dir})",
+        file=sys.stderr,
+    )
+    obs = _build_obs(args)
+    from repro.obs import NULL_OBS
+
+    try:
+        outcome = run_sweep(plan, obs=obs if obs is not None else NULL_OBS)
+    except SweepMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        _finish_obs(obs, args)
+    print(f"sweep {outcome.sweep_id}: {outcome.completed} cells completed, "
+          f"{outcome.skipped} resumed, {outcome.worlds_built} worlds built, "
+          f"{outcome.worlds_reused} reused -> {outcome.out_dir}",
+          file=sys.stderr)
+    _print_rows(outcome.rows)
     return 0
 
 
@@ -1070,7 +1163,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault schedule(s) to run (repeatable; default all)",
     )
     chaos.add_argument(
-        "--jobs", type=int, default=4, help="worker processes for faulted runs"
+        "--jobs",
+        type=_jobs_type,
+        default=4,
+        help="worker processes for faulted runs (0 = all cores)",
     )
     chaos.add_argument(
         "--workdir",
@@ -1090,6 +1186,100 @@ def build_parser() -> argparse.ArgumentParser:
         "sha256) after a passing run",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan a (preset, seed, f) grid across the worker pool with "
+        "per-cell checkpoints",
+        description=(
+            "Expand a grid of (preset, seed, f-value) cells, run them "
+            "across the supervised process pool, and checkpoint every "
+            "completed cell in the run journal.  A killed sweep resumed "
+            "with --resume produces byte-identical per-cell results to an "
+            "uninterrupted one.  Stress presets (stress-smoke, stress, "
+            "stress-large) generate their worlds shard-by-shard instead "
+            "of materializing them (docs/CLI.md, docs/PERFORMANCE.md)."
+        ),
+    )
+    sweep.add_argument(
+        "workdir",
+        help="sweep working directory (worlds/, cache/, journal/ live here)",
+    )
+    sweep.add_argument(
+        "--preset",
+        action="append",
+        choices=sorted(_SWEEP_PRESETS),
+        metavar="NAME",
+        help=(
+            "world preset(s) to sweep (repeatable; default tiny); "
+            f"one of {', '.join(sorted(_SWEEP_PRESETS))}"
+        ),
+    )
+    sweep.add_argument(
+        "--seed",
+        action="append",
+        type=int,
+        metavar="N",
+        help="world seed(s) to sweep (repeatable; default 0)",
+    )
+    sweep.add_argument(
+        "--f",
+        action="append",
+        type=float,
+        metavar="F",
+        help="Alg 2 threshold value(s) to sweep (repeatable; default 0.5)",
+    )
+    sweep.add_argument(
+        "--kind",
+        choices=("dataset", "experiment", "compare"),
+        default="dataset",
+        help=(
+            "what each cell computes: dataset scores a materialized world "
+            "(the evaluate pipeline), experiment runs the in-memory f-sweep "
+            "pipeline, compare runs the Fig 8 baseline comparison"
+        ),
+    )
+    sweep.add_argument(
+        "--out",
+        metavar="DIR",
+        help="result directory (cells/ and sweep.json; default WORKDIR/results)",
+    )
+    sweep.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="traces per generated block for stress presets "
+        "(default: the preset's own)",
+    )
+    sweep.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="journal completed cells to DIR (default WORKDIR/journal)",
+    )
+    sweep.add_argument(
+        "--resume",
+        metavar="SWEEP_ID",
+        help=(
+            "continue the journaled sweep SWEEP_ID, skipping verified "
+            "cells; a different grid or config fails with the mismatch "
+            "named (exit 2)"
+        ),
+    )
+    sweep.add_argument(
+        "--no-stub-heuristic",
+        action="store_true",
+        help="disable the Alg 4 low-visibility stub heuristic",
+    )
+    sweep.add_argument(
+        "--remove-rule",
+        choices=("majority", "add_rule"),
+        default="majority",
+        help="remove-step test (section 4.5 prose vs Alg 3 literal)",
+    )
+    _add_obs_options(sweep)
+    _add_perf_options(sweep)
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

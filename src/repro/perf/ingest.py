@@ -37,13 +37,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.graph.neighbors import InterfaceGraph, accumulate_neighbors
+from repro.graph.neighbors import (
+    InterfaceGraph,
+    accumulate_neighbors,
+    finish_interface_graph,
+)
 from repro.net.special import default_special_registry
 from repro.obs.observer import NULL_OBS, Observability
 from repro.perf.flat import (
     FlatEncodeError,
     FlatGraphBundle,
     FlatTraces,
+    accumulate_flat,
     bundle_tables,
     concat_flat_bytes,
     pack_traces,
@@ -327,7 +332,12 @@ def _shard_spans(text: str, shards: int) -> Tuple[List[Shard], Dict[int, int]]:
     Returns the ranges plus a map from each range's start offset to its
     absolute 1-based line number (computed with C-speed ``str.count``).
     Ranges cover the text exactly once in order, so shard-order merges
-    equal a serial pass.  O(len(text)) for the boundary scans.
+    equal a serial pass.  When the file is smaller than the shard count
+    (tiny presets, sweep cells) the boundary scan can carve *degenerate*
+    spans containing nothing but whitespace; those are collapsed into a
+    neighboring span before dispatch, so the supervisor never forks a
+    worker that has zero records to parse.  O(len(text)) for the
+    boundary scans.
     """
     length = len(text)
     if length == 0:
@@ -342,6 +352,23 @@ def _shard_spans(text: str, shards: int) -> Tuple[List[Shard], Dict[int, int]]:
         (start, starts[i + 1] if i + 1 < len(starts) else length)
         for i, start in enumerate(starts)
     ]
+    merged: List[Shard] = []
+    for start, end in spans:
+        if merged and not text[start:end].strip():
+            # Whitespace-only span: extend the previous shard over it.
+            merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    if len(merged) > 1 and not text[merged[0][0] : merged[0][1]].strip():
+        # A whitespace-only *leading* span merges forward instead.
+        first_start = merged[0][0]
+        merged = [(first_start, merged[1][1])] + merged[2:]
+    spans = merged
+    # Coverage must stay exact: contiguous, starting at 0, ending at EOF.
+    assert spans[0][0] == 0 and spans[-1][1] == length, spans
+    assert all(
+        spans[i][1] == spans[i + 1][0] for i in range(len(spans) - 1)
+    ), spans
     line_starts = {start: text.count("\n", 0, start) + 1 for start, _ in spans}
     return spans, line_starts
 
@@ -415,3 +442,88 @@ def stream_graph_from_file(
     if want_payload and report.ok and all(block is not None for block in blocks):
         payload = concat_flat_bytes([block for block in blocks if block is not None])
     return graph, report, payload
+
+
+# ----------------------------------------------------------------------
+# the streamed block fold (stress tier: generated shards, bounded RSS)
+
+
+@dataclass(frozen=True)
+class StreamFoldStats:
+    """Deterministic accounting of one streamed block fold.
+
+    Pure function of the folded blocks — no timings, no RSS — so sweep
+    cell results that embed it stay byte-identical across resumes.
+    ``stream_bytes`` is the total columnar volume that passed through
+    the fold; ``peak_block_bytes`` is the largest single block, i.e. the
+    fold's residency bound beyond the accumulated tables.
+    """
+
+    shards: int
+    traces: int
+    retained: int
+    discarded: int
+    stream_bytes: int
+    peak_block_bytes: int
+
+
+def fold_graph_from_blocks(
+    blocks, obs: Observability = NULL_OBS
+) -> Tuple[InterfaceGraph, StreamFoldStats]:
+    """Fold an *iterator* of columnar blocks into one interface graph.
+
+    The stress tier's ingest path: blocks arrive one at a time from a
+    generator (:func:`repro.sim.stress.stress_blocks` or any other
+    shard-by-shard producer) and are folded with the flat kernel as they
+    appear — at no point is more than one block resident beyond the
+    accumulated neighbor tables, so a multi-million-trace world folds in
+    memory bounded by ``peak_block_bytes`` plus the table size.
+    Downstream-equivalent to decoding every block and running the serial
+    sanitize + build sequence: same tables (sorted-key canonical form),
+    same gauges, same ``graph.built`` event.  O(total hops).
+    """
+    is_special = default_special_registry().is_special
+    forward: Dict[int, set] = {}
+    backward: Dict[int, set] = {}
+    seen: set = set()
+    universe: set = set()
+    retained = discarded = buggy = 0
+    shards = traces = stream_bytes = peak_block_bytes = 0
+    with obs.span("stream_fold"):
+        for flat in blocks:
+            shards += 1
+            traces += len(flat)
+            nbytes = flat.nbytes
+            stream_bytes += nbytes
+            peak_block_bytes = max(peak_block_bytes, nbytes)
+            counts = accumulate_flat(
+                flat, 0, len(flat), forward, backward, seen, universe, is_special
+            )
+            retained += counts[0]
+            discarded += counts[1]
+            buggy += counts[2]
+        forward = {address: forward[address] for address in sorted(forward)}
+        backward = {address: backward[address] for address in sorted(backward)}
+        universe.update(seen)
+        if obs.enabled:
+            obs.gauge("sanitize.retained", retained)
+            obs.gauge("sanitize.discarded", discarded)
+            obs.gauge("sanitize.buggy_hops_removed", buggy)
+            obs.gauge("perf.flat.shards", shards)
+            obs.inc("perf.flat.bundle_bytes", stream_bytes)
+        graph = finish_interface_graph(
+            InterfaceGraph(forward=forward, backward=backward),
+            seen,
+            universe,
+            is_special,
+            obs,
+        )
+    stats = StreamFoldStats(
+        shards=shards,
+        traces=traces,
+        retained=retained,
+        discarded=discarded,
+        stream_bytes=stream_bytes,
+        peak_block_bytes=peak_block_bytes,
+    )
+    return graph, stats

@@ -48,11 +48,35 @@ def default_jobs() -> int:
 
     Reads ``MAPIT_JOBS`` (the CI matrix and batch jobs set it) and
     falls back to 1 — the serial path stays the default everywhere.
+    ``MAPIT_JOBS=0`` means *auto*: every available core, mirroring
+    ``--jobs 0`` (docs/CLI.md).  Negative or unparseable values fall
+    back to 1 — the environment cannot usage-error a run the way a
+    flag can.
     """
     try:
-        return max(1, int(os.environ.get("MAPIT_JOBS", "1")))
+        value = int(os.environ.get("MAPIT_JOBS", "1"))
     except ValueError:
         return 1
+    if value == 0:
+        return os.cpu_count() or 1
+    return max(1, value)
+
+
+def resolve_jobs(value: Optional[int]) -> int:
+    """Resolve a caller-supplied worker count to an effective one.
+
+    ``None`` defers to :func:`default_jobs` (the ``$MAPIT_JOBS``
+    fallback), ``0`` means auto — ``os.cpu_count()`` clamped to at
+    least 1 — and negatives raise ``ValueError`` so CLI layers can
+    reject them as a usage error instead of silently clamping.
+    """
+    if value is None:
+        return default_jobs()
+    if value < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = auto), got {value}")
+    if value == 0:
+        return os.cpu_count() or 1
+    return value
 
 
 def shard_ranges(count: int, shards: int) -> List[Shard]:
@@ -60,10 +84,13 @@ def shard_ranges(count: int, shards: int) -> List[Shard]:
 
     Ranges are returned in order and cover every index exactly once, so
     an order-preserving concatenation of per-shard results equals the
-    serial result.  Sizes differ by at most one.  O(shards); allocates
-    nothing that crosses a process boundary except the tuples
-    themselves.
+    serial result.  Sizes differ by at most one.  ``count == 0``
+    returns no ranges at all — an empty input must never dispatch a
+    worker over zero items.  O(shards); allocates nothing that crosses
+    a process boundary except the tuples themselves.
     """
+    if count <= 0:
+        return []
     shards = max(1, min(shards, count))
     base, extra = divmod(count, shards)
     ranges: List[Shard] = []
@@ -119,13 +146,18 @@ def fork_map(
     timeout: Optional[float] = None,
     obs: Observability = NULL_OBS,
     budget=None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Run *worker* over index shards of *payload*, in processes.
 
     *worker* must be a module-level function (pickled by reference)
     that reads the payload through :func:`shared_payload`.  Results
     come back in shard order.  With ``jobs <= 1`` — or without fork
-    support — the shards run inline in the parent.
+    support — the shards run inline in the parent.  *on_result*, when
+    given, fires with ``(shard_index, value)`` as each shard completes
+    (exactly once per shard, completion order) — on the inline path it
+    fires after each serial shard, so checkpointing callers behave the
+    same with and without a pool.
 
     *timeout* is the per-shard deadline in seconds; when ``None`` it
     falls back to ``MAPIT_SHARD_TIMEOUT``.  Pooled shards that time
@@ -154,7 +186,13 @@ def fork_map(
     _PAYLOAD = payload
     try:
         if jobs <= 1 or count == 0 or len(ranges) <= 1 or not fork_available():
-            return [worker(shard) for shard in ranges]
+            results = []
+            for index, shard in enumerate(ranges):
+                value = worker(shard)
+                results.append(value)
+                if on_result is not None:
+                    on_result(index, value)
+            return results
         if timeout is None:
             timeout = default_shard_timeout()
         with _graceful_sigterm():
@@ -165,6 +203,7 @@ def fork_map(
                 config=SuperviseConfig(timeout=timeout),
                 obs=obs,
                 budget=budget,
+                on_result=on_result,
             )
     finally:
         # mapitlint: disable=FORK001 -- parent-side cleanup post-join

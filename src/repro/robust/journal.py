@@ -230,6 +230,19 @@ class RunJournal:
             self.disabled = True
             self.obs.inc("robust.journal.write_failed")
 
+    def units(self, unit: str) -> List[Dict[str, Any]]:
+        """The payloads of every verified record of kind *unit*, in order.
+
+        Convenience over :meth:`read` for callers (the sweep
+        orchestrator) that checkpoint many homogeneous units and replay
+        them on resume.
+        """
+        return [
+            record["payload"]
+            for record in self.read()
+            if record.get("unit") == unit
+        ]
+
     def load_blob(self, name: str, expected_sha256: str) -> Optional[bytes]:
         """A unit's binary payload, or None if missing or corrupt."""
         try:

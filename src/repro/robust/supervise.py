@@ -199,6 +199,7 @@ def supervised_pool_map(
     config: Optional[SuperviseConfig] = None,
     obs: Observability = NULL_OBS,
     budget: Optional[ErrorBudget] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Run *worker* over *ranges* in a supervised ``fork`` pool.
 
@@ -208,6 +209,12 @@ def supervised_pool_map(
     (after retries and the inline fallback), or
     :class:`ShardDeadlineExhausted` when a deadline can't be met even
     inline.
+
+    *on_result*, when given, fires in the parent with ``(index, value)``
+    the moment a shard's result lands — exactly once per shard, in
+    completion (not shard) order.  Checkpointing callers (the sweep
+    orchestrator) use it to make each shard durable before the map as a
+    whole finishes; a crash mid-map then loses only in-flight shards.
     """
     config = config or SuperviseConfig()
     global _SENTINEL_QUEUE
@@ -244,7 +251,8 @@ def supervised_pool_map(
                         initializer=_quiet_worker_signals,
                     )
                 done, failed = _dispatch_round(
-                    pool, worker, ranges, pooled, attempts, config, obs
+                    pool, worker, ranges, pooled, attempts, config, obs,
+                    on_result=on_result,
                 )
                 if failed:
                     # A worker died or overran inside this pool; assume
@@ -260,6 +268,8 @@ def supervised_pool_map(
                 results[index] = _run_inline(
                     worker, ranges[index], attempts[index], config
                 )
+                if on_result is not None:
+                    on_result(index, results[index])
             rescued.update(failed)
             todo = sorted(failed)
             if todo:
@@ -297,13 +307,15 @@ def _dispatch_round(
     attempts: Dict[int, int],
     config: SuperviseConfig,
     obs: Observability,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> Tuple[Dict[int, Any], Dict[int, str]]:
     """Dispatch one attempt of every shard in *todo*; watch them all.
 
     Returns ``(done, failed)`` — shard index to result value, and shard
     index to failure reason (``timeout`` / ``worker-died`` /
     ``error: ...``).  Never raises for a shard failure; the caller
-    decides between retry and inline degradation.
+    decides between retry and inline degradation.  *on_result* fires as
+    each successful result arrives, before the round returns.
     """
     queue = _SENTINEL_QUEUE
     tasks = {}
@@ -334,6 +346,11 @@ def _dispatch_round(
                 except BaseException as exc:  # noqa: BLE001 - retried, then surfaced inline
                     obs.inc("robust.supervise.worker_errors")
                     failed[index] = f"error: {type(exc).__name__}: {exc}"
+                else:
+                    # Outside the try: a raising callback must surface,
+                    # not be misread as a shard failure and retried.
+                    if on_result is not None:
+                        on_result(index, value)
                 continue
             start = started.get(index)
             if start is None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.sim.asgraph import ASGraphConfig
 from repro.sim.scenario import Scenario, ScenarioConfig, build_scenario
+from repro.sim.stress import StressConfig
 
 
 def tiny_config(seed: int = 0) -> ScenarioConfig:
@@ -94,6 +95,41 @@ def dense_config(seed: int = 0) -> ScenarioConfig:
         monitor_count=24,
         targets_per_prefix=8,
         collector_count=10,
+    )
+
+
+def stress_config(seed: int = 0) -> StressConfig:
+    """The acceptance-tier stress world: 10⁴ ASes, shard-streamed.
+
+    Built by :mod:`repro.sim.stress`, not the network simulator —
+    traces arrive as generated :class:`~repro.perf.flat.FlatTraces`
+    blocks and are never fully resident.
+    """
+    return StressConfig(
+        seed=seed, as_count=10_000, monitor_count=8, trace_count=150_000
+    )
+
+
+def stress_large_config(seed: int = 0) -> StressConfig:
+    """The top of the stress tier: 10⁵ ASes, million-trace campaigns."""
+    return StressConfig(
+        seed=seed, as_count=100_000, monitor_count=16, trace_count=1_000_000
+    )
+
+
+def stress_smoke_config(seed: int = 0) -> StressConfig:
+    """A seconds-fast stress world for CI smoke and unit tests.
+
+    Small enough to fold quickly, large enough that the campaign spans
+    many generated shards — the streaming accounting still means
+    something.
+    """
+    return StressConfig(
+        seed=seed,
+        as_count=2_000,
+        monitor_count=4,
+        trace_count=12_000,
+        shard_size=1024,
     )
 
 

@@ -1,0 +1,223 @@
+"""The stress tier: CAIDA-magnitude worlds, generated shard-by-shard.
+
+The scenario presets (:mod:`repro.sim.presets`) build every router and
+trace as Python objects before anything runs — fine up to the paper's
+evaluation scale, hopeless at 10⁴–10⁵ ASes.  The stress tier trades the
+full network simulator for a deterministic *closed-form* topology whose
+traces can be generated in bounded memory:
+
+* ASes form a ``fanout``-ary tree (the provider hierarchy collapsed to
+  its skeleton).  AS *i*'s parent is ``(i - 1) // fanout`` — no
+  adjacency structures are ever materialized; parenthood is arithmetic.
+* Every AS owns one /24 from a private-free base (60.0.0.0, chosen
+  outside every RFC 6890 special range).  The inter-AS link between a
+  parent and its *j*-th child is numbered *from the parent's block* —
+  parent-side ``base(p) + 10 + 2j``, child-side ``base(p) + 11 + 2j`` —
+  so the child's ingress interface sits in the parent's address space,
+  exactly the far-side numbering MAP-IT exists to untangle.
+* A trace climbs from the monitor's AS to the lowest common ancestor
+  and descends to the target, recording each transit AS's ingress
+  interface plus one internal hop per AS; depth is ``O(log n)``, so
+  hop counts stay traceroute-realistic at any scale.
+
+:func:`stress_blocks` yields the campaign as packed
+:class:`~repro.perf.flat.FlatTraces` blocks of ``shard_size`` traces —
+the parent folds each block and drops it
+(:func:`repro.perf.ingest.fold_graph_from_blocks`), so peak residency
+is one block plus the accumulated neighbor tables, never the campaign.
+Everything is a pure function of the config: same seed, same blocks,
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.bgp.cymru import CymruTable
+from repro.bgp.ip2as import IP2AS, IP2ASBuilder
+from repro.net.prefix import Prefix
+from repro.org.as2org import AS2Org
+from repro.perf.flat import FlatTraces, pack_traces
+from repro.rel.relationships import RelationshipDataset
+from repro.traceroute.model import Hop, Trace
+
+#: first address of the stress tier's allocation: 60.0.0.0, outside
+#: every special-purpose registry prefix; 10⁵ ASes × /24 ends well
+#: short of the next special block
+ADDRESS_BASE = 0x3C000000
+
+#: ASNs start here — clear of the scenario presets' allocations
+ASN_BASE = 200_000
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """One stress world, fully determined by its fields.
+
+    ``as_count`` is the tree size (the acceptance tier starts at 10⁴);
+    ``trace_count`` the campaign size; ``shard_size`` the traces per
+    generated block — the generator's residency knob.  ``fanout`` is
+    the tree arity; depth scales as ``log_fanout(as_count)``.
+    """
+
+    seed: int = 0
+    as_count: int = 10_000
+    monitor_count: int = 8
+    trace_count: int = 100_000
+    shard_size: int = 4096
+    fanout: int = 12
+
+    def __post_init__(self) -> None:
+        if self.as_count < 2:
+            raise ValueError("as_count must be at least 2")
+        if self.fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if self.shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        if self.monitor_count < 1:
+            raise ValueError("monitor_count must be at least 1")
+        if ADDRESS_BASE + self.as_count * 256 > 0xFFFFFFFF:
+            raise ValueError("as_count exceeds the stress address plan")
+
+
+def _block(index: int) -> int:
+    """First address of AS *index*'s /24."""
+    return ADDRESS_BASE + index * 256
+
+
+def asn_of(index: int) -> int:
+    """The ASN assigned to tree node *index*."""
+    return ASN_BASE + index
+
+
+def _parent(index: int, fanout: int) -> int:
+    return (index - 1) // fanout
+
+
+def _child_slot(index: int, fanout: int) -> int:
+    """Which of its parent's link slots AS *index* occupies (0-based)."""
+    return (index - 1) % fanout
+
+
+def _link_addresses(child: int, fanout: int) -> Tuple[int, int]:
+    """(parent-side, child-side) interface addresses of *child*'s uplink.
+
+    Both live in the parent's /24 — the child's ingress interface is
+    numbered from the parent's space (far-side numbering).
+    """
+    parent = _parent(child, fanout)
+    slot = _child_slot(child, fanout)
+    parent_side = _block(parent) + 10 + 2 * slot
+    return parent_side, parent_side + 1
+
+
+def _ancestors(index: int, fanout: int) -> List[int]:
+    """The path from *index* up to the root, inclusive."""
+    chain = [index]
+    while index != 0:
+        index = _parent(index, fanout)
+        chain.append(index)
+    return chain
+
+
+def _as_path(source: int, target: int, fanout: int) -> List[int]:
+    """The tree path from *source* to *target*, both inclusive."""
+    up = _ancestors(source, fanout)
+    down = _ancestors(target, fanout)
+    positions = {node: depth for depth, node in enumerate(down)}
+    for climb, node in enumerate(up):
+        if node in positions:
+            return up[:climb + 1] + down[: positions[node]][::-1]
+    raise AssertionError("tree paths always meet at the root")
+
+
+def _trace_hops(path: List[int], dst: int, fanout: int) -> Tuple[Hop, ...]:
+    """Ingress-interface hop sequence along an AS *path* toward *dst*.
+
+    Crossing each inter-AS link records the entered AS's side of that
+    link; entering a transit AS also records its internal core
+    interface, so the graph sees internal context around every far-side
+    address.  The final hop is the destination host itself.
+    """
+    hops: List[Hop] = []
+    for previous, current in zip(path, path[1:]):
+        if current == _parent(previous, fanout):
+            ingress, _ = _link_addresses(previous, fanout)
+        else:
+            _, ingress = _link_addresses(current, fanout)
+        hops.append(Hop(ingress))
+        if current != path[-1]:
+            hops.append(Hop(_block(current) + 1))
+    hops.append(Hop(dst))
+    return tuple(hops)
+
+
+def _monitor_ases(config: StressConfig) -> List[int]:
+    """Monitor host ASes: the deepest leaves, spread deterministically."""
+    count = min(config.monitor_count, config.as_count - 1)
+    step = max(1, (config.as_count - 1) // count)
+    return [config.as_count - 1 - slot * step for slot in range(count)]
+
+
+def stress_traces(config: StressConfig) -> Iterator[List[Trace]]:
+    """Yield the campaign as lists of at most ``shard_size`` traces.
+
+    Pure function of *config*: the seeded generator drives every
+    monitor/target choice, so shard boundaries never change content —
+    concatenating the shards of any two runs gives identical traces.
+    """
+    rng = random.Random(config.seed ^ 0x57E55)
+    monitors = _monitor_ases(config)
+    shard: List[Trace] = []
+    for index in range(config.trace_count):
+        monitor_as = monitors[rng.randrange(len(monitors))]
+        target_as = rng.randrange(config.as_count)
+        dst = _block(target_as) + 200 + rng.randrange(50)
+        path = _as_path(monitor_as, target_as, config.fanout)
+        monitor = f"stress-{monitors.index(monitor_as):03d}"
+        shard.append(
+            Trace(monitor, dst, _trace_hops(path, dst, config.fanout), index)
+        )
+        if len(shard) >= config.shard_size:
+            yield shard
+            shard = []
+    if shard:
+        yield shard
+
+
+def stress_blocks(config: StressConfig) -> Iterator[FlatTraces]:
+    """The campaign as packed columnar blocks, one shard at a time.
+
+    This is the stress ingest contract: each yielded block is
+    independent, at most ``shard_size`` traces, and the only shard
+    resident while the consumer folds it.
+    """
+    for shard in stress_traces(config):
+        yield pack_traces(shard)
+
+
+def stress_ip2as(config: StressConfig) -> IP2AS:
+    """The world's address → AS mapping: one /24 per AS.
+
+    Delivered through the Cymru fallback layer (the closed-form world
+    has no BGP collectors); O(as_count) prefixes.
+    """
+    table = CymruTable()
+    for index in range(config.as_count):
+        table.add(Prefix(_block(index), 24), asn_of(index))
+    return IP2ASBuilder().add_cymru(table).build()
+
+
+def stress_relationships(config: StressConfig) -> RelationshipDataset:
+    """Provider/customer edges of the tree (parents transit children)."""
+    dataset = RelationshipDataset()
+    for child in range(1, config.as_count):
+        dataset.add_p2c(asn_of(_parent(child, config.fanout)), asn_of(child))
+    return dataset
+
+
+def stress_org(config: StressConfig) -> AS2Org:
+    """Sibling data for the stress world: every AS is its own org."""
+    return AS2Org()

@@ -1,0 +1,30 @@
+"""Multi-world sweep orchestration (``mapit sweep``).
+
+A sweep fans a grid of (preset, seed, f-value) cells across the
+supervised process pool, checkpointing each completed cell in the run
+journal and writing one canonical JSON result file per cell — so a
+killed sweep resumes from its last durable cell and lands byte-identical
+to an uninterrupted run (docs/CLI.md, docs/PERFORMANCE.md).
+"""
+
+from repro.sweep.grid import (
+    SCENARIO_PRESETS,
+    STRESS_PRESETS,
+    SWEEP_KINDS,
+    SweepCell,
+    SweepGrid,
+    sweep_identity,
+)
+from repro.sweep.orchestrator import SweepMismatchError, SweepPlan, run_sweep
+
+__all__ = [
+    "SCENARIO_PRESETS",
+    "STRESS_PRESETS",
+    "SWEEP_KINDS",
+    "SweepCell",
+    "SweepGrid",
+    "SweepMismatchError",
+    "SweepPlan",
+    "run_sweep",
+    "sweep_identity",
+]
